@@ -1,0 +1,47 @@
+// Table 3 — dataset descriptions. The paper lists Yahoo! Music (200,000
+// users / 136,736 songs) and MovieLens (71,567 users / 10,681 movies);
+// this binary generates the synthetic stand-ins at a configurable scale
+// and prints their statistics, so every other bench's data provenance is
+// reproducible.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "common/table_printer.h"
+#include "data/dataset_stats.h"
+#include "data/synthetic.h"
+
+int main() {
+  using namespace groupform;
+
+  const double scale = bench::BenchScale();
+  bench::PrintHeader(
+      "Table 3: dataset descriptions",
+      "paper: Yahoo! Music 200,000 x 136,736; MovieLens 71,567 x 10,681",
+      common::StrFormat("synthetic stand-ins at GF_BENCH_SCALE=%.2f "
+                        "(paper scale needs ~8)",
+                        scale));
+
+  const auto yahoo_config = data::YahooMusicLikeConfig(
+      bench::Scaled(25'000, scale), bench::Scaled(17'000, scale));
+  const auto movielens_config = data::MovieLensLikeConfig(
+      bench::Scaled(9'000, scale), bench::Scaled(1'400, scale));
+
+  common::TablePrinter table({"dataset", "# users", "# items", "# ratings",
+                              "density", "mean rating"});
+  for (const auto& [name, config] :
+       {std::pair{"Yahoo! Music (synthetic)", yahoo_config},
+        std::pair{"MovieLens (synthetic)", movielens_config}}) {
+    const auto matrix = data::GenerateLatentFactor(config);
+    const auto stats = data::ComputeStats(matrix, name);
+    table.AddRow({name, common::StrFormat("%d", stats.num_users),
+                  common::StrFormat("%d", stats.num_items),
+                  common::StrFormat("%lld",
+                                    static_cast<long long>(
+                                        stats.num_ratings)),
+                  common::StrFormat("%.5f", stats.density),
+                  common::StrFormat("%.2f", stats.mean_rating)});
+    std::printf("%s\n", data::StatsToString(stats).c_str());
+  }
+  table.Print();
+  return 0;
+}

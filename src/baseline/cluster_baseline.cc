@@ -1,0 +1,93 @@
+#include "baseline/cluster_baseline.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/strings.h"
+
+namespace groupform::baseline {
+
+using common::StatusOr;
+using core::FormationResult;
+using core::FormedGroup;
+
+std::string BaselineFormer::AlgorithmName(
+    const core::FormationProblem& problem) {
+  return common::StrFormat(
+      "Baseline-%s-%s", grouprec::SemanticsToString(problem.semantics),
+      grouprec::AggregationToString(problem.aggregation));
+}
+
+StatusOr<FormationResult> BaselineFormer::Run() const {
+  GF_RETURN_IF_ERROR(problem_.Validate());
+  const data::RatingMatrix& matrix = *problem_.matrix;
+  const std::int32_t n = matrix.num_users();
+  const std::int32_t ell =
+      std::min<std::int32_t>(problem_.max_groups, n);
+
+  // Pairwise rank distances, cached for small populations.
+  std::vector<double> cache;
+  const bool use_cache = n <= options_.cache_pairwise_up_to;
+  if (use_cache) {
+    cache.assign(static_cast<std::size_t>(n) * static_cast<std::size_t>(n),
+                 0.0);
+    for (std::int32_t u = 0; u < n; ++u) {
+      for (std::int32_t v = u + 1; v < n; ++v) {
+        const double d =
+            KendallTauDistance(matrix, u, v, options_.kendall);
+        cache[static_cast<std::size_t>(u) * static_cast<std::size_t>(n) +
+              static_cast<std::size_t>(v)] = d;
+        cache[static_cast<std::size_t>(v) * static_cast<std::size_t>(n) +
+              static_cast<std::size_t>(u)] = d;
+      }
+    }
+  }
+  const DistanceFn distance = [&](std::int32_t a, std::int32_t b) {
+    if (a == b) return 0.0;
+    if (use_cache) {
+      return cache[static_cast<std::size_t>(a) * static_cast<std::size_t>(n) +
+                   static_cast<std::size_t>(b)];
+    }
+    return KendallTauDistance(matrix, a, b, options_.kendall);
+  };
+
+  KMedoids::Options cluster_options;
+  cluster_options.num_clusters = ell;
+  cluster_options.max_iterations = options_.max_iterations;
+  cluster_options.medoid_candidates = options_.medoid_candidates;
+  cluster_options.seed = options_.seed;
+  GF_ASSIGN_OR_RETURN(const KMedoids::Result clustering,
+                      KMedoids::Cluster(n, distance, cluster_options));
+
+  // Per-cluster recommendation and satisfaction. Clusters formed by rank
+  // distance have unaligned member lists, so the group top-k must be
+  // computed by the group recommender (the costly step the paper points
+  // out in its scalability discussion).
+  const grouprec::GroupScorer scorer = problem_.MakeScorer();
+  FormationResult result;
+  result.algorithm = AlgorithmName(problem_);
+  for (std::int32_t c = 0; c < ell; ++c) {
+    FormedGroup group;
+    for (std::int32_t u = 0; u < n; ++u) {
+      if (clustering.assignment[static_cast<std::size_t>(u)] == c) {
+        group.members.push_back(u);
+      }
+    }
+    if (group.members.empty()) continue;
+    group.recommendation =
+        core::ComputeGroupList(problem_, scorer, group.members);
+    group.satisfaction = core::AggregateListSatisfaction(
+        problem_, static_cast<int>(group.members.size()),
+        group.recommendation);
+    result.objective += group.satisfaction;
+    result.groups.push_back(std::move(group));
+  }
+  return result;
+}
+
+StatusOr<FormationResult> RunBaseline(const core::FormationProblem& problem,
+                                      BaselineFormer::Options options) {
+  return BaselineFormer(problem, options).Run();
+}
+
+}  // namespace groupform::baseline

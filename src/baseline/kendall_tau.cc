@@ -1,0 +1,146 @@
+#include "baseline/kendall_tau.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "recsys/preference_lists.h"
+
+namespace groupform::baseline {
+namespace {
+
+/// Counts inversions in `values` by merge sort. `buffer` is scratch of the
+/// same size.
+std::int64_t CountInversions(std::vector<double>& values,
+                             std::vector<double>& buffer, std::size_t lo,
+                             std::size_t hi) {
+  if (hi - lo <= 1) return 0;
+  const std::size_t mid = lo + (hi - lo) / 2;
+  std::int64_t count = CountInversions(values, buffer, lo, mid) +
+                       CountInversions(values, buffer, mid, hi);
+  std::size_t i = lo;
+  std::size_t j = mid;
+  std::size_t out = lo;
+  while (i < mid && j < hi) {
+    if (values[j] < values[i]) {
+      count += static_cast<std::int64_t>(mid - i);
+      buffer[out++] = values[j++];
+    } else {
+      buffer[out++] = values[i++];
+    }
+  }
+  while (i < mid) buffer[out++] = values[i++];
+  while (j < hi) buffer[out++] = values[j++];
+  std::copy(buffer.begin() + static_cast<std::ptrdiff_t>(lo),
+            buffer.begin() + static_cast<std::ptrdiff_t>(hi),
+            values.begin() + static_cast<std::ptrdiff_t>(lo));
+  return count;
+}
+
+/// Sum over runs of equal keys of C(run, 2).
+template <typename It, typename Eq>
+std::int64_t TiedPairs(It first, It last, Eq eq) {
+  std::int64_t total = 0;
+  It run_start = first;
+  for (It it = first; it != last; ++it) {
+    if (it != run_start && !eq(*run_start, *it)) run_start = it;
+    total += std::distance(run_start, it);
+  }
+  return total;
+}
+
+}  // namespace
+
+double KendallTauB(std::span<const double> xs, std::span<const double> ys) {
+  GF_CHECK_EQ(xs.size(), ys.size());
+  const std::size_t d = xs.size();
+  if (d < 2) return 0.0;
+
+  // Knight's algorithm: sort by (x, y); swaps = inversions of the y
+  // sequence; correct for ties in x, y, and joint ties.
+  std::vector<std::pair<double, double>> pairs(d);
+  for (std::size_t i = 0; i < d; ++i) pairs[i] = {xs[i], ys[i]};
+  std::sort(pairs.begin(), pairs.end());
+
+  const std::int64_t n0 =
+      static_cast<std::int64_t>(d) * static_cast<std::int64_t>(d - 1) / 2;
+  const std::int64_t n1 =
+      TiedPairs(pairs.begin(), pairs.end(),
+                [](const auto& a, const auto& b) {
+                  return a.first == b.first;
+                });
+  const std::int64_t n3 = TiedPairs(
+      pairs.begin(), pairs.end(),
+      [](const auto& a, const auto& b) { return a == b; });
+
+  std::vector<double> y_sequence(d);
+  for (std::size_t i = 0; i < d; ++i) y_sequence[i] = pairs[i].second;
+  std::vector<double> scratch(d);
+  std::vector<double> y_for_inversions = y_sequence;
+  const std::int64_t swaps =
+      CountInversions(y_for_inversions, scratch, 0, d);
+
+  std::sort(y_sequence.begin(), y_sequence.end());
+  const std::int64_t n2 = TiedPairs(y_sequence.begin(), y_sequence.end(),
+                                    [](double a, double b) { return a == b; });
+
+  const double denom = std::sqrt(static_cast<double>(n0 - n1)) *
+                       std::sqrt(static_cast<double>(n0 - n2));
+  if (denom <= 0.0) return 0.0;
+  // Pairs discordant-concordant accounting: concordant - discordant =
+  // n0 - n1 - n2 + n3 - 2 * swaps.
+  const double numerator =
+      static_cast<double>(n0 - n1 - n2 + n3) - 2.0 * static_cast<double>(swaps);
+  return numerator / denom;
+}
+
+double KendallTauDistance(const data::RatingMatrix& matrix, UserId u,
+                          UserId v, const KendallTauOptions& options) {
+  const double r_min = matrix.scale().min;
+  // Gather each side's profile (optionally truncated to the personal top-T).
+  const auto profile = [&](UserId user) {
+    if (options.truncate > 0) {
+      return recsys::TopKList(matrix, user, options.truncate);
+    }
+    const auto row = matrix.RatingsOf(user);
+    return std::vector<data::RatingEntry>(row.begin(), row.end());
+  };
+  std::vector<data::RatingEntry> pu = profile(u);
+  std::vector<data::RatingEntry> pv = profile(v);
+  const auto by_item = [](const data::RatingEntry& a,
+                          const data::RatingEntry& b) {
+    return a.item < b.item;
+  };
+  std::sort(pu.begin(), pu.end(), by_item);
+  std::sort(pv.begin(), pv.end(), by_item);
+
+  // Merge the two sorted-by-item profiles into paired score vectors over
+  // the union of items, with r_min for the absent side.
+  std::vector<double> xs;
+  std::vector<double> ys;
+  xs.reserve(pu.size() + pv.size());
+  ys.reserve(pu.size() + pv.size());
+  std::size_t i = 0;
+  std::size_t j = 0;
+  while (i < pu.size() || j < pv.size()) {
+    if (j >= pv.size() || (i < pu.size() && pu[i].item < pv[j].item)) {
+      xs.push_back(pu[i].rating);
+      ys.push_back(r_min);
+      ++i;
+    } else if (i >= pu.size() || pv[j].item < pu[i].item) {
+      xs.push_back(r_min);
+      ys.push_back(pv[j].rating);
+      ++j;
+    } else {
+      xs.push_back(pu[i].rating);
+      ys.push_back(pv[j].rating);
+      ++i;
+      ++j;
+    }
+  }
+  const double tau = KendallTauB(xs, ys);
+  // Guard against -0.0 / 1.0+eps from floating-point round-off.
+  return std::clamp((1.0 - tau) / 2.0, 0.0, 1.0);
+}
+
+}  // namespace groupform::baseline

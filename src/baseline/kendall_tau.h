@@ -1,0 +1,40 @@
+#ifndef GROUPFORM_BASELINE_KENDALL_TAU_H_
+#define GROUPFORM_BASELINE_KENDALL_TAU_H_
+
+#include <span>
+#include <vector>
+
+#include "data/rating_matrix.h"
+
+namespace groupform::baseline {
+
+/// Options for the rank-distance computation between two users.
+struct KendallTauOptions {
+  /// Items considered: the union of both users' rated items (the paper
+  /// "considers all the items to obtain dist(u, u')"). Items rated by only
+  /// one side take the other side's missing value r_min.
+  /// When > 0, profiles are first truncated to each user's top-`truncate`
+  /// items — an ablation knob for the scalability benchmarks.
+  int truncate = 0;
+};
+
+/// Normalised Kendall-Tau distance in [0, 1] between the item rankings
+/// induced by two users' ratings: (1 - tau_b) / 2, with tau_b handling the
+/// heavy rating ties of a 1..5 scale. Two identical rankings give 0,
+/// perfectly reversed rankings give 1, and fully tied (uninformative)
+/// profiles give 0.5.
+///
+/// Cost: O((d_u + d_v) log(d_u + d_v)) via Knight's algorithm (merge-sort
+/// inversion counting with tie corrections).
+double KendallTauDistance(const data::RatingMatrix& matrix, UserId u,
+                          UserId v,
+                          const KendallTauOptions& options = {});
+
+/// tau-b correlation in [-1, 1] of two paired score vectors (exposed for
+/// tests and other rank analyses). Vectors must have equal length >= 2;
+/// returns 0 when either side is fully tied.
+double KendallTauB(std::span<const double> xs, std::span<const double> ys);
+
+}  // namespace groupform::baseline
+
+#endif  // GROUPFORM_BASELINE_KENDALL_TAU_H_

@@ -1,0 +1,141 @@
+#include "baseline/kmedoids.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/logging.h"
+#include "common/random.h"
+#include "common/strings.h"
+
+namespace groupform::baseline {
+
+using common::Status;
+using common::StatusOr;
+
+StatusOr<KMedoids::Result> KMedoids::Cluster(std::int32_t num_points,
+                                             const DistanceFn& distance,
+                                             const Options& options) {
+  if (num_points <= 0) {
+    return Status::InvalidArgument("num_points must be positive");
+  }
+  if (options.num_clusters <= 0) {
+    return Status::InvalidArgument("num_clusters must be positive");
+  }
+  if (num_points < options.num_clusters) {
+    return Status::InvalidArgument(common::StrFormat(
+        "cannot form %d clusters from %d points", options.num_clusters,
+        num_points));
+  }
+  common::Rng rng(options.seed);
+  const std::int32_t k = options.num_clusters;
+
+  // k-means++-style seeding: first medoid uniform, then proportional to
+  // distance-to-nearest-medoid. Keeps initial medoids spread out, which
+  // matters a lot for rank distances where many pairs are near 0.5.
+  Result result;
+  result.medoids.reserve(static_cast<std::size_t>(k));
+  result.medoids.push_back(static_cast<std::int32_t>(
+      rng.NextUint64(static_cast<std::uint64_t>(num_points))));
+  std::vector<double> nearest(static_cast<std::size_t>(num_points),
+                              std::numeric_limits<double>::infinity());
+  while (static_cast<std::int32_t>(result.medoids.size()) < k) {
+    const std::int32_t last = result.medoids.back();
+    double total = 0.0;
+    for (std::int32_t p = 0; p < num_points; ++p) {
+      nearest[static_cast<std::size_t>(p)] =
+          std::min(nearest[static_cast<std::size_t>(p)], distance(p, last));
+      total += nearest[static_cast<std::size_t>(p)];
+    }
+    std::int32_t chosen = -1;
+    if (total <= 0.0) {
+      // All remaining points coincide with medoids; pick any unused point.
+      for (std::int32_t p = 0; p < num_points && chosen < 0; ++p) {
+        if (std::find(result.medoids.begin(), result.medoids.end(), p) ==
+            result.medoids.end()) {
+          chosen = p;
+        }
+      }
+    } else {
+      double pick = rng.NextDouble() * total;
+      for (std::int32_t p = 0; p < num_points; ++p) {
+        pick -= nearest[static_cast<std::size_t>(p)];
+        if (pick <= 0.0) {
+          chosen = p;
+          break;
+        }
+      }
+      if (chosen < 0) chosen = num_points - 1;
+    }
+    result.medoids.push_back(chosen);
+  }
+
+  result.assignment.assign(static_cast<std::size_t>(num_points), 0);
+  std::vector<std::vector<std::int32_t>> clusters(
+      static_cast<std::size_t>(k));
+
+  const auto assign_all = [&]() {
+    for (auto& c : clusters) c.clear();
+    result.cost = 0.0;
+    for (std::int32_t p = 0; p < num_points; ++p) {
+      double best = std::numeric_limits<double>::infinity();
+      std::int32_t best_c = 0;
+      for (std::int32_t c = 0; c < k; ++c) {
+        const double d =
+            distance(p, result.medoids[static_cast<std::size_t>(c)]);
+        if (d < best) {
+          best = d;
+          best_c = c;
+        }
+      }
+      result.assignment[static_cast<std::size_t>(p)] = best_c;
+      clusters[static_cast<std::size_t>(best_c)].push_back(p);
+      result.cost += best;
+    }
+  };
+
+  assign_all();
+  for (int iter = 0; iter < options.max_iterations; ++iter) {
+    result.iterations_run = iter + 1;
+    bool changed = false;
+    for (std::int32_t c = 0; c < k; ++c) {
+      auto& members = clusters[static_cast<std::size_t>(c)];
+      if (members.empty()) continue;
+      // Candidate medoids: all members, or a seeded sample plus the
+      // incumbent.
+      std::vector<std::int32_t> candidates;
+      if (options.medoid_candidates <= 0 ||
+          static_cast<int>(members.size()) <= options.medoid_candidates) {
+        candidates = members;
+      } else {
+        const auto picks = rng.SampleWithoutReplacement(
+            static_cast<std::int64_t>(members.size()),
+            options.medoid_candidates);
+        candidates.reserve(picks.size() + 1);
+        for (auto idx : picks) {
+          candidates.push_back(members[static_cast<std::size_t>(idx)]);
+        }
+        candidates.push_back(result.medoids[static_cast<std::size_t>(c)]);
+      }
+      double best_cost = std::numeric_limits<double>::infinity();
+      std::int32_t best_medoid =
+          result.medoids[static_cast<std::size_t>(c)];
+      for (std::int32_t candidate : candidates) {
+        double cost = 0.0;
+        for (std::int32_t p : members) cost += distance(p, candidate);
+        if (cost < best_cost) {
+          best_cost = cost;
+          best_medoid = candidate;
+        }
+      }
+      if (best_medoid != result.medoids[static_cast<std::size_t>(c)]) {
+        result.medoids[static_cast<std::size_t>(c)] = best_medoid;
+        changed = true;
+      }
+    }
+    if (!changed) break;
+    assign_all();
+  }
+  return result;
+}
+
+}  // namespace groupform::baseline

@@ -1,0 +1,57 @@
+#ifndef GROUPFORM_BASELINE_KMEDOIDS_H_
+#define GROUPFORM_BASELINE_KMEDOIDS_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/status.h"
+
+namespace groupform::baseline {
+
+/// Pairwise distance callback; must be symmetric and non-negative.
+using DistanceFn = std::function<double(std::int32_t, std::int32_t)>;
+
+/// K-medoids clustering over an arbitrary metric — the "K-means clustering
+/// over Kendall-Tau distances" of the paper's baseline [22]. K-means proper
+/// needs a vector centroid, which rank distances do not provide, so the
+/// standard adaptation is Voronoi-iteration k-medoids: assign each point to
+/// its nearest medoid, then re-centre each cluster on the member that
+/// minimises the within-cluster distance sum.
+///
+/// For large clusters the exact re-centre step is O(|c|^2) distance
+/// evaluations; `medoid_candidates` caps it by sampling CLARA-style
+/// candidate medoids (the current medoid is always a candidate, so the
+/// within-cluster cost never increases).
+class KMedoids {
+ public:
+  struct Options {
+    int num_clusters = 10;
+    /// Paper default ("maximum number of iterations ... set to 100").
+    int max_iterations = 100;
+    /// Cap on candidate medoids examined per cluster per iteration;
+    /// 0 = exact (every member is a candidate).
+    int medoid_candidates = 64;
+    std::uint64_t seed = 99;
+  };
+
+  struct Result {
+    /// cluster id of each point, in [0, num_clusters).
+    std::vector<std::int32_t> assignment;
+    /// point index of each cluster's medoid.
+    std::vector<std::int32_t> medoids;
+    /// Total assignment cost (sum of point-to-medoid distances).
+    double cost = 0.0;
+    int iterations_run = 0;
+  };
+
+  /// Clusters `num_points` points. Fails when num_points < num_clusters
+  /// or either is non-positive.
+  static common::StatusOr<Result> Cluster(std::int32_t num_points,
+                                          const DistanceFn& distance,
+                                          const Options& options);
+};
+
+}  // namespace groupform::baseline
+
+#endif  // GROUPFORM_BASELINE_KMEDOIDS_H_

@@ -1,0 +1,77 @@
+#include "common/csv.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/strings.h"
+
+namespace groupform::common {
+
+StatusOr<std::vector<std::vector<std::string>>> CsvReader::ReadFile(
+    const std::string& path) {
+  return ReadFile(path, Options());
+}
+
+std::vector<std::vector<std::string>> CsvReader::ParseString(
+    const std::string& content) {
+  return ParseString(content, Options());
+}
+
+StatusOr<std::vector<std::vector<std::string>>> CsvReader::ReadFile(
+    const std::string& path, const Options& options) {
+  std::ifstream in(path);
+  if (!in) {
+    return Status::NotFound("cannot open file: " + path);
+  }
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  return ParseString(buffer.str(), options);
+}
+
+std::vector<std::vector<std::string>> CsvReader::ParseString(
+    const std::string& content, const Options& options) {
+  std::vector<std::vector<std::string>> rows;
+  std::size_t pos = 0;
+  int remaining_skips = options.skip_rows;
+  while (pos <= content.size()) {
+    std::size_t eol = content.find('\n', pos);
+    if (eol == std::string::npos) eol = content.size();
+    std::string_view line(content.data() + pos, eol - pos);
+    pos = eol + 1;
+    if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+    const std::string_view trimmed = Trim(line);
+    if (trimmed.empty()) {
+      if (pos > content.size()) break;
+      continue;
+    }
+    if (trimmed.front() == options.comment_char) continue;
+    if (remaining_skips > 0) {
+      --remaining_skips;
+      continue;
+    }
+    rows.push_back(Split(line, options.delimiter));
+  }
+  return rows;
+}
+
+void CsvWriter::AddRow(const std::vector<std::string>& fields) {
+  for (std::size_t i = 0; i < fields.size(); ++i) {
+    if (i > 0) content_ += delimiter_;
+    content_ += fields[i];
+  }
+  content_ += '\n';
+}
+
+Status CsvWriter::WriteFile(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) {
+    return Status::Internal("cannot open file for writing: " + path);
+  }
+  out << content_;
+  if (!out) {
+    return Status::DataLoss("short write to: " + path);
+  }
+  return Status::Ok();
+}
+
+}  // namespace groupform::common

@@ -1,0 +1,58 @@
+#ifndef GROUPFORM_COMMON_CSV_H_
+#define GROUPFORM_COMMON_CSV_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace groupform::common {
+
+/// Minimal delimiter-separated-value reader used by the dataset loaders.
+/// Supports arbitrary single-char delimiters (MovieLens dumps use "::"
+/// which the data layer normalises first), comment lines, and header
+/// skipping. Quoting is not supported: ratings dumps are plain numeric.
+class CsvReader {
+ public:
+  struct Options {
+    char delimiter = ',';
+    /// Lines starting with this character (after trimming) are skipped.
+    char comment_char = '#';
+    /// Number of leading non-comment lines to skip (e.g. a header row).
+    int skip_rows = 0;
+  };
+
+  /// Parses the whole file into rows of string fields.
+  static StatusOr<std::vector<std::vector<std::string>>> ReadFile(
+      const std::string& path, const Options& options);
+  static StatusOr<std::vector<std::vector<std::string>>> ReadFile(
+      const std::string& path);
+
+  /// Parses an in-memory buffer (used by tests).
+  static std::vector<std::vector<std::string>> ParseString(
+      const std::string& content, const Options& options);
+  static std::vector<std::vector<std::string>> ParseString(
+      const std::string& content);
+};
+
+/// Row-at-a-time CSV writer.
+class CsvWriter {
+ public:
+  explicit CsvWriter(char delimiter = ',') : delimiter_(delimiter) {}
+
+  void AddRow(const std::vector<std::string>& fields);
+
+  /// Serialised content accumulated so far.
+  const std::string& content() const { return content_; }
+
+  /// Writes the accumulated content to `path`.
+  Status WriteFile(const std::string& path) const;
+
+ private:
+  char delimiter_;
+  std::string content_;
+};
+
+}  // namespace groupform::common
+
+#endif  // GROUPFORM_COMMON_CSV_H_

@@ -1,0 +1,40 @@
+#ifndef GROUPFORM_COMMON_HASH_H_
+#define GROUPFORM_COMMON_HASH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace groupform::common {
+
+/// Mixes `value`'s hash into `seed` (boost::hash_combine recipe with a
+/// 64-bit golden-ratio constant). Used to key bucket maps on top-k item
+/// sequences plus score vectors.
+inline void HashCombine(std::size_t& seed, std::size_t value) {
+  seed ^= value + 0x9e3779b97f4a7c15ULL + (seed << 6) + (seed >> 2);
+}
+
+template <typename T>
+inline void HashCombineValue(std::size_t& seed, const T& value) {
+  HashCombine(seed, std::hash<T>{}(value));
+}
+
+/// Hash of a contiguous range of hashable values.
+template <typename It>
+std::size_t HashRange(It first, It last) {
+  std::size_t seed = 0x51ed2701a4f3c7b9ULL;
+  for (It it = first; it != last; ++it) {
+    HashCombineValue(seed, *it);
+  }
+  return seed;
+}
+
+template <typename T>
+std::size_t HashVector(const std::vector<T>& v) {
+  return HashRange(v.begin(), v.end());
+}
+
+}  // namespace groupform::common
+
+#endif  // GROUPFORM_COMMON_HASH_H_

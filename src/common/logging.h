@@ -1,0 +1,77 @@
+#ifndef GROUPFORM_COMMON_LOGGING_H_
+#define GROUPFORM_COMMON_LOGGING_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+
+namespace groupform::common {
+
+enum class LogSeverity { kInfo = 0, kWarning = 1, kError = 2, kFatal = 3 };
+
+/// Minimum severity actually emitted; default kInfo. Benchmarks raise this
+/// to kWarning to keep tables clean.
+LogSeverity MinLogSeverity();
+void SetMinLogSeverity(LogSeverity severity);
+
+/// One log statement. Streams into an internal buffer and writes a single
+/// line to stderr on destruction; kFatal aborts the process afterwards.
+class LogMessage {
+ public:
+  LogMessage(LogSeverity severity, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  LogSeverity severity_;
+  std::ostringstream stream_;
+};
+
+/// Swallows a log stream when the severity is below the emission threshold.
+struct LogMessageVoidify {
+  void operator&(std::ostream&) {}
+};
+
+}  // namespace groupform::common
+
+#define GF_LOG_INFO \
+  ::groupform::common::LogMessage( \
+      ::groupform::common::LogSeverity::kInfo, __FILE__, __LINE__)
+#define GF_LOG_WARNING \
+  ::groupform::common::LogMessage( \
+      ::groupform::common::LogSeverity::kWarning, __FILE__, __LINE__)
+#define GF_LOG_ERROR \
+  ::groupform::common::LogMessage( \
+      ::groupform::common::LogSeverity::kError, __FILE__, __LINE__)
+#define GF_LOG_FATAL \
+  ::groupform::common::LogMessage( \
+      ::groupform::common::LogSeverity::kFatal, __FILE__, __LINE__)
+
+/// GF_LOG(INFO) << "..." — severity is one of INFO/WARNING/ERROR/FATAL.
+#define GF_LOG(severity) GF_LOG_##severity.stream()
+
+/// Always-on invariant check; logs the failed condition and aborts.
+#define GF_CHECK(cond)                                      \
+  (cond) ? (void)0                                          \
+         : ::groupform::common::LogMessageVoidify() &       \
+               GF_LOG(FATAL) << "Check failed: " #cond " "
+
+#define GF_CHECK_EQ(a, b) GF_CHECK((a) == (b))
+#define GF_CHECK_NE(a, b) GF_CHECK((a) != (b))
+#define GF_CHECK_LT(a, b) GF_CHECK((a) < (b))
+#define GF_CHECK_LE(a, b) GF_CHECK((a) <= (b))
+#define GF_CHECK_GT(a, b) GF_CHECK((a) > (b))
+#define GF_CHECK_GE(a, b) GF_CHECK((a) >= (b))
+
+/// Debug-only check; compiles out in NDEBUG builds.
+#ifdef NDEBUG
+#define GF_DCHECK(cond) GF_CHECK(true)
+#else
+#define GF_DCHECK(cond) GF_CHECK(cond)
+#endif
+
+#endif  // GROUPFORM_COMMON_LOGGING_H_

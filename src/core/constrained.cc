@@ -1,0 +1,204 @@
+#include "core/constrained.h"
+
+#include <algorithm>
+#include <limits>
+#include <vector>
+
+#include "common/strings.h"
+#include "core/greedy.h"
+
+namespace groupform::core {
+
+using common::Status;
+using common::StatusOr;
+using common::StrFormat;
+
+Status SizeConstraints::Validate(const FormationProblem& problem) const {
+  GF_RETURN_IF_ERROR(problem.Validate());
+  if (min_group_size < 1) {
+    return Status::InvalidArgument("min_group_size must be >= 1");
+  }
+  if (max_group_size < 0) {
+    return Status::InvalidArgument("max_group_size must be >= 0");
+  }
+  if (max_group_size > 0 && max_group_size < min_group_size) {
+    return Status::InvalidArgument(
+        StrFormat("max_group_size %d < min_group_size %d", max_group_size,
+                  min_group_size));
+  }
+  const std::int64_t n = problem.matrix->num_users();
+  if (n < min_group_size) {
+    return Status::InvalidArgument(
+        StrFormat("%lld users cannot form any group of >= %d members",
+                  static_cast<long long>(n), min_group_size));
+  }
+  if (max_group_size > 0 &&
+      static_cast<std::int64_t>(max_group_size) * problem.max_groups < n) {
+    return Status::InvalidArgument(StrFormat(
+        "%d groups of <= %d members cannot hold %lld users",
+        problem.max_groups, max_group_size, static_cast<long long>(n)));
+  }
+  return Status::Ok();
+}
+
+namespace {
+
+/// Mean own-rating of `members` for the items of `list` under the
+/// problem's missing policy — the affinity used to choose merge targets.
+double MeanAffinity(const FormationProblem& problem,
+                    const std::vector<UserId>& members,
+                    const grouprec::GroupTopK& list) {
+  if (members.empty() || list.empty()) return 0.0;
+  const double r_min = problem.matrix->scale().min;
+  double total = 0.0;
+  for (UserId u : members) {
+    for (const auto& si : list.items) {
+      total += problem.matrix->GetRatingOr(
+          u, si.item,
+          problem.missing == grouprec::MissingRatingPolicy::kZero ? 0.0
+                                                                  : r_min);
+    }
+  }
+  return total / static_cast<double>(members.size() * list.size());
+}
+
+}  // namespace
+
+StatusOr<FormationResult> RunSizeConstrainedGreedy(
+    const FormationProblem& problem, const SizeConstraints& constraints) {
+  GF_RETURN_IF_ERROR(constraints.Validate(problem));
+  GF_ASSIGN_OR_RETURN(FormationResult seed, RunGreedy(problem));
+  const grouprec::GroupScorer scorer = problem.MakeScorer();
+
+  // Work on plain member lists; scores are recomputed at the end.
+  std::vector<std::vector<UserId>> groups;
+  groups.reserve(seed.groups.size());
+  for (auto& g : seed.groups) groups.push_back(std::move(g.members));
+
+  // ---- Split oversized groups while spare slots exist ----
+  if (constraints.max_group_size > 0) {
+    const std::size_t cap =
+        static_cast<std::size_t>(constraints.max_group_size);
+    bool progress = true;
+    while (progress) {
+      progress = false;
+      for (std::size_t g = 0; g < groups.size(); ++g) {
+        if (groups[g].size() <= cap) continue;
+        if (static_cast<int>(groups.size()) >= problem.max_groups) break;
+        // Carve a full-capacity part off the back (user ids stay sorted).
+        std::vector<UserId> carved(groups[g].end() -
+                                       static_cast<std::ptrdiff_t>(cap),
+                                   groups[g].end());
+        groups[g].resize(groups[g].size() - cap);
+        groups.push_back(std::move(carved));
+        progress = true;
+      }
+    }
+    // When no spare slots remain, rebalance overflow into groups with
+    // free capacity (feasibility is guaranteed by Validate: n fits in
+    // max_groups * cap seats).
+    for (std::size_t g = 0; g < groups.size(); ++g) {
+      while (groups[g].size() > cap) {
+        std::size_t target = groups.size();
+        for (std::size_t h = 0; h < groups.size(); ++h) {
+          if (h != g && groups[h].size() < cap) {
+            target = h;
+            break;
+          }
+        }
+        if (target == groups.size()) {
+          if (static_cast<int>(groups.size()) < problem.max_groups) {
+            groups.push_back({});
+            target = groups.size() - 1;
+          } else {
+            return Status::FailedPrecondition(StrFormat(
+                "cannot satisfy max_group_size=%d within %d groups",
+                constraints.max_group_size, problem.max_groups));
+          }
+        }
+        auto& overflow = groups[g];
+        auto& receiver = groups[target];
+        receiver.insert(std::lower_bound(receiver.begin(), receiver.end(),
+                                         overflow.back()),
+                        overflow.back());
+        overflow.pop_back();
+      }
+    }
+  }
+
+  // ---- Merge undersized groups into their best-matching larger group ----
+  if (constraints.min_group_size > 1) {
+    bool progress = true;
+    while (progress) {
+      progress = false;
+      // Smallest group first.
+      std::size_t smallest = groups.size();
+      for (std::size_t g = 0; g < groups.size(); ++g) {
+        if (static_cast<int>(groups[g].size()) <
+                constraints.min_group_size &&
+            (smallest == groups.size() ||
+             groups[g].size() < groups[smallest].size())) {
+          smallest = g;
+        }
+      }
+      if (smallest == groups.size()) break;  // all satisfy the minimum
+
+      // Merge target: highest mean affinity of the undersized members to
+      // the target's current recommended list, subject to capacity.
+      double best_affinity = -std::numeric_limits<double>::infinity();
+      std::size_t best_target = groups.size();
+      for (std::size_t g = 0; g < groups.size(); ++g) {
+        if (g == smallest) continue;
+        if (constraints.max_group_size > 0 &&
+            static_cast<int>(groups[g].size() + groups[smallest].size()) >
+                constraints.max_group_size) {
+          continue;
+        }
+        const auto list = ComputeGroupList(problem, scorer, groups[g]);
+        const double affinity =
+            MeanAffinity(problem, groups[smallest], list);
+        if (affinity > best_affinity) {
+          best_affinity = affinity;
+          best_target = g;
+        }
+      }
+      if (best_target == groups.size()) {
+        return Status::FailedPrecondition(StrFormat(
+            "cannot reach min_group_size=%d under max_group_size=%d",
+            constraints.min_group_size, constraints.max_group_size));
+      }
+      auto& target = groups[best_target];
+      target.insert(target.end(), groups[smallest].begin(),
+                    groups[smallest].end());
+      std::sort(target.begin(), target.end());
+      groups.erase(groups.begin() +
+                   static_cast<std::ptrdiff_t>(smallest));
+      progress = true;
+    }
+  }
+
+  // ---- Re-score the repaired partition honestly ----
+  FormationResult result;
+  result.algorithm = StrFormat(
+      "%s [size %d..%s]",
+      GreedyFormer::AlgorithmName(problem).c_str(),
+      constraints.min_group_size,
+      constraints.max_group_size > 0
+          ? StrFormat("%d", constraints.max_group_size).c_str()
+          : "inf");
+  for (auto& members : groups) {
+    if (members.empty()) continue;
+    FormedGroup group;
+    group.members = std::move(members);
+    group.recommendation =
+        ComputeGroupList(problem, scorer, group.members);
+    group.satisfaction = AggregateListSatisfaction(
+        problem, static_cast<int>(group.members.size()),
+        group.recommendation);
+    result.objective += group.satisfaction;
+    result.groups.push_back(std::move(group));
+  }
+  return result;
+}
+
+}  // namespace groupform::core

@@ -1,0 +1,42 @@
+#ifndef GROUPFORM_CORE_CONSTRAINED_H_
+#define GROUPFORM_CORE_CONSTRAINED_H_
+
+#include "common/status.h"
+#include "core/formation.h"
+
+namespace groupform::core {
+
+/// Group-size constraints for deployments where group capacity is
+/// physical (a tour bus, a listening room): every formed group must have
+/// between min_group_size and max_group_size members.
+struct SizeConstraints {
+  int min_group_size = 1;
+  /// 0 = unbounded.
+  int max_group_size = 0;
+
+  common::Status Validate(const FormationProblem& problem) const;
+};
+
+/// Forms groups with the greedy algorithm and then repairs size
+/// violations:
+///
+///   * oversized groups are split into capacity-sized parts — free under
+///     LM (every subset of a greedy bucket keeps its score) and
+///     score-redistributing under AV — as long as spare group slots exist;
+///     when slots run out the split stops and the group stays oversized
+///     only if max_group_size cannot be met at all (reported as an error);
+///   * undersized groups are merged into the nearest larger group (the
+///     one whose recommended list the undersized members like most, by
+///     mean own-rating), and the merged group is re-scored.
+///
+/// The repaired partition is re-scored honestly: the returned objective is
+/// the true objective of the constrained partition, which can be below
+/// the unconstrained greedy's. Fails with INVALID_ARGUMENT when the
+/// constraints are unsatisfiable (n < min_group_size, or
+/// min_group_size * 1 > n, or max_group_size * max_groups < n).
+common::StatusOr<FormationResult> RunSizeConstrainedGreedy(
+    const FormationProblem& problem, const SizeConstraints& constraints);
+
+}  // namespace groupform::core
+
+#endif  // GROUPFORM_CORE_CONSTRAINED_H_

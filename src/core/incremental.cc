@@ -1,0 +1,109 @@
+#include "core/incremental.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "common/strings.h"
+#include "recsys/preference_lists.h"
+
+namespace groupform::core {
+
+using common::Status;
+using common::StatusOr;
+
+IncrementalFormer::IncrementalFormer(const FormationProblem& problem)
+    : problem_(problem) {
+  const auto status = problem_.Validate();
+  GF_CHECK(status.ok()) << status.ToString();
+  users_.resize(static_cast<std::size_t>(problem_.matrix->num_users()));
+}
+
+Status IncrementalFormer::AddUser(UserId user) {
+  if (user < 0 || user >= problem_.matrix->num_users()) {
+    return Status::OutOfRange(common::StrFormat("user %d out of range",
+                                                user));
+  }
+  UserState& state = users_[static_cast<std::size_t>(user)];
+  if (state.active) {
+    return Status::FailedPrecondition(
+        common::StrFormat("user %d is already active", user));
+  }
+  const auto topk = recsys::TopKList(*problem_.matrix, user, problem_.k);
+  state.key = MakeBucketKey(problem_, topk);
+  Bucket& bucket = buckets_[state.key];
+  AccumulateMember(problem_, topk, bucket);
+  // Keep members sorted so formation output is independent of insertion
+  // order (matching GreedyFormer, which visits users in id order).
+  bucket.members.insert(
+      std::lower_bound(bucket.members.begin(), bucket.members.end(), user),
+      user);
+  state.active = true;
+  ++num_active_;
+  return Status::Ok();
+}
+
+void IncrementalFormer::AddAllUsers() {
+  for (UserId u = 0; u < problem_.matrix->num_users(); ++u) {
+    if (!users_[static_cast<std::size_t>(u)].active) {
+      GF_CHECK(AddUser(u).ok());
+    }
+  }
+}
+
+Status IncrementalFormer::RemoveUser(UserId user) {
+  if (user < 0 || user >= problem_.matrix->num_users()) {
+    return Status::OutOfRange(common::StrFormat("user %d out of range",
+                                                user));
+  }
+  UserState& state = users_[static_cast<std::size_t>(user)];
+  if (!state.active) {
+    return Status::FailedPrecondition(
+        common::StrFormat("user %d is not active", user));
+  }
+  const auto it = buckets_.find(state.key);
+  GF_CHECK(it != buckets_.end());
+  Bucket& bucket = it->second;
+  bucket.members.erase(std::find(bucket.members.begin(),
+                                 bucket.members.end(), user));
+  if (bucket.members.empty()) {
+    buckets_.erase(it);
+  } else {
+    // Re-accumulate the per-position scores from the remaining members:
+    // an LM minimum cannot be decremented, and an AV sum re-add is just
+    // as cheap as a subtraction while staying float-drift-free.
+    const std::vector<UserId> members = bucket.members;
+    bucket.members.clear();
+    bucket.seq_items.clear();
+    bucket.seq_scores.clear();
+    for (UserId member : members) {
+      const auto topk =
+          recsys::TopKList(*problem_.matrix, member, problem_.k);
+      AccumulateMember(problem_, topk, bucket);
+      bucket.members.push_back(member);
+    }
+  }
+  state.active = false;
+  --num_active_;
+  return Status::Ok();
+}
+
+StatusOr<FormationResult> IncrementalFormer::Form() const {
+  if (num_active_ == 0) {
+    return Status::FailedPrecondition("no active users to form groups of");
+  }
+  const grouprec::GroupScorer scorer = problem_.MakeScorer();
+  std::vector<std::pair<double, const Bucket*>> scored;
+  scored.reserve(buckets_.size());
+  for (const auto& [key, bucket] : buckets_) {
+    scored.emplace_back(BucketScore(problem_, bucket), &bucket);
+  }
+  FormationResult result =
+      SelectAndAssemble(problem_, scorer, std::move(scored));
+  result.algorithm =
+      common::StrFormat("INC-%s-%s",
+                        grouprec::SemanticsToString(problem_.semantics),
+                        grouprec::AggregationToString(problem_.aggregation));
+  return result;
+}
+
+}  // namespace groupform::core

@@ -1,0 +1,85 @@
+#include "core/overlap.h"
+
+#include <algorithm>
+
+#include "common/strings.h"
+#include "grouprec/weighted.h"
+
+namespace groupform::core {
+
+using common::Status;
+using common::StatusOr;
+
+StatusOr<OverlappingResult> ExpandWithOverlaps(
+    const FormationProblem& problem, const FormationResult& result,
+    const OverlapOptions& options) {
+  GF_RETURN_IF_ERROR(ValidatePartition(problem, result));
+  if (options.max_extra_memberships < 0) {
+    return Status::InvalidArgument("max_extra_memberships must be >= 0");
+  }
+  if (options.min_ndcg < 0.0 || options.min_ndcg > 1.0) {
+    return Status::InvalidArgument(common::StrFormat(
+        "min_ndcg must be in [0, 1], got %g", options.min_ndcg));
+  }
+  const data::RatingMatrix& matrix = *problem.matrix;
+
+  // Pre-extract every group's recommended item list once.
+  std::vector<std::vector<ItemId>> lists(result.groups.size());
+  for (std::size_t g = 0; g < result.groups.size(); ++g) {
+    for (const auto& si : result.groups[g].recommendation.items) {
+      lists[g].push_back(si.item);
+    }
+  }
+
+  OverlappingResult out;
+  out.memberships.resize(static_cast<std::size_t>(matrix.num_users()));
+  double best_sum = 0.0;
+  std::int64_t users = 0;
+  for (std::size_t home = 0; home < result.groups.size(); ++home) {
+    for (UserId u : result.groups[home].members) {
+      auto& mine = out.memberships[static_cast<std::size_t>(u)];
+      mine.push_back(static_cast<GroupId>(home));
+      const double home_ndcg = grouprec::UserNdcg(
+          matrix, u, lists[home], problem.k, problem.missing);
+
+      // Candidate extra groups, best NDCG first, deterministic ties.
+      std::vector<std::pair<double, GroupId>> candidates;
+      for (std::size_t g = 0; g < result.groups.size(); ++g) {
+        if (g == home) continue;
+        const double ndcg = grouprec::UserNdcg(matrix, u, lists[g],
+                                               problem.k, problem.missing);
+        if (ndcg >= options.min_ndcg) {
+          candidates.emplace_back(ndcg, static_cast<GroupId>(g));
+        }
+      }
+      std::sort(candidates.begin(), candidates.end(),
+                [](const auto& a, const auto& b) {
+                  if (a.first != b.first) return a.first > b.first;
+                  return a.second < b.second;
+                });
+      double best = home_ndcg;
+      bool improved = false;
+      for (std::size_t i = 0;
+           i < candidates.size() &&
+           static_cast<int>(i) < options.max_extra_memberships;
+           ++i) {
+        mine.push_back(candidates[i].second);
+        if (candidates[i].first > best + 1e-12) {
+          best = candidates[i].first;
+          improved = true;
+        }
+      }
+      if (improved) ++out.users_improved;
+      best_sum += best;
+      out.mean_memberships += static_cast<double>(mine.size());
+      ++users;
+    }
+  }
+  if (users > 0) {
+    out.mean_memberships /= static_cast<double>(users);
+    out.mean_best_ndcg = best_sum / static_cast<double>(users);
+  }
+  return out;
+}
+
+}  // namespace groupform::core

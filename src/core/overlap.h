@@ -1,0 +1,47 @@
+#ifndef GROUPFORM_CORE_OVERLAP_H_
+#define GROUPFORM_CORE_OVERLAP_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "core/formation.h"
+
+namespace groupform::core {
+
+/// The paper's §9 future-work item "groups that are possibly overlapping",
+/// implemented as a post-pass over any disjoint FormationResult: each user
+/// keeps their home group and may additionally join up to
+/// `max_extra_memberships` other groups whose recommended list they
+/// already like (NDCG@k against their personal ideal list at or above
+/// `min_ndcg`). Joining is evaluation-only — the extra member consumes the
+/// same recommended list, so no group's satisfaction score changes and the
+/// original objective remains valid; what improves is per-user coverage.
+struct OverlapOptions {
+  /// Additional groups a user may join beyond their home group.
+  int max_extra_memberships = 1;
+  /// Minimum NDCG@k of the user against a group's list to join it.
+  double min_ndcg = 0.75;
+};
+
+struct OverlappingResult {
+  /// memberships[u] lists the groups of user u; the home group (from the
+  /// disjoint partition) is always first.
+  std::vector<std::vector<GroupId>> memberships;
+  /// Average number of groups per user (>= 1).
+  double mean_memberships = 0.0;
+  /// Mean over users of the best NDCG across their groups; never below
+  /// the disjoint partition's MeanUserNdcg.
+  double mean_best_ndcg = 0.0;
+  /// Users whose best list comes from an *extra* membership.
+  std::int64_t users_improved = 0;
+};
+
+/// Expands `result` (a valid disjoint partition of `problem`) with
+/// overlapping memberships. Fails on invalid inputs.
+common::StatusOr<OverlappingResult> ExpandWithOverlaps(
+    const FormationProblem& problem, const FormationResult& result,
+    const OverlapOptions& options);
+
+}  // namespace groupform::core
+
+#endif  // GROUPFORM_CORE_OVERLAP_H_

@@ -1,0 +1,84 @@
+#include "data/dataset_stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/strings.h"
+
+namespace groupform::data {
+
+FivePointSummary Summarize(std::vector<double> values) {
+  FivePointSummary s;
+  if (values.empty()) return s;
+  std::sort(values.begin(), values.end());
+  const auto quantile = [&](double q) {
+    const double pos = q * static_cast<double>(values.size() - 1);
+    const std::size_t lo = static_cast<std::size_t>(std::floor(pos));
+    const std::size_t hi = static_cast<std::size_t>(std::ceil(pos));
+    const double frac = pos - static_cast<double>(lo);
+    return values[lo] * (1.0 - frac) + values[hi] * frac;
+  };
+  s.min = values.front();
+  s.q1 = quantile(0.25);
+  s.median = quantile(0.5);
+  s.q3 = quantile(0.75);
+  s.max = values.back();
+  return s;
+}
+
+DatasetStats ComputeStats(const RatingMatrix& matrix, std::string name) {
+  DatasetStats stats;
+  stats.name = std::move(name);
+  stats.num_users = matrix.num_users();
+  stats.num_items = matrix.num_items();
+  stats.num_ratings = matrix.num_ratings();
+  stats.density = matrix.Density();
+
+  std::vector<double> per_user;
+  per_user.reserve(static_cast<std::size_t>(matrix.num_users()));
+  std::vector<double> per_item(static_cast<std::size_t>(matrix.num_items()),
+                               0.0);
+  double rating_sum = 0.0;
+  for (UserId u = 0; u < matrix.num_users(); ++u) {
+    const auto row = matrix.RatingsOf(u);
+    per_user.push_back(static_cast<double>(row.size()));
+    for (const auto& entry : row) {
+      per_item[static_cast<std::size_t>(entry.item)] += 1.0;
+      rating_sum += entry.rating;
+      stats.rating_histogram[static_cast<int>(std::lround(entry.rating))]++;
+    }
+  }
+  stats.mean_rating = matrix.num_ratings() > 0
+                          ? rating_sum / static_cast<double>(
+                                             matrix.num_ratings())
+                          : 0.0;
+  stats.ratings_per_user = Summarize(std::move(per_user));
+  stats.ratings_per_item = Summarize(std::move(per_item));
+  return stats;
+}
+
+std::string StatsToString(const DatasetStats& stats) {
+  using common::StrFormat;
+  std::string out;
+  out += StrFormat("dataset: %s\n", stats.name.c_str());
+  out += StrFormat("  users: %d  items: %d  ratings: %lld  density: %.5f\n",
+                   stats.num_users, stats.num_items,
+                   static_cast<long long>(stats.num_ratings), stats.density);
+  out += StrFormat("  mean rating: %.3f\n", stats.mean_rating);
+  const auto& pu = stats.ratings_per_user;
+  out += StrFormat(
+      "  ratings/user: min=%.0f q1=%.0f median=%.0f q3=%.0f max=%.0f\n",
+      pu.min, pu.q1, pu.median, pu.q3, pu.max);
+  const auto& pi = stats.ratings_per_item;
+  out += StrFormat(
+      "  ratings/item: min=%.0f q1=%.0f median=%.0f q3=%.0f max=%.0f\n",
+      pi.min, pi.q1, pi.median, pi.q3, pi.max);
+  out += "  rating histogram:";
+  for (const auto& [value, count] : stats.rating_histogram) {
+    out += StrFormat(" %d:%lld", value, static_cast<long long>(count));
+  }
+  out += '\n';
+  return out;
+}
+
+}  // namespace groupform::data

@@ -1,0 +1,49 @@
+#ifndef GROUPFORM_DATA_DATASET_STATS_H_
+#define GROUPFORM_DATA_DATASET_STATS_H_
+
+#include <map>
+#include <string>
+
+#include "data/rating_matrix.h"
+
+namespace groupform::data {
+
+/// Five-point summary (min / Q1 / median / Q3 / max) of a sample; the paper
+/// uses this presentation for group-size distributions (Table 4) and we
+/// reuse it for per-user rating counts in the dataset report (Table 3).
+struct FivePointSummary {
+  double min = 0.0;
+  double q1 = 0.0;
+  double median = 0.0;
+  double q3 = 0.0;
+  double max = 0.0;
+};
+
+/// Computes the five-point summary of `values` (need not be sorted).
+/// Quartiles use linear interpolation between order statistics.
+FivePointSummary Summarize(std::vector<double> values);
+
+/// Descriptive statistics of a rating matrix (paper Table 3 plus the
+/// sparsity facts the Webscope README reports).
+struct DatasetStats {
+  std::string name;
+  std::int32_t num_users = 0;
+  std::int32_t num_items = 0;
+  std::int64_t num_ratings = 0;
+  double density = 0.0;
+  double mean_rating = 0.0;
+  FivePointSummary ratings_per_user;
+  FivePointSummary ratings_per_item;
+  /// Count of observations per integral rating value (bucketed by rounding).
+  std::map<int, std::int64_t> rating_histogram;
+};
+
+/// Scans the matrix once and fills every field above.
+DatasetStats ComputeStats(const RatingMatrix& matrix, std::string name);
+
+/// Multi-line human-readable report of the stats.
+std::string StatsToString(const DatasetStats& stats);
+
+}  // namespace groupform::data
+
+#endif  // GROUPFORM_DATA_DATASET_STATS_H_

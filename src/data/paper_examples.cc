@@ -1,0 +1,67 @@
+#include "data/paper_examples.h"
+
+#include "common/logging.h"
+
+namespace groupform::data {
+namespace {
+
+/// The paper's tables list users as columns and items as rows; transpose
+/// into the row-per-user layout RatingMatrix expects.
+RatingMatrix FromItemRows(const std::vector<std::vector<Rating>>& item_rows) {
+  const std::size_t num_items = item_rows.size();
+  const std::size_t num_users = item_rows.empty() ? 0 : item_rows[0].size();
+  std::vector<std::vector<Rating>> user_rows(
+      num_users, std::vector<Rating>(num_items, 0.0));
+  for (std::size_t i = 0; i < num_items; ++i) {
+    GF_CHECK_EQ(item_rows[i].size(), num_users);
+    for (std::size_t u = 0; u < num_users; ++u) {
+      user_rows[u][i] = item_rows[i][u];
+    }
+  }
+  auto matrix = RatingMatrix::FromDense(user_rows, RatingScale{1.0, 5.0});
+  GF_CHECK(matrix.ok());
+  return std::move(matrix).value();
+}
+
+}  // namespace
+
+RatingMatrix PaperExample1() {
+  return FromItemRows({
+      {1, 2, 2, 2, 3, 1},  // i1
+      {4, 3, 5, 5, 1, 2},  // i2
+      {3, 5, 1, 1, 1, 5},  // i3
+  });
+}
+
+RatingMatrix PaperExample2() {
+  return FromItemRows({
+      {3, 1, 2, 2, 1, 3},  // i1
+      {1, 4, 5, 5, 2, 2},  // i2
+      {4, 3, 1, 1, 3, 1},  // i3
+  });
+}
+
+RatingMatrix PaperExample3() {
+  return FromItemRows({
+      {5, 1},  // i1
+      {4, 4},  // i2
+      {1, 5},  // i3
+  });
+}
+
+RatingMatrix PaperExample4() {
+  return FromItemRows({
+      {5, 4, 4, 3},  // i1
+      {4, 5, 5, 2},  // i2
+  });
+}
+
+RatingMatrix PaperExample5() {
+  return FromItemRows({
+      {1, 2, 2, 2, 2, 1},  // i1
+      {4, 3, 5, 5, 4, 2},  // i2
+      {3, 5, 1, 1, 3, 5},  // i3
+  });
+}
+
+}  // namespace groupform::data

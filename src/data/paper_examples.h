@@ -1,0 +1,43 @@
+#ifndef GROUPFORM_DATA_PAPER_EXAMPLES_H_
+#define GROUPFORM_DATA_PAPER_EXAMPLES_H_
+
+#include "data/rating_matrix.h"
+
+namespace groupform::data {
+
+/// The running examples of the paper, used by the golden tests and the
+/// quickstart example. All are 6 users x 3 items on a 1..5 integer scale.
+
+/// Table 1 (Example 1): partition into at most 3 groups.
+///        u1 u2 u3 u4 u5 u6
+///   i1    1  2  2  2  3  1
+///   i2    4  3  5  5  1  2
+///   i3    3  5  1  1  1  5
+RatingMatrix PaperExample1();
+
+/// Table 2 (Example 2): partition into at most 2 groups.
+///        u1 u2 u3 u4 u5 u6
+///   i1    3  1  2  2  1  3
+///   i2    1  4  5  5  2  2
+///   i3    4  3  1  1  3  1
+RatingMatrix PaperExample2();
+
+/// Example 3 (§4.1): two users over three items showing that grouping on
+/// the shared bottom item alone is a poor LM strategy when k > 1.
+///   u1 = (5, 4, 1), u2 = (1, 4, 5)
+RatingMatrix PaperExample3();
+
+/// Example 4 (§5.1): four users over two items showing AV's counterintuitive
+/// grouping behaviour. u1 = (5,4), u2 = u3 = (4,5), u4 = (3,2).
+RatingMatrix PaperExample4();
+
+/// Table 5 (Example 5, Appendix B): GRD-LM-SUM suboptimality witness.
+///        u1 u2 u3 u4 u5 u6
+///   i1    1  2  2  2  2  1
+///   i2    4  3  5  5  4  2
+///   i3    3  5  1  1  3  5
+RatingMatrix PaperExample5();
+
+}  // namespace groupform::data
+
+#endif  // GROUPFORM_DATA_PAPER_EXAMPLES_H_

@@ -1,0 +1,127 @@
+#include "data/rating_matrix.h"
+
+#include <algorithm>
+
+#include "common/strings.h"
+
+namespace groupform::data {
+
+using common::Status;
+using common::StatusOr;
+using common::StrFormat;
+
+StatusOr<RatingMatrix> RatingMatrix::FromDense(
+    const std::vector<std::vector<Rating>>& dense, RatingScale scale) {
+  const std::int32_t num_users = static_cast<std::int32_t>(dense.size());
+  const std::int32_t num_items =
+      dense.empty() ? 0 : static_cast<std::int32_t>(dense[0].size());
+  RatingMatrixBuilder builder(num_users, num_items, scale);
+  for (std::int32_t u = 0; u < num_users; ++u) {
+    if (static_cast<std::int32_t>(dense[u].size()) != num_items) {
+      return Status::InvalidArgument(
+          StrFormat("ragged dense matrix: row %d has %zu items, expected %d",
+                    u, dense[u].size(), num_items));
+    }
+    for (std::int32_t i = 0; i < num_items; ++i) {
+      GF_RETURN_IF_ERROR(builder.AddRating(u, i, dense[u][i]));
+    }
+  }
+  return std::move(builder).Build();
+}
+
+std::optional<Rating> RatingMatrix::GetRating(UserId user, ItemId item) const {
+  const auto row = RatingsOf(user);
+  const auto it = std::lower_bound(
+      row.begin(), row.end(), item,
+      [](const RatingEntry& e, ItemId id) { return e.item < id; });
+  if (it != row.end() && it->item == item) return it->rating;
+  return std::nullopt;
+}
+
+double RatingMatrix::Density() const {
+  const double cells =
+      static_cast<double>(num_users()) * static_cast<double>(num_items());
+  if (cells == 0.0) return 0.0;
+  return static_cast<double>(num_ratings()) / cells;
+}
+
+StatusOr<RatingMatrix> RatingMatrix::SubsetUsers(
+    const std::vector<UserId>& users) const {
+  std::vector<bool> seen(static_cast<std::size_t>(num_users()), false);
+  RatingMatrix out;
+  out.num_items_ = num_items_;
+  out.scale_ = scale_;
+  out.row_offsets_.reserve(users.size() + 1);
+  out.row_offsets_.push_back(0);
+  for (UserId u : users) {
+    if (u < 0 || u >= num_users()) {
+      return Status::OutOfRange(StrFormat("user %d out of range", u));
+    }
+    if (seen[static_cast<std::size_t>(u)]) {
+      return Status::InvalidArgument(StrFormat("duplicate user %d", u));
+    }
+    seen[static_cast<std::size_t>(u)] = true;
+    const auto row = RatingsOf(u);
+    out.entries_.insert(out.entries_.end(), row.begin(), row.end());
+    out.row_offsets_.push_back(out.entries_.size());
+  }
+  return out;
+}
+
+RatingMatrixBuilder::RatingMatrixBuilder(std::int32_t num_users,
+                                         std::int32_t num_items,
+                                         RatingScale scale)
+    : num_users_(num_users), num_items_(num_items), scale_(scale) {}
+
+Status RatingMatrixBuilder::AddRating(UserId user, ItemId item,
+                                      Rating rating) {
+  if (user < 0 || user >= num_users_) {
+    return Status::OutOfRange(
+        StrFormat("user %d outside [0, %d)", user, num_users_));
+  }
+  if (item < 0 || item >= num_items_) {
+    return Status::OutOfRange(
+        StrFormat("item %d outside [0, %d)", item, num_items_));
+  }
+  if (!scale_.Contains(rating)) {
+    return Status::InvalidArgument(
+        StrFormat("rating %g outside scale [%g, %g]", rating, scale_.min,
+                  scale_.max));
+  }
+  triplets_.push_back({user, item, rating});
+  return Status::Ok();
+}
+
+RatingMatrix RatingMatrixBuilder::Build() && {
+  // Stable sort by (user, item); for duplicates the *last* inserted wins,
+  // so iterate duplicates back-to-front below.
+  std::stable_sort(triplets_.begin(), triplets_.end(),
+                   [](const Triplet& a, const Triplet& b) {
+                     if (a.user != b.user) return a.user < b.user;
+                     return a.item < b.item;
+                   });
+  RatingMatrix out;
+  out.num_items_ = num_items_;
+  out.scale_ = scale_;
+  out.row_offsets_.assign(static_cast<std::size_t>(num_users_) + 1, 0);
+  out.entries_.reserve(triplets_.size());
+  std::size_t i = 0;
+  for (std::int32_t u = 0; u < num_users_; ++u) {
+    while (i < triplets_.size() && triplets_[i].user == u) {
+      // Collapse duplicates of the same (user, item): keep the last one,
+      // which stable_sort left as the final element of the run.
+      std::size_t j = i;
+      while (j + 1 < triplets_.size() && triplets_[j + 1].user == u &&
+             triplets_[j + 1].item == triplets_[i].item) {
+        ++j;
+      }
+      out.entries_.push_back({triplets_[j].item, triplets_[j].rating});
+      i = j + 1;
+    }
+    out.row_offsets_[static_cast<std::size_t>(u) + 1] = out.entries_.size();
+  }
+  triplets_.clear();
+  return out;
+}
+
+}  // namespace groupform::data

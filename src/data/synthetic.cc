@@ -1,0 +1,199 @@
+#include "data/synthetic.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/random.h"
+
+namespace groupform::data {
+namespace {
+
+using common::Rng;
+
+/// Draws a factor vector with i.i.d. N(0, 1/sqrt(dim)) entries.
+std::vector<double> DrawFactors(Rng& rng, int dim, double stddev_scale) {
+  std::vector<double> v(static_cast<std::size_t>(dim));
+  const double stddev = stddev_scale / std::sqrt(static_cast<double>(dim));
+  for (auto& x : v) x = rng.Gaussian(0.0, stddev);
+  return v;
+}
+
+double Dot(const std::vector<double>& a, const std::vector<double>& b) {
+  double s = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) s += a[i] * b[i];
+  return s;
+}
+
+/// Maps a raw affinity in roughly [-1.5, 1.5] onto the rating scale, with
+/// optional integer quantisation, clamping to the scale bounds.
+Rating AffinityToRating(double affinity, const RatingScale& scale,
+                        bool integer_ratings) {
+  const double mid = 0.5 * (scale.min + scale.max);
+  const double gain = scale.range() / 3.0;
+  double r = mid + gain * affinity;
+  r = std::clamp(r, scale.min, scale.max);
+  if (integer_ratings) {
+    r = std::clamp(std::round(r), scale.min, scale.max);
+  }
+  return r;
+}
+
+}  // namespace
+
+RatingMatrix GenerateLatentFactor(const SyntheticConfig& config) {
+  GF_CHECK_GT(config.num_users, 0);
+  GF_CHECK_GT(config.num_items, 0);
+  Rng rng(config.seed);
+
+  // Item factors, plus a per-item popularity bias: popular items skew
+  // slightly positive, mimicking the head of real catalogues.
+  std::vector<std::vector<double>> item_factors;
+  item_factors.reserve(static_cast<std::size_t>(config.num_items));
+  std::vector<double> item_bias(static_cast<std::size_t>(config.num_items));
+  for (std::int32_t i = 0; i < config.num_items; ++i) {
+    item_factors.push_back(DrawFactors(rng, config.num_factors, 1.0));
+    item_bias[static_cast<std::size_t>(i)] = rng.Gaussian(0.0, 0.25);
+  }
+
+  // Taste-cluster centroids.
+  const int num_clusters = std::max(config.num_taste_clusters, 0);
+  std::vector<std::vector<double>> centroids;
+  for (int c = 0; c < num_clusters; ++c) {
+    centroids.push_back(DrawFactors(rng, config.num_factors, 1.0));
+  }
+
+  const std::int32_t min_per_user =
+      std::min(config.min_ratings_per_user, config.num_items);
+  const std::int32_t max_per_user = std::min(
+      std::max(config.max_ratings_per_user, min_per_user), config.num_items);
+
+  RatingMatrixBuilder builder(config.num_users, config.num_items,
+                              config.scale);
+  std::unordered_set<ItemId> chosen;
+  for (std::int32_t u = 0; u < config.num_users; ++u) {
+    // User factors: independent draw, or a perturbation of a centroid.
+    std::vector<double> factors;
+    if (num_clusters > 0) {
+      const auto& centroid = centroids[static_cast<std::size_t>(
+          rng.NextUint64(static_cast<std::uint64_t>(num_clusters)))];
+      factors = centroid;
+      const double spread =
+          config.cluster_spread / std::sqrt(config.num_factors);
+      for (auto& x : factors) x += rng.Gaussian(0.0, spread);
+    } else {
+      factors = DrawFactors(rng, config.num_factors, 1.0);
+    }
+
+    const auto rate_item = [&](ItemId item) {
+      const double affinity =
+          Dot(factors, item_factors[static_cast<std::size_t>(item)]) +
+          item_bias[static_cast<std::size_t>(item)] +
+          rng.Gaussian(0.0, config.noise_stddev);
+      const Rating r =
+          AffinityToRating(affinity, config.scale, config.integer_ratings);
+      GF_CHECK(builder.AddRating(u, item, r).ok());
+    };
+
+    const std::int32_t head =
+        std::min(config.always_rated_head, config.num_items);
+    std::int32_t count = static_cast<std::int32_t>(
+        rng.UniformInt(min_per_user, max_per_user));
+    count = std::max(count, head);
+    chosen.clear();
+    for (ItemId item = 0; item < head; ++item) {
+      chosen.insert(item);
+      rate_item(item);
+    }
+    // Zipf-popularity sampling without replacement; falls back to uniform
+    // draws if the head is exhausted (possible for tiny catalogues).
+    int attempts = 0;
+    while (static_cast<std::int32_t>(chosen.size()) < count) {
+      ItemId item;
+      if (attempts++ < count * 20) {
+        item = static_cast<ItemId>(
+            rng.Zipf(config.num_items, config.popularity_skew));
+      } else {
+        item = static_cast<ItemId>(
+            rng.NextUint64(static_cast<std::uint64_t>(config.num_items)));
+      }
+      if (!chosen.insert(item).second) continue;
+      rate_item(item);
+    }
+  }
+  return std::move(builder).Build();
+}
+
+SyntheticConfig YahooMusicLikeConfig(std::int32_t num_users,
+                                     std::int32_t num_items,
+                                     std::uint64_t seed) {
+  SyntheticConfig config;
+  config.num_users = num_users;
+  config.num_items = num_items;
+  config.num_factors = 8;
+  // One taste cluster per ~40 users keeps bucket sizes in the regime the
+  // paper reports (Table 4: median group sizes in the teens for ell = 10).
+  config.num_taste_clusters = std::max(2, num_users / 40);
+  config.cluster_spread = 0.3;
+  config.noise_stddev = 0.45;
+  config.popularity_skew = 1.05;  // music consumption is very head-heavy
+  config.min_ratings_per_user = 20;
+  config.max_ratings_per_user = 120;
+  config.integer_ratings = true;
+  config.seed = seed;
+  return config;
+}
+
+SyntheticConfig MovieLensLikeConfig(std::int32_t num_users,
+                                    std::int32_t num_items,
+                                    std::uint64_t seed) {
+  SyntheticConfig config;
+  config.num_users = num_users;
+  config.num_items = num_items;
+  config.num_factors = 10;
+  config.num_taste_clusters = std::max(2, num_users / 50);
+  config.cluster_spread = 0.4;
+  config.noise_stddev = 0.5;
+  config.popularity_skew = 0.8;  // flatter than music
+  config.min_ratings_per_user = 20;
+  config.max_ratings_per_user = 140;
+  config.integer_ratings = true;
+  config.seed = seed;
+  return config;
+}
+
+RatingMatrix GenerateUniformDense(std::int32_t num_users,
+                                  std::int32_t num_items, RatingScale scale,
+                                  std::uint64_t seed) {
+  Rng rng(seed);
+  RatingMatrixBuilder builder(num_users, num_items, scale);
+  for (std::int32_t u = 0; u < num_users; ++u) {
+    for (std::int32_t i = 0; i < num_items; ++i) {
+      const Rating r = static_cast<Rating>(rng.UniformInt(
+          static_cast<std::int64_t>(scale.min),
+          static_cast<std::int64_t>(scale.max)));
+      GF_CHECK(builder.AddRating(u, i, r).ok());
+    }
+  }
+  return std::move(builder).Build();
+}
+
+RatingMatrix GenerateClusteredDense(std::int32_t num_users,
+                                    std::int32_t num_items, int num_clusters,
+                                    std::uint64_t seed) {
+  SyntheticConfig config;
+  config.num_users = num_users;
+  config.num_items = num_items;
+  config.num_taste_clusters = num_clusters;
+  config.cluster_spread = 0.3;
+  config.noise_stddev = 0.4;
+  config.popularity_skew = 0.9;
+  config.min_ratings_per_user = num_items;
+  config.max_ratings_per_user = num_items;
+  config.seed = seed;
+  return GenerateLatentFactor(config);
+}
+
+}  // namespace groupform::data

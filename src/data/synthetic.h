@@ -1,0 +1,93 @@
+#ifndef GROUPFORM_DATA_SYNTHETIC_H_
+#define GROUPFORM_DATA_SYNTHETIC_H_
+
+#include <cstdint>
+
+#include "data/rating_matrix.h"
+
+namespace groupform::data {
+
+/// Configuration of the latent-factor synthetic rating generator.
+///
+/// The paper evaluates on Yahoo! Music (Webscope R1) and MovieLens 10M,
+/// neither of which can ship with this repository. The generator produces
+/// data with the properties the algorithms are sensitive to:
+///   * explicit integer ratings on a 1..5 scale (predicted ratings can be
+///     made fractional with integer_ratings = false);
+///   * a sparsity floor (>= min_ratings_per_user observations per user,
+///     matching the Webscope ">= 20 songs per user" trim);
+///   * Zipf item popularity, so users overlap on popular items — this is
+///     what makes shared top-k prefixes (and hence non-singleton greedy
+///     buckets) occur at realistic rates;
+///   * latent taste clusters, so sub-populations with genuinely similar
+///     preferences exist for group formation to discover.
+struct SyntheticConfig {
+  std::int32_t num_users = 1000;
+  std::int32_t num_items = 500;
+
+  /// Dimensionality of the latent factor space.
+  int num_factors = 8;
+  /// Number of taste clusters users are drawn around. <= 0 disables
+  /// clustering (every user is an independent draw).
+  int num_taste_clusters = 25;
+  /// Stddev of a user's factor vector around its cluster centroid; smaller
+  /// values give tighter clusters and larger greedy buckets.
+  double cluster_spread = 0.35;
+  /// Observation noise added to the raw affinity before quantisation.
+  double noise_stddev = 0.5;
+  /// Zipf exponent of item popularity (0 < s); higher = more head-heavy.
+  double popularity_skew = 0.9;
+
+  /// Per-user rating-count range (uniform). Clamped to num_items.
+  std::int32_t min_ratings_per_user = 20;
+  std::int32_t max_ratings_per_user = 60;
+
+  /// Every user additionally rates items [0, always_rated_head): the
+  /// blockbuster effect. Real explicit-feedback catalogues have a head
+  /// that essentially everyone has rated; it is also what makes distinct
+  /// users share top-k prefixes at the rates the paper's Table 4 group
+  /// sizes imply. 0 disables.
+  std::int32_t always_rated_head = 0;
+
+  /// Quantise ratings to integers (explicit feedback). When false, ratings
+  /// are continuous in the scale (predicted feedback).
+  bool integer_ratings = true;
+  RatingScale scale;
+
+  std::uint64_t seed = 42;
+};
+
+/// Generates a sparse rating matrix under `config`. Deterministic for a
+/// fixed config (including the seed).
+RatingMatrix GenerateLatentFactor(const SyntheticConfig& config);
+
+/// Preset shaped like the paper's Yahoo! Music snapshot, scaled to the
+/// requested population: head-heavy popularity, 20-120 ratings/user.
+SyntheticConfig YahooMusicLikeConfig(std::int32_t num_users,
+                                     std::int32_t num_items,
+                                     std::uint64_t seed = 42);
+
+/// Preset shaped like MovieLens 10M: denser per-user histories, slightly
+/// flatter popularity curve.
+SyntheticConfig MovieLensLikeConfig(std::int32_t num_users,
+                                    std::int32_t num_items,
+                                    std::uint64_t seed = 7);
+
+/// Fully dense uniform-random integer matrix: every user rates every item
+/// uniformly in the scale. Used by property tests and the exact-solver
+/// calibration experiments where the paper also works on complete small
+/// matrices.
+RatingMatrix GenerateUniformDense(std::int32_t num_users,
+                                  std::int32_t num_items, RatingScale scale,
+                                  std::uint64_t seed);
+
+/// Dense clustered matrix: like GenerateLatentFactor but every user rates
+/// every item. Mirrors the paper's quality-experiment setting (200 users x
+/// 100 items subsets, objective evaluated on any item).
+RatingMatrix GenerateClusteredDense(std::int32_t num_users,
+                                    std::int32_t num_items, int num_clusters,
+                                    std::uint64_t seed);
+
+}  // namespace groupform::data
+
+#endif  // GROUPFORM_DATA_SYNTHETIC_H_

@@ -1,0 +1,97 @@
+#include "eval/experiment.h"
+
+#include "common/stopwatch.h"
+#include "core/greedy.h"
+#include "exact/subset_dp.h"
+
+namespace groupform::eval {
+
+const char* AlgorithmKindToString(AlgorithmKind kind) {
+  switch (kind) {
+    case AlgorithmKind::kGreedy:
+      return "GRD";
+    case AlgorithmKind::kBaseline:
+      return "Baseline";
+    case AlgorithmKind::kExactDp:
+      return "OPT";
+    case AlgorithmKind::kLocalSearch:
+      return "OPT*";
+    case AlgorithmKind::kSimulatedAnnealing:
+      return "SA";
+    case AlgorithmKind::kBranchAndBound:
+      return "BNB";
+    case AlgorithmKind::kVectorKMeans:
+      return "VecKMeans";
+  }
+  return "?";
+}
+
+common::StatusOr<RunOutcome> RunAlgorithm(
+    AlgorithmKind kind, const core::FormationProblem& problem,
+    std::uint64_t seed) {
+  common::Stopwatch stopwatch;
+  common::StatusOr<core::FormationResult> result =
+      common::Status::Internal("unreachable");
+  switch (kind) {
+    case AlgorithmKind::kGreedy:
+      result = core::RunGreedy(problem);
+      break;
+    case AlgorithmKind::kBaseline: {
+      baseline::BaselineFormer::Options options;
+      options.seed = seed;
+      result = baseline::RunBaseline(problem, options);
+      break;
+    }
+    case AlgorithmKind::kExactDp:
+      result = exact::SubsetDpSolver(problem).Run();
+      break;
+    case AlgorithmKind::kLocalSearch: {
+      exact::LocalSearchSolver::Options options;
+      options.seed = seed;
+      result = exact::LocalSearchSolver(problem, options).Run();
+      break;
+    }
+    case AlgorithmKind::kSimulatedAnnealing: {
+      exact::SimulatedAnnealingSolver::Options options;
+      options.seed = seed;
+      result = exact::SimulatedAnnealingSolver(problem, options).Run();
+      break;
+    }
+    case AlgorithmKind::kBranchAndBound:
+      result = exact::BranchAndBoundSolver(problem).Run();
+      break;
+    case AlgorithmKind::kVectorKMeans: {
+      baseline::VectorKMeansFormer::Options options;
+      options.seed = seed;
+      result = baseline::VectorKMeansFormer(problem, options).Run();
+      break;
+    }
+  }
+  if (!result.ok()) return result.status();
+  RunOutcome outcome;
+  outcome.result = std::move(result).value();
+  outcome.seconds = stopwatch.ElapsedSeconds();
+  return outcome;
+}
+
+common::StatusOr<RepeatedOutcome> RunRepeated(
+    AlgorithmKind kind, const core::FormationProblem& problem,
+    int repetitions, std::uint64_t seed_base) {
+  RepeatedOutcome out;
+  for (int rep = 0; rep < repetitions; ++rep) {
+    GF_ASSIGN_OR_RETURN(
+        auto outcome,
+        RunAlgorithm(kind, problem,
+                     seed_base + static_cast<std::uint64_t>(rep) * 7919));
+    out.mean_objective += outcome.result.objective;
+    out.mean_seconds += outcome.seconds;
+    if (rep == repetitions - 1) out.last_result = std::move(outcome.result);
+  }
+  if (repetitions > 0) {
+    out.mean_objective /= repetitions;
+    out.mean_seconds /= repetitions;
+  }
+  return out;
+}
+
+}  // namespace groupform::eval

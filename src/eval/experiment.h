@@ -1,0 +1,63 @@
+#ifndef GROUPFORM_EVAL_EXPERIMENT_H_
+#define GROUPFORM_EVAL_EXPERIMENT_H_
+
+#include <string>
+#include <vector>
+
+#include "baseline/cluster_baseline.h"
+#include "common/status.h"
+#include "core/formation.h"
+#include "baseline/vector_kmeans.h"
+#include "exact/branch_and_bound.h"
+#include "exact/local_search.h"
+#include "exact/simulated_annealing.h"
+
+namespace groupform::eval {
+
+/// The algorithm families the paper compares (§7 "Algorithms Compared").
+enum class AlgorithmKind {
+  /// GRD-{LM,AV}-{MAX,MIN,SUM} — the paper's contribution.
+  kGreedy,
+  /// Baseline-{LM,AV}-* — Kendall-Tau + clustering.
+  kBaseline,
+  /// OPT — provably optimal subset DP (small instances only).
+  kExactDp,
+  /// OPT* — greedy-seeded local search, the scalable optimal reference.
+  kLocalSearch,
+  /// SA — simulated annealing (greedy-seeded Metropolis search).
+  kSimulatedAnnealing,
+  /// BNB — exact branch and bound (small instances).
+  kBranchAndBound,
+  /// VecKMeans — preference-vector k-means ad-hoc formation.
+  kVectorKMeans,
+};
+
+const char* AlgorithmKindToString(AlgorithmKind kind);
+
+/// One algorithm execution: the solution plus its wall-clock cost.
+struct RunOutcome {
+  core::FormationResult result;
+  double seconds = 0.0;
+};
+
+/// Runs `kind` on `problem`, timing the whole formation (group creation
+/// plus per-group top-k recommendation, as the paper measures).
+common::StatusOr<RunOutcome> RunAlgorithm(
+    AlgorithmKind kind, const core::FormationProblem& problem,
+    std::uint64_t seed = 99);
+
+/// Averages `repetitions` runs of `kind` with distinct seeds (the paper
+/// reports every number as "the average of three runs").
+struct RepeatedOutcome {
+  double mean_objective = 0.0;
+  double mean_seconds = 0.0;
+  /// The last run's full result (for inspection of groups).
+  core::FormationResult last_result;
+};
+common::StatusOr<RepeatedOutcome> RunRepeated(
+    AlgorithmKind kind, const core::FormationProblem& problem,
+    int repetitions, std::uint64_t seed_base = 99);
+
+}  // namespace groupform::eval
+
+#endif  // GROUPFORM_EVAL_EXPERIMENT_H_

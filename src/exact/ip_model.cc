@@ -1,0 +1,165 @@
+#include "exact/ip_model.h"
+
+#include <fstream>
+
+#include "common/strings.h"
+#include "grouprec/semantics.h"
+
+namespace groupform::exact {
+
+using common::Status;
+using common::StatusOr;
+using common::StrFormat;
+using grouprec::Aggregation;
+using grouprec::Semantics;
+
+StatusOr<std::string> IpModel::BuildLpText(
+    const core::FormationProblem& problem) {
+  GF_RETURN_IF_ERROR(problem.Validate());
+  const data::RatingMatrix& matrix = *problem.matrix;
+  const long long n = matrix.num_users();
+  const long long m = matrix.num_items();
+  const long long ell = problem.max_groups;
+  if (n * m * ell > 10'000'000) {
+    return Status::ResourceExhausted(
+        "instance too large for LP emission; the paper's IP is a "
+        "small-instance calibration tool");
+  }
+  const int k = problem.k;
+  const bool lm = problem.semantics == Semantics::kLeastMisery;
+  const bool sum_agg = problem.aggregation == Aggregation::kSum;
+  const double r_min = matrix.scale().min;
+  // Big-M: one unit above the largest possible item score.
+  const double big_m =
+      (lm ? matrix.scale().max
+          : matrix.scale().max * static_cast<double>(n)) + 1.0;
+
+  const auto sc = [&](UserId u, ItemId j) {
+    return matrix.GetRatingOr(u, j, r_min);
+  };
+
+  std::string lp;
+  lp += StrFormat("\\ groupform IP (%s), Appendix A linearisation\n",
+                  problem.ToString().c_str());
+  lp += "Maximize\n obj:";
+  if (sum_agg) {
+    for (long long g = 0; g < ell; ++g) {
+      for (long long j = 0; j < m; ++j) {
+        lp += StrFormat(" + z_%lld_%lld", j, g);
+      }
+    }
+  } else {
+    for (long long g = 0; g < ell; ++g) lp += StrFormat(" + t_%lld", g);
+  }
+  lp += "\nSubject To\n";
+
+  // Each user in exactly one group.
+  for (long long u = 0; u < n; ++u) {
+    lp += StrFormat(" assign_%lld:", u);
+    for (long long g = 0; g < ell; ++g) {
+      lp += StrFormat(" + x_%lld_%lld", u, g);
+    }
+    lp += " = 1\n";
+  }
+
+  for (long long g = 0; g < ell; ++g) {
+    // Pivot selection and list size.
+    lp += StrFormat(" pivot_%lld:", g);
+    for (long long j = 0; j < m; ++j) lp += StrFormat(" + y_%lld_%lld", j, g);
+    lp += " = 1\n";
+    if (k > 1) {
+      lp += StrFormat(" rest_%lld:", g);
+      for (long long j = 0; j < m; ++j) {
+        lp += StrFormat(" + w_%lld_%lld", j, g);
+      }
+      lp += StrFormat(" = %d\n", k - 1);
+      for (long long j = 0; j < m; ++j) {
+        lp += StrFormat(" disj_%lld_%lld: y_%lld_%lld + w_%lld_%lld <= 1\n",
+                        j, g, j, g, j, g);
+      }
+    }
+
+    for (long long j = 0; j < m; ++j) {
+      if (lm) {
+        // s_jg <= sc(u,j) + M (1 - x_ug)  for every user u.
+        for (long long u = 0; u < n; ++u) {
+          lp += StrFormat(
+              " lm_%lld_%lld_%lld: s_%lld_%lld + %g x_%lld_%lld <= %g\n", j,
+              g, u, j, g, big_m, u, g,
+              sc(static_cast<UserId>(u), static_cast<ItemId>(j)) + big_m);
+        }
+        lp += StrFormat(" scap_%lld_%lld: s_%lld_%lld <= %g\n", j, g, j, g,
+                        matrix.scale().max);
+      } else {
+        // s_jg <= sum_u sc(u,j) x_ug.
+        lp += StrFormat(" av_%lld_%lld: s_%lld_%lld", j, g, j, g);
+        for (long long u = 0; u < n; ++u) {
+          lp += StrFormat(" - %g x_%lld_%lld",
+                          sc(static_cast<UserId>(u), static_cast<ItemId>(j)),
+                          u, g);
+        }
+        lp += " <= 0\n";
+      }
+
+      // Pivot score extraction: t_g <= s_jg + M (1 - y_jg), emitted as
+      // t_g - s_jg + M y_jg <= M.
+      if (!sum_agg) {
+        lp += StrFormat(
+            " piv_%lld_%lld: t_%lld - s_%lld_%lld + %g y_%lld_%lld <= %g\n",
+            j, g, g, j, g, big_m, j, g, big_m);
+      } else {
+        // z_jg counts s_jg only for selected items.
+        lp += StrFormat(" zs_%lld_%lld: z_%lld_%lld - s_%lld_%lld <= 0\n", j,
+                        g, j, g, j, g);
+        lp += StrFormat(
+            " zy_%lld_%lld: z_%lld_%lld - %g y_%lld_%lld - %g w_%lld_%lld "
+            "<= 0\n",
+            j, g, j, g, big_m, j, g, big_m, j, g);
+      }
+
+      // Min ordering: recommended items score at least the pivot:
+      // s_jg >= t_g - M (1 - w_jg), emitted as t_g - s_jg + M w_jg <= M.
+      if (problem.aggregation == Aggregation::kMin && k > 1) {
+        lp += StrFormat(
+            " ord_%lld_%lld: t_%lld - s_%lld_%lld + %g w_%lld_%lld <= %g\n",
+            j, g, g, j, g, big_m, j, g, big_m);
+      }
+    }
+  }
+
+  lp += "Bounds\n";
+  for (long long g = 0; g < ell; ++g) {
+    if (!sum_agg) lp += StrFormat(" 0 <= t_%lld <= %g\n", g, big_m);
+    for (long long j = 0; j < m; ++j) {
+      lp += StrFormat(" 0 <= s_%lld_%lld <= %g\n", j, g, big_m);
+      if (sum_agg) lp += StrFormat(" 0 <= z_%lld_%lld <= %g\n", j, g, big_m);
+    }
+  }
+  lp += "Binaries\n";
+  for (long long u = 0; u < n; ++u) {
+    for (long long g = 0; g < ell; ++g) {
+      lp += StrFormat(" x_%lld_%lld", u, g);
+    }
+    lp += '\n';
+  }
+  for (long long g = 0; g < ell; ++g) {
+    for (long long j = 0; j < m; ++j) {
+      lp += StrFormat(" y_%lld_%lld", j, g);
+      if (k > 1) lp += StrFormat(" w_%lld_%lld", j, g);
+    }
+    lp += '\n';
+  }
+  lp += "End\n";
+  return lp;
+}
+
+Status IpModel::WriteLpFile(const core::FormationProblem& problem,
+                            const std::string& path) {
+  GF_ASSIGN_OR_RETURN(const std::string text, BuildLpText(problem));
+  std::ofstream out(path);
+  if (!out) return Status::Internal("cannot open " + path);
+  out << text;
+  return out ? Status::Ok() : Status::DataLoss("short write to " + path);
+}
+
+}  // namespace groupform::exact

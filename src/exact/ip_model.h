@@ -1,0 +1,52 @@
+#ifndef GROUPFORM_EXACT_IP_MODEL_H_
+#define GROUPFORM_EXACT_IP_MODEL_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "core/formation.h"
+
+namespace groupform::exact {
+
+/// Emits the paper's Appendix-A integer program in CPLEX LP file format so
+/// the optimum can be reproduced with an external MILP solver (the paper
+/// used IBM CPLEX, which cannot ship here; SubsetDpSolver provides the same
+/// optimum in-process for small instances).
+///
+/// The appendix states the model with products of decision variables
+/// (e.g. w_ig * sc(g,i) >= y_jg * sc(g,j) * w_ig); LP format requires a
+/// linear model, so this emitter produces the standard big-M
+/// linearisation, which has the same optimum:
+///
+///   x_{u,g}  in {0,1} : user u belongs to group g; sum_g x_{u,g} = 1.
+///   y_{j,g}  in {0,1} : item j is the aggregation pivot of group g's
+///                       top-k list (the k-th item for Min, the 1st for
+///                       Max); sum_j y_{j,g} = 1.
+///   w_{j,g}  in {0,1} : item j is one of the other k-1 recommended items;
+///                       sum_j w_{j,g} = k - 1, w and y disjoint.
+///   s_{j,g}  >= 0     : group score of item j for group g.
+///       LM: s_{j,g} <= sc(u,j) + M (1 - x_{u,g})   for every u
+///       AV: s_{j,g} <= sum_u sc(u,j) x_{u,g}
+///   t_g      >= 0     : the pivot's score; t_g <= s_{j,g} + M (1 - y_{j,g})
+///   ordering          : s_{j,g} + M (1 - w_{j,g}) >= t_g   (Min only:
+///                       recommended items must score at least the pivot).
+///
+/// Objective: maximise sum_g t_g (Min/Max) — for Sum aggregation the model
+/// instead sums linearised per-item contributions z_{j,g} <= s_{j,g},
+/// z_{j,g} <= M (y_{j,g} + w_{j,g}) over the k selected items.
+class IpModel {
+ public:
+  /// Builds the LP text for `problem`. Fails on invalid problems and on
+  /// instances too large to be sensibly emitted (n * m * ell variable
+  /// budget above ~10M).
+  static common::StatusOr<std::string> BuildLpText(
+      const core::FormationProblem& problem);
+
+  /// Writes BuildLpText() to `path`.
+  static common::Status WriteLpFile(const core::FormationProblem& problem,
+                                    const std::string& path);
+};
+
+}  // namespace groupform::exact
+
+#endif  // GROUPFORM_EXACT_IP_MODEL_H_

@@ -1,0 +1,201 @@
+#include "exact/local_search.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/random.h"
+#include "core/greedy.h"
+
+namespace groupform::exact {
+namespace {
+
+using core::FormationResult;
+using core::FormedGroup;
+
+/// Mutable partition state with cached per-group satisfactions.
+struct State {
+  std::vector<std::vector<UserId>> groups;  // some may be empty
+  std::vector<double> satisfaction;
+  double objective = 0.0;
+};
+
+double Evaluate(const core::FormationProblem& problem,
+                const grouprec::GroupScorer& scorer,
+                const std::vector<UserId>& members) {
+  if (members.empty()) return 0.0;
+  const auto list = core::ComputeGroupList(problem, scorer, members);
+  return core::AggregateListSatisfaction(
+      problem, static_cast<int>(members.size()), list);
+}
+
+void RemoveUser(std::vector<UserId>& members, UserId user) {
+  const auto it = std::find(members.begin(), members.end(), user);
+  GF_CHECK(it != members.end());
+  members.erase(it);
+}
+
+}  // namespace
+
+common::StatusOr<FormationResult> LocalSearchSolver::Run() const {
+  GF_RETURN_IF_ERROR(problem_.Validate());
+  const int n = problem_.matrix->num_users();
+  const int ell = problem_.max_groups;
+  const grouprec::GroupScorer scorer = problem_.MakeScorer();
+  common::Rng rng(options_.seed);
+
+  // ---- Initial partition ----
+  State state;
+  state.groups.assign(static_cast<std::size_t>(ell), {});
+  if (options_.init_with_greedy) {
+    GF_ASSIGN_OR_RETURN(auto seed_result, core::RunGreedy(problem_));
+    for (std::size_t g = 0; g < seed_result.groups.size(); ++g) {
+      state.groups[g] = std::move(seed_result.groups[g].members);
+    }
+  } else {
+    // Balanced random split.
+    std::vector<UserId> order(static_cast<std::size_t>(n));
+    for (int u = 0; u < n; ++u) order[static_cast<std::size_t>(u)] = u;
+    rng.Shuffle(order);
+    for (std::size_t i = 0; i < order.size(); ++i) {
+      state.groups[i % static_cast<std::size_t>(ell)].push_back(order[i]);
+    }
+  }
+  state.satisfaction.resize(state.groups.size());
+  for (std::size_t g = 0; g < state.groups.size(); ++g) {
+    state.satisfaction[g] = Evaluate(problem_, scorer, state.groups[g]);
+    state.objective += state.satisfaction[g];
+  }
+
+  // ---- Hill climbing ----
+  std::vector<UserId> visit_order(static_cast<std::size_t>(n));
+  for (int u = 0; u < n; ++u) visit_order[static_cast<std::size_t>(u)] = u;
+  std::vector<int> group_of(static_cast<std::size_t>(n), 0);
+  const auto rebuild_group_of = [&]() {
+    for (std::size_t g = 0; g < state.groups.size(); ++g) {
+      for (UserId u : state.groups[g]) {
+        group_of[static_cast<std::size_t>(u)] = static_cast<int>(g);
+      }
+    }
+  };
+  rebuild_group_of();
+
+  for (int pass = 0; pass < options_.max_passes; ++pass) {
+    bool improved = false;
+    rng.Shuffle(visit_order);
+    for (UserId u : visit_order) {
+      const int from = group_of[static_cast<std::size_t>(u)];
+      if (state.groups[static_cast<std::size_t>(from)].size() <= 1 &&
+          ell == 1) {
+        continue;
+      }
+      // Evaluate removing u from its group once.
+      std::vector<UserId> from_without =
+          state.groups[static_cast<std::size_t>(from)];
+      RemoveUser(from_without, u);
+      const double from_without_sat =
+          Evaluate(problem_, scorer, from_without);
+
+      double best_gain = options_.min_improvement;
+      int best_to = -1;
+      double best_to_sat = 0.0;
+      bool considered_empty = false;
+      for (std::size_t to = 0; to < state.groups.size(); ++to) {
+        if (static_cast<int>(to) == from) continue;
+        if (state.groups[to].empty()) {
+          // All empty slots are interchangeable; evaluate one per user.
+          if (considered_empty) continue;
+          considered_empty = true;
+        }
+        std::vector<UserId> to_with = state.groups[to];
+        to_with.push_back(u);
+        std::sort(to_with.begin(), to_with.end());
+        const double to_with_sat = Evaluate(problem_, scorer, to_with);
+        const double gain = (from_without_sat + to_with_sat) -
+                            (state.satisfaction[static_cast<std::size_t>(
+                                 from)] +
+                             state.satisfaction[to]);
+        if (gain > best_gain) {
+          best_gain = gain;
+          best_to = static_cast<int>(to);
+          best_to_sat = to_with_sat;
+        }
+      }
+      if (best_to >= 0) {
+        auto& src = state.groups[static_cast<std::size_t>(from)];
+        auto& dst = state.groups[static_cast<std::size_t>(best_to)];
+        RemoveUser(src, u);
+        dst.push_back(u);
+        std::sort(dst.begin(), dst.end());
+        state.objective +=
+            (from_without_sat + best_to_sat) -
+            (state.satisfaction[static_cast<std::size_t>(from)] +
+             state.satisfaction[static_cast<std::size_t>(best_to)]);
+        state.satisfaction[static_cast<std::size_t>(from)] =
+            from_without_sat;
+        state.satisfaction[static_cast<std::size_t>(best_to)] = best_to_sat;
+        group_of[static_cast<std::size_t>(u)] = best_to;
+        improved = true;
+        continue;
+      }
+
+      // Sampled swaps: exchange u with a random member of another group.
+      if (!options_.use_swaps) continue;
+      bool swapped = false;
+      for (std::size_t to = 0; to < state.groups.size() && !swapped; ++to) {
+        if (static_cast<int>(to) == from || state.groups[to].empty()) {
+          continue;
+        }
+        for (int s = 0; s < options_.swap_samples; ++s) {
+          const auto& dst = state.groups[to];
+          const UserId v = dst[static_cast<std::size_t>(
+              rng.NextUint64(dst.size()))];
+          std::vector<UserId> from_swapped = from_without;
+          from_swapped.push_back(v);
+          std::sort(from_swapped.begin(), from_swapped.end());
+          std::vector<UserId> to_swapped = dst;
+          RemoveUser(to_swapped, v);
+          to_swapped.push_back(u);
+          std::sort(to_swapped.begin(), to_swapped.end());
+          const double from_sat = Evaluate(problem_, scorer, from_swapped);
+          const double to_sat = Evaluate(problem_, scorer, to_swapped);
+          const double gain =
+              (from_sat + to_sat) -
+              (state.satisfaction[static_cast<std::size_t>(from)] +
+               state.satisfaction[to]);
+          if (gain > options_.min_improvement) {
+            state.objective += gain;
+            state.groups[static_cast<std::size_t>(from)] =
+                std::move(from_swapped);
+            state.groups[to] = std::move(to_swapped);
+            state.satisfaction[static_cast<std::size_t>(from)] = from_sat;
+            state.satisfaction[to] = to_sat;
+            group_of[static_cast<std::size_t>(u)] = static_cast<int>(to);
+            group_of[static_cast<std::size_t>(v)] = from;
+            improved = true;
+            swapped = true;
+            break;
+          }
+        }
+      }
+    }
+    if (!improved) break;
+  }
+
+  // ---- Package ----
+  FormationResult result;
+  result.algorithm = "OPT*-LS";
+  for (std::size_t g = 0; g < state.groups.size(); ++g) {
+    if (state.groups[g].empty()) continue;
+    FormedGroup group;
+    group.members = state.groups[g];
+    group.recommendation =
+        core::ComputeGroupList(problem_, scorer, group.members);
+    group.satisfaction = state.satisfaction[g];
+    result.objective += group.satisfaction;
+    result.groups.push_back(std::move(group));
+  }
+  return result;
+}
+
+}  // namespace groupform::exact

@@ -1,0 +1,168 @@
+#include "exact/simulated_annealing.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/random.h"
+#include "core/greedy.h"
+
+namespace groupform::exact {
+namespace {
+
+using core::FormationResult;
+using core::FormedGroup;
+
+double Evaluate(const core::FormationProblem& problem,
+                const grouprec::GroupScorer& scorer,
+                const std::vector<UserId>& members) {
+  if (members.empty()) return 0.0;
+  const auto list = core::ComputeGroupList(problem, scorer, members);
+  return core::AggregateListSatisfaction(
+      problem, static_cast<int>(members.size()), list);
+}
+
+}  // namespace
+
+common::StatusOr<FormationResult> SimulatedAnnealingSolver::Run() const {
+  GF_RETURN_IF_ERROR(problem_.Validate());
+  const int n = problem_.matrix->num_users();
+  const int ell = problem_.max_groups;
+  const grouprec::GroupScorer scorer = problem_.MakeScorer();
+  common::Rng rng(options_.seed);
+
+  // ---- Start state ----
+  std::vector<std::vector<UserId>> groups(static_cast<std::size_t>(ell));
+  if (options_.init_with_greedy) {
+    GF_ASSIGN_OR_RETURN(auto seed_result, core::RunGreedy(problem_));
+    for (std::size_t g = 0; g < seed_result.groups.size(); ++g) {
+      groups[g] = std::move(seed_result.groups[g].members);
+    }
+  } else {
+    std::vector<UserId> order(static_cast<std::size_t>(n));
+    for (int u = 0; u < n; ++u) order[static_cast<std::size_t>(u)] = u;
+    rng.Shuffle(order);
+    for (std::size_t i = 0; i < order.size(); ++i) {
+      groups[i % static_cast<std::size_t>(ell)].push_back(order[i]);
+    }
+  }
+  std::vector<double> scores(groups.size());
+  std::vector<int> group_of(static_cast<std::size_t>(n), 0);
+  double objective = 0.0;
+  for (std::size_t g = 0; g < groups.size(); ++g) {
+    scores[g] = Evaluate(problem_, scorer, groups[g]);
+    objective += scores[g];
+    for (UserId u : groups[g]) {
+      group_of[static_cast<std::size_t>(u)] = static_cast<int>(g);
+    }
+  }
+
+  // Best-ever snapshot.
+  auto best_groups = groups;
+  double best_objective = objective;
+
+  double temperature =
+      std::max(objective, 1.0) * options_.initial_temperature_fraction;
+  const auto accept = [&](double delta) {
+    if (delta >= 0.0) return true;
+    if (temperature <= 1e-12) return false;
+    return rng.NextDouble() < std::exp(delta / temperature);
+  };
+
+  const auto remove_from = [](std::vector<UserId>& members, UserId u) {
+    members.erase(std::find(members.begin(), members.end(), u));
+  };
+  const auto insert_sorted = [](std::vector<UserId>& members, UserId u) {
+    members.insert(
+        std::lower_bound(members.begin(), members.end(), u), u);
+  };
+
+  for (int step = 0; step < options_.iterations; ++step) {
+    if (step > 0 && step % options_.cooling_interval == 0) {
+      temperature *= options_.cooling;
+    }
+    const UserId u = static_cast<UserId>(
+        rng.NextUint64(static_cast<std::uint64_t>(n)));
+    const int from = group_of[static_cast<std::size_t>(u)];
+    const bool try_swap =
+        ell > 1 && rng.NextDouble() < options_.swap_fraction;
+    int to = from;
+    while (to == from && ell > 1) {
+      to = static_cast<int>(rng.NextUint64(
+          static_cast<std::uint64_t>(ell)));
+    }
+    if (to == from) continue;  // ell == 1: nothing to do
+
+    auto& src = groups[static_cast<std::size_t>(from)];
+    auto& dst = groups[static_cast<std::size_t>(to)];
+    if (try_swap && !dst.empty()) {
+      const UserId v =
+          dst[static_cast<std::size_t>(rng.NextUint64(dst.size()))];
+      std::vector<UserId> new_src = src;
+      remove_from(new_src, u);
+      insert_sorted(new_src, v);
+      std::vector<UserId> new_dst = dst;
+      remove_from(new_dst, v);
+      insert_sorted(new_dst, u);
+      const double src_sat = Evaluate(problem_, scorer, new_src);
+      const double dst_sat = Evaluate(problem_, scorer, new_dst);
+      const double delta =
+          (src_sat + dst_sat) -
+          (scores[static_cast<std::size_t>(from)] +
+           scores[static_cast<std::size_t>(to)]);
+      if (accept(delta)) {
+        src = std::move(new_src);
+        dst = std::move(new_dst);
+        scores[static_cast<std::size_t>(from)] = src_sat;
+        scores[static_cast<std::size_t>(to)] = dst_sat;
+        objective += delta;
+        group_of[static_cast<std::size_t>(u)] = to;
+        group_of[static_cast<std::size_t>(v)] = from;
+      }
+    } else {
+      if (src.size() == 1 && dst.empty()) continue;  // no-op shuffle
+      std::vector<UserId> new_src = src;
+      remove_from(new_src, u);
+      std::vector<UserId> new_dst = dst;
+      insert_sorted(new_dst, u);
+      const double src_sat = Evaluate(problem_, scorer, new_src);
+      const double dst_sat = Evaluate(problem_, scorer, new_dst);
+      const double delta =
+          (src_sat + dst_sat) -
+          (scores[static_cast<std::size_t>(from)] +
+           scores[static_cast<std::size_t>(to)]);
+      if (accept(delta)) {
+        src = std::move(new_src);
+        dst = std::move(new_dst);
+        scores[static_cast<std::size_t>(from)] = src_sat;
+        scores[static_cast<std::size_t>(to)] = dst_sat;
+        objective += delta;
+        group_of[static_cast<std::size_t>(u)] = to;
+      }
+    }
+    if (objective > best_objective) {
+      best_objective = objective;
+      best_groups = groups;
+    }
+  }
+
+  // ---- Package the best state ----
+  FormationResult result;
+  result.algorithm = "SA";
+  for (const auto& members : best_groups) {
+    if (members.empty()) continue;
+    FormedGroup group;
+    group.members = members;
+    group.recommendation =
+        core::ComputeGroupList(problem_, scorer, group.members);
+    group.satisfaction = core::AggregateListSatisfaction(
+        problem_, static_cast<int>(group.members.size()),
+        group.recommendation);
+    result.objective += group.satisfaction;
+    result.groups.push_back(std::move(group));
+  }
+  return result;
+}
+
+}  // namespace groupform::exact

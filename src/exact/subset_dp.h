@@ -1,0 +1,64 @@
+#ifndef GROUPFORM_EXACT_SUBSET_DP_H_
+#define GROUPFORM_EXACT_SUBSET_DP_H_
+
+#include "common/status.h"
+#include "core/formation.h"
+
+namespace groupform::exact {
+
+/// Provably optimal group formation by dynamic programming over user
+/// subsets: f[j][mask] = best objective partitioning `mask` into at most j
+/// groups, with transitions over submasks containing mask's lowest bit.
+///
+/// This is the library's optimal reference (the paper uses a CPLEX IP for
+/// the same calibration role). Group scores are always evaluated over the
+/// full catalogue, regardless of the problem's candidate_depth, so the
+/// returned objective is the true optimum of the stated objective.
+///
+/// Cost: O(2^n) group-score evaluations plus O(ell * 3^n / 2) DP
+/// transitions — practical to max_users (default 16).
+class SubsetDpSolver {
+ public:
+  struct Options {
+    /// Hard cap on population size; larger instances fail with
+    /// RESOURCE_EXHAUSTED instead of silently running for hours.
+    int max_users = 16;
+  };
+
+  explicit SubsetDpSolver(const core::FormationProblem& problem)
+      : SubsetDpSolver(problem, Options()) {}
+  SubsetDpSolver(const core::FormationProblem& problem, Options options)
+      : problem_(problem), options_(options) {}
+
+  /// Returns an optimal partition (groups in reconstruction order).
+  common::StatusOr<core::FormationResult> Run() const;
+
+ private:
+  core::FormationProblem problem_;
+  Options options_;
+};
+
+/// Exhaustive set-partition enumeration (restricted-growth strings),
+/// practical to ~10 users. Exists to cross-validate SubsetDpSolver in
+/// tests; prefer SubsetDpSolver everywhere else.
+class BruteForceSolver {
+ public:
+  struct Options {
+    int max_users = 10;
+  };
+
+  explicit BruteForceSolver(const core::FormationProblem& problem)
+      : BruteForceSolver(problem, Options()) {}
+  BruteForceSolver(const core::FormationProblem& problem, Options options)
+      : problem_(problem), options_(options) {}
+
+  common::StatusOr<core::FormationResult> Run() const;
+
+ private:
+  core::FormationProblem problem_;
+  Options options_;
+};
+
+}  // namespace groupform::exact
+
+#endif  // GROUPFORM_EXACT_SUBSET_DP_H_

@@ -1,0 +1,58 @@
+#ifndef GROUPFORM_GROUPREC_GROUP_RECOMMENDER_H_
+#define GROUPFORM_GROUPREC_GROUP_RECOMMENDER_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "data/rating_matrix.h"
+#include "grouprec/group_scorer.h"
+
+namespace groupform::grouprec {
+
+/// The *forward* problem the group-recommendation literature solves and
+/// this library otherwise takes as given (§2.2): groups already exist and
+/// each receives a top-k list under a chosen semantics. This facade is
+/// what an "existing operational group recommender" looks like when built
+/// on this library — and the formation algorithms are the non-intrusive
+/// addition in front of it.
+class GroupRecommender {
+ public:
+  struct Options {
+    Semantics semantics = Semantics::kLeastMisery;
+    Aggregation aggregation = Aggregation::kMin;
+    MissingRatingPolicy missing = MissingRatingPolicy::kScaleMin;
+    int k = 5;
+    /// 0 = full catalogue; d > 0 = union of members' top-d items.
+    int candidate_depth = 0;
+  };
+
+  struct GroupRecommendation {
+    GroupTopK list;
+    /// gs(I_k) under the configured aggregation.
+    double satisfaction = 0.0;
+  };
+
+  /// The matrix must outlive the recommender.
+  GroupRecommender(const data::RatingMatrix& matrix, Options options);
+
+  /// Recommends to one group. Fails on empty groups or out-of-range
+  /// members.
+  common::StatusOr<GroupRecommendation> Recommend(
+      std::span<const UserId> group) const;
+
+  /// Recommends to every group of a roster (groups may overlap; this is
+  /// the forward problem, not formation).
+  common::StatusOr<std::vector<GroupRecommendation>> RecommendAll(
+      const std::vector<std::vector<UserId>>& groups) const;
+
+  const Options& options() const { return options_; }
+
+ private:
+  const data::RatingMatrix* matrix_;
+  Options options_;
+  GroupScorer scorer_;
+};
+
+}  // namespace groupform::grouprec
+
+#endif  // GROUPFORM_GROUPREC_GROUP_RECOMMENDER_H_

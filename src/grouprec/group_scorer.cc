@@ -1,0 +1,194 @@
+#include "grouprec/group_scorer.h"
+
+#include <algorithm>
+#include <limits>
+#include <unordered_map>
+
+#include "common/logging.h"
+
+namespace groupform::grouprec {
+namespace {
+
+/// Per-item accumulator across group members.
+struct Accum {
+  int raters = 0;
+  double min = std::numeric_limits<double>::infinity();
+  double sum = 0.0;
+};
+
+}  // namespace
+
+GroupScorer::GroupScorer(const data::RatingMatrix& matrix, Options options)
+    : matrix_(&matrix), options_(options) {}
+
+double GroupScorer::ResolveRating(UserId user, ItemId item) const {
+  const auto rating = matrix_->GetRating(user, item);
+  if (rating.has_value()) return *rating;
+  switch (options_.missing) {
+    case MissingRatingPolicy::kScaleMin:
+      return matrix_->scale().min;
+    case MissingRatingPolicy::kZero:
+      return 0.0;
+    case MissingRatingPolicy::kSkipUser:
+      return kMissingRating;
+  }
+  return kMissingRating;
+}
+
+double GroupScorer::ItemScore(std::span<const UserId> group,
+                              ItemId item) const {
+  GF_DCHECK(!group.empty());
+  Accum acc;
+  for (UserId u : group) {
+    const double r = ResolveRating(u, item);
+    if (r == kMissingRating) continue;  // kSkipUser
+    ++acc.raters;
+    acc.min = std::min(acc.min, r);
+    acc.sum += r;
+  }
+  // Mirror the policy resolution of TopK() so both entry points agree.
+  if (acc.raters == 0) {
+    return options_.missing == MissingRatingPolicy::kZero
+               ? 0.0
+               : matrix_->scale().min;
+  }
+  return options_.semantics == Semantics::kLeastMisery ? acc.min : acc.sum;
+}
+
+GroupTopK GroupScorer::TopK(std::span<const UserId> group, int k,
+                            std::span<const ItemId> candidates) const {
+  GF_CHECK_GT(k, 0);
+  GroupTopK result;
+  if (group.empty() || candidates.empty()) return result;
+
+  // One pass over the members' rating rows, accumulating only candidate
+  // items. Candidate membership is looked up in a hash map that doubles as
+  // the accumulator store.
+  std::unordered_map<ItemId, Accum> accums;
+  accums.reserve(candidates.size() * 2);
+  for (ItemId item : candidates) accums.try_emplace(item);
+  const int group_size = static_cast<int>(group.size());
+  for (UserId u : group) {
+    for (const auto& entry : matrix_->RatingsOf(u)) {
+      const auto it = accums.find(entry.item);
+      if (it == accums.end()) continue;
+      Accum& acc = it->second;
+      ++acc.raters;
+      acc.min = std::min(acc.min, entry.rating);
+      acc.sum += entry.rating;
+    }
+  }
+
+  const double r_min = matrix_->scale().min;
+  std::vector<ScoredItem> scored;
+  scored.reserve(candidates.size());
+  for (ItemId item : candidates) {
+    const Accum& acc = accums.at(item);
+    double score;
+    const bool complete = acc.raters == group_size;
+    switch (options_.missing) {
+      case MissingRatingPolicy::kScaleMin:
+        if (options_.semantics == Semantics::kLeastMisery) {
+          score = complete ? acc.min : r_min;
+        } else {
+          score = acc.sum + static_cast<double>(group_size - acc.raters) *
+                                r_min;
+        }
+        break;
+      case MissingRatingPolicy::kZero:
+        if (options_.semantics == Semantics::kLeastMisery) {
+          // A missing member contributes 0, which caps the min whenever the
+          // item is incomplete (in-scale ratings can still be negative on
+          // exotic scales, hence the std::min).
+          score = complete ? acc.min : std::min(acc.min, 0.0);
+          if (acc.raters == 0) score = 0.0;
+        } else {
+          score = acc.sum;
+        }
+        break;
+      case MissingRatingPolicy::kSkipUser:
+        if (acc.raters == 0) {
+          score = r_min;
+        } else {
+          score = options_.semantics == Semantics::kLeastMisery ? acc.min
+                                                                : acc.sum;
+        }
+        break;
+      default:
+        score = r_min;
+        break;
+    }
+    scored.push_back({item, score});
+  }
+
+  const auto better = [](const ScoredItem& a, const ScoredItem& b) {
+    if (a.score != b.score) return a.score > b.score;
+    return a.item < b.item;
+  };
+  const std::size_t keep =
+      std::min<std::size_t>(static_cast<std::size_t>(k), scored.size());
+  std::partial_sort(scored.begin(), scored.begin() + keep, scored.end(),
+                    better);
+  scored.resize(keep);
+  result.items = std::move(scored);
+  return result;
+}
+
+GroupTopK GroupScorer::TopKAllItems(std::span<const UserId> group,
+                                    int k) const {
+  std::vector<ItemId> candidates(
+      static_cast<std::size_t>(matrix_->num_items()));
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    candidates[i] = static_cast<ItemId>(i);
+  }
+  return TopK(group, k, candidates);
+}
+
+GroupTopK GroupScorer::TopKUnionCandidates(std::span<const UserId> group,
+                                           int k, int depth) const {
+  GF_CHECK_GE(depth, 1);
+  // Union of each member's top-`depth` personal items, where "top" uses the
+  // library tie rule (rating desc, item asc).
+  std::vector<ItemId> candidates;
+  std::vector<data::RatingEntry> row_copy;
+  for (UserId u : group) {
+    const auto row = matrix_->RatingsOf(u);
+    row_copy.assign(row.begin(), row.end());
+    const std::size_t keep =
+        std::min<std::size_t>(static_cast<std::size_t>(depth),
+                              row_copy.size());
+    std::partial_sort(row_copy.begin(), row_copy.begin() + keep,
+                      row_copy.end(),
+                      [](const data::RatingEntry& a,
+                         const data::RatingEntry& b) {
+                        if (a.rating != b.rating) return a.rating > b.rating;
+                        return a.item < b.item;
+                      });
+    for (std::size_t i = 0; i < keep; ++i) {
+      candidates.push_back(row_copy[i].item);
+    }
+  }
+  std::sort(candidates.begin(), candidates.end());
+  candidates.erase(std::unique(candidates.begin(), candidates.end()),
+                   candidates.end());
+  return TopK(group, k, candidates);
+}
+
+double GroupScorer::AggregateSatisfaction(const GroupTopK& list,
+                                          Aggregation aggregation) {
+  if (list.empty()) return 0.0;
+  switch (aggregation) {
+    case Aggregation::kMax:
+      return list.items.front().score;
+    case Aggregation::kMin:
+      return list.items.back().score;
+    case Aggregation::kSum: {
+      double sum = 0.0;
+      for (const auto& si : list.items) sum += si.score;
+      return sum;
+    }
+  }
+  return 0.0;
+}
+
+}  // namespace groupform::grouprec

@@ -1,0 +1,85 @@
+#ifndef GROUPFORM_GROUPREC_GROUP_SCORER_H_
+#define GROUPFORM_GROUPREC_GROUP_SCORER_H_
+
+#include <span>
+#include <vector>
+
+#include "data/rating_matrix.h"
+#include "grouprec/semantics.h"
+
+namespace groupform::grouprec {
+
+/// One item with its group score.
+struct ScoredItem {
+  ItemId item = kInvalidItem;
+  double score = 0.0;
+
+  friend bool operator==(const ScoredItem&, const ScoredItem&) = default;
+};
+
+/// A group's recommended top-k list: items sorted by group score descending,
+/// rating ties broken by ascending item id (the library-wide tie rule).
+/// May hold fewer than k items when the candidate pool is smaller.
+struct GroupTopK {
+  std::vector<ScoredItem> items;
+
+  bool empty() const { return items.empty(); }
+  int size() const { return static_cast<int>(items.size()); }
+};
+
+/// Computes group scores and group top-k recommendations for arbitrary
+/// groups under a chosen semantics (§2.2). This is the "existing group
+/// recommender" the formation algorithms plug into: it serves the greedy
+/// algorithms' residual group, the clustering baselines, the exact solvers,
+/// and all evaluation metrics.
+class GroupScorer {
+ public:
+  struct Options {
+    Semantics semantics = Semantics::kLeastMisery;
+    MissingRatingPolicy missing = MissingRatingPolicy::kScaleMin;
+  };
+
+  /// The matrix must outlive the scorer.
+  GroupScorer(const data::RatingMatrix& matrix, Options options);
+
+  const Options& options() const { return options_; }
+  const data::RatingMatrix& matrix() const { return *matrix_; }
+
+  /// sc(g, i): the group score of one item (Definitions 1 and 2).
+  /// O(|g| log d̄) via per-user binary searches.
+  double ItemScore(std::span<const UserId> group, ItemId item) const;
+
+  /// The group's top-k list over an explicit candidate item set.
+  /// O(R_g + C log C) where R_g is the total number of ratings held by
+  /// group members and C the candidate count.
+  GroupTopK TopK(std::span<const UserId> group, int k,
+                 std::span<const ItemId> candidates) const;
+
+  /// Top-k over the full catalogue [0, num_items).
+  GroupTopK TopKAllItems(std::span<const UserId> group, int k) const;
+
+  /// Top-k over the union of each member's `depth` personally-highest-rated
+  /// items — the truncated candidate policy the paper describes for the
+  /// greedy algorithms' final group ("sifts through the top-k items per
+  /// user"). depth >= k is recommended.
+  GroupTopK TopKUnionCandidates(std::span<const UserId> group, int k,
+                                int depth) const;
+
+  /// gs(I_k): aggregates a recommended list into the group's satisfaction
+  /// score under `aggregation` (§2.3). For kMin the bottom item is the last
+  /// element of the (possibly short) list; an empty list scores 0.
+  static double AggregateSatisfaction(const GroupTopK& list,
+                                      Aggregation aggregation);
+
+ private:
+  /// Resolves sc(u, i) per the missing-rating policy; for kSkipUser returns
+  /// kMissingRating to signal "exclude this member".
+  double ResolveRating(UserId user, ItemId item) const;
+
+  const data::RatingMatrix* matrix_;
+  Options options_;
+};
+
+}  // namespace groupform::grouprec
+
+#endif  // GROUPFORM_GROUPREC_GROUP_SCORER_H_

@@ -1,0 +1,27 @@
+#include "grouprec/semantics.h"
+
+namespace groupform::grouprec {
+
+const char* SemanticsToString(Semantics semantics) {
+  switch (semantics) {
+    case Semantics::kLeastMisery:
+      return "LM";
+    case Semantics::kAggregateVoting:
+      return "AV";
+  }
+  return "?";
+}
+
+const char* AggregationToString(Aggregation aggregation) {
+  switch (aggregation) {
+    case Aggregation::kMax:
+      return "MAX";
+    case Aggregation::kMin:
+      return "MIN";
+    case Aggregation::kSum:
+      return "SUM";
+  }
+  return "?";
+}
+
+}  // namespace groupform::grouprec

@@ -1,0 +1,131 @@
+#include "recsys/item_knn.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+#include "common/hash.h"
+#include "common/logging.h"
+
+namespace groupform::recsys {
+namespace {
+
+/// Accumulated statistics of an (a, b) item pair across co-raters.
+struct PairStats {
+  double dot = 0.0;
+  double norm_a = 0.0;
+  double norm_b = 0.0;
+  int overlap = 0;
+};
+
+struct PairKey {
+  ItemId a;
+  ItemId b;
+  friend bool operator==(const PairKey&, const PairKey&) = default;
+};
+
+struct PairKeyHash {
+  std::size_t operator()(const PairKey& key) const {
+    std::size_t seed = 0;
+    common::HashCombineValue(seed, key.a);
+    common::HashCombineValue(seed, key.b);
+    return seed;
+  }
+};
+
+}  // namespace
+
+ItemKnnPredictor::ItemKnnPredictor(const data::RatingMatrix& matrix,
+                                   Options options)
+    : matrix_(&matrix), options_(options) {
+  GF_CHECK_GT(options_.max_neighbors, 0);
+
+  // Per-user means and the global mean.
+  user_means_.resize(static_cast<std::size_t>(matrix.num_users()), 0.0);
+  double total = 0.0;
+  std::int64_t count = 0;
+  for (UserId u = 0; u < matrix.num_users(); ++u) {
+    const auto row = matrix.RatingsOf(u);
+    double sum = 0.0;
+    for (const auto& e : row) sum += e.rating;
+    user_means_[static_cast<std::size_t>(u)] =
+        row.empty() ? 0.0 : sum / static_cast<double>(row.size());
+    total += sum;
+    count += static_cast<std::int64_t>(row.size());
+  }
+  global_mean_ = count > 0 ? total / static_cast<double>(count) : 0.0;
+
+  // Adjusted-cosine statistics via user-wise accumulation over co-rated
+  // item pairs (a < b).
+  std::unordered_map<PairKey, PairStats, PairKeyHash> pairs;
+  for (UserId u = 0; u < matrix.num_users(); ++u) {
+    const auto row = matrix.RatingsOf(u);
+    const double mean = user_means_[static_cast<std::size_t>(u)];
+    for (std::size_t x = 0; x < row.size(); ++x) {
+      const double rx = row[x].rating - mean;
+      for (std::size_t y = x + 1; y < row.size(); ++y) {
+        const double ry = row[y].rating - mean;
+        PairStats& stats = pairs[{row[x].item, row[y].item}];
+        stats.dot += rx * ry;
+        stats.norm_a += rx * rx;
+        stats.norm_b += ry * ry;
+        ++stats.overlap;
+      }
+    }
+  }
+
+  neighbors_.resize(static_cast<std::size_t>(matrix.num_items()));
+  std::vector<std::vector<std::pair<double, ItemId>>> scratch(
+      neighbors_.size());
+  for (const auto& [key, stats] : pairs) {
+    if (stats.overlap < options_.min_overlap) continue;
+    const double denom = std::sqrt(stats.norm_a) * std::sqrt(stats.norm_b);
+    if (denom <= 1e-12) continue;
+    double sim = stats.dot / denom;
+    sim *= static_cast<double>(stats.overlap) /
+           (static_cast<double>(stats.overlap) + options_.shrinkage);
+    scratch[static_cast<std::size_t>(key.a)].emplace_back(sim, key.b);
+    scratch[static_cast<std::size_t>(key.b)].emplace_back(sim, key.a);
+  }
+  for (std::size_t i = 0; i < scratch.size(); ++i) {
+    auto& cands = scratch[i];
+    const std::size_t keep = std::min<std::size_t>(
+        static_cast<std::size_t>(options_.max_neighbors), cands.size());
+    std::partial_sort(cands.begin(), cands.begin() + keep, cands.end(),
+                      [](const auto& a, const auto& b) {
+                        if (std::abs(a.first) != std::abs(b.first)) {
+                          return std::abs(a.first) > std::abs(b.first);
+                        }
+                        return a.second < b.second;
+                      });
+    cands.resize(keep);
+    std::sort(cands.begin(), cands.end(), [](const auto& a, const auto& b) {
+      if (a.first != b.first) return a.first > b.first;
+      return a.second < b.second;
+    });
+    auto& out = neighbors_[i];
+    out.reserve(cands.size());
+    for (const auto& [sim, item] : cands) out.emplace_back(item, sim);
+  }
+}
+
+Rating ItemKnnPredictor::Predict(UserId user, ItemId item) const {
+  const double user_mean =
+      matrix_->NumRatingsOf(user) > 0
+          ? user_means_[static_cast<std::size_t>(user)]
+          : global_mean_;
+  double num = 0.0;
+  double den = 0.0;
+  for (const auto& [neighbor, sim] :
+       neighbors_[static_cast<std::size_t>(item)]) {
+    const auto rating = matrix_->GetRating(user, neighbor);
+    if (!rating.has_value()) continue;
+    num += sim * (*rating - user_mean);
+    den += std::abs(sim);
+  }
+  double prediction = user_mean;
+  if (den > 1e-12) prediction += num / den;
+  return std::clamp(prediction, matrix_->scale().min, matrix_->scale().max);
+}
+
+}  // namespace groupform::recsys

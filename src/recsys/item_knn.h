@@ -1,0 +1,53 @@
+#ifndef GROUPFORM_RECSYS_ITEM_KNN_H_
+#define GROUPFORM_RECSYS_ITEM_KNN_H_
+
+#include <vector>
+
+#include "recsys/predictor.h"
+
+namespace groupform::recsys {
+
+/// Item-based k-nearest-neighbour collaborative filtering with adjusted
+/// cosine similarity (ratings mean-centred per user). A classic explicit-
+/// feedback predictor; fitting accumulates co-rating statistics user by
+/// user, so cost is O(sum_u d_u^2) rather than O(m^2) — fine for the
+/// long-tailed histories the generators produce.
+class ItemKnnPredictor : public RatingPredictor {
+ public:
+  struct Options {
+    /// Neighbours kept per item (by |similarity| descending).
+    int max_neighbors = 30;
+    /// Minimum number of co-raters for a pair to count at all.
+    int min_overlap = 2;
+    /// Shrinkage towards 0 for low-support pairs:
+    /// sim' = sim * overlap / (overlap + shrinkage).
+    double shrinkage = 10.0;
+  };
+
+  /// Fits the model on `matrix` (copied statistics only; the matrix may be
+  /// discarded afterwards except that Predict() needs it — so it is
+  /// retained by pointer and must outlive the predictor).
+  ItemKnnPredictor(const data::RatingMatrix& matrix, Options options);
+
+  /// Weighted neighbour vote, falling back to the user's mean, then the
+  /// global mean, when no neighbour evidence exists.
+  Rating Predict(UserId user, ItemId item) const override;
+
+  /// The retained neighbour list of `item`: (neighbor, similarity) pairs
+  /// sorted by similarity descending. Exposed for tests and diagnostics.
+  const std::vector<std::pair<ItemId, double>>& NeighborsOf(
+      ItemId item) const {
+    return neighbors_[static_cast<std::size_t>(item)];
+  }
+
+ private:
+  const data::RatingMatrix* matrix_;
+  Options options_;
+  double global_mean_ = 0.0;
+  std::vector<double> user_means_;
+  std::vector<std::vector<std::pair<ItemId, double>>> neighbors_;
+};
+
+}  // namespace groupform::recsys
+
+#endif  // GROUPFORM_RECSYS_ITEM_KNN_H_

@@ -1,0 +1,96 @@
+#include "recsys/matrix_factorization.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "common/random.h"
+
+namespace groupform::recsys {
+
+MfPredictor::MfPredictor(const data::RatingMatrix& matrix, Options options)
+    : options_(options), scale_(matrix.scale()) {
+  GF_CHECK_GT(options_.num_factors, 0);
+  GF_CHECK_GT(options_.num_epochs, 0);
+  common::Rng rng(options_.seed);
+
+  const std::size_t n = static_cast<std::size_t>(matrix.num_users());
+  const std::size_t m = static_cast<std::size_t>(matrix.num_items());
+  const std::size_t f = static_cast<std::size_t>(options_.num_factors);
+  user_bias_.assign(n, 0.0);
+  item_bias_.assign(m, 0.0);
+  user_factors_.resize(n * f);
+  item_factors_.resize(m * f);
+  for (auto& x : user_factors_) x = rng.Gaussian(0.0, options_.init_stddev);
+  for (auto& x : item_factors_) x = rng.Gaussian(0.0, options_.init_stddev);
+
+  // Flatten observations once; epochs shuffle an index array.
+  struct Obs {
+    UserId user;
+    ItemId item;
+    Rating rating;
+  };
+  std::vector<Obs> observations;
+  observations.reserve(static_cast<std::size_t>(matrix.num_ratings()));
+  double total = 0.0;
+  for (UserId u = 0; u < matrix.num_users(); ++u) {
+    for (const auto& entry : matrix.RatingsOf(u)) {
+      observations.push_back({u, entry.item, entry.rating});
+      total += entry.rating;
+    }
+  }
+  global_mean_ = observations.empty()
+                     ? 0.5 * (scale_.min + scale_.max)
+                     : total / static_cast<double>(observations.size());
+
+  std::vector<std::size_t> order(observations.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+
+  double lr = options_.learning_rate;
+  const double reg = options_.regularization;
+  for (int epoch = 0; epoch < options_.num_epochs; ++epoch) {
+    rng.Shuffle(order);
+    double sq_sum = 0.0;
+    for (std::size_t idx : order) {
+      const Obs& obs = observations[idx];
+      double* p = &user_factors_[static_cast<std::size_t>(obs.user) * f];
+      double* q = &item_factors_[static_cast<std::size_t>(obs.item) * f];
+      double pred = global_mean_ +
+                    user_bias_[static_cast<std::size_t>(obs.user)] +
+                    item_bias_[static_cast<std::size_t>(obs.item)];
+      for (std::size_t j = 0; j < f; ++j) pred += p[j] * q[j];
+      const double err = obs.rating - pred;
+      sq_sum += err * err;
+      user_bias_[static_cast<std::size_t>(obs.user)] +=
+          lr * (err - reg * user_bias_[static_cast<std::size_t>(obs.user)]);
+      item_bias_[static_cast<std::size_t>(obs.item)] +=
+          lr * (err - reg * item_bias_[static_cast<std::size_t>(obs.item)]);
+      for (std::size_t j = 0; j < f; ++j) {
+        const double pj = p[j];
+        p[j] += lr * (err * q[j] - reg * pj);
+        q[j] += lr * (err * pj - reg * q[j]);
+      }
+    }
+    final_train_rmse_ =
+        observations.empty()
+            ? 0.0
+            : std::sqrt(sq_sum / static_cast<double>(observations.size()));
+    lr *= options_.lr_decay;
+  }
+}
+
+double MfPredictor::Raw(UserId user, ItemId item) const {
+  const std::size_t f = static_cast<std::size_t>(options_.num_factors);
+  double pred = global_mean_ + user_bias_[static_cast<std::size_t>(user)] +
+                item_bias_[static_cast<std::size_t>(item)];
+  const double* p = &user_factors_[static_cast<std::size_t>(user) * f];
+  const double* q = &item_factors_[static_cast<std::size_t>(item) * f];
+  for (std::size_t j = 0; j < f; ++j) pred += p[j] * q[j];
+  return pred;
+}
+
+Rating MfPredictor::Predict(UserId user, ItemId item) const {
+  return std::clamp(Raw(user, item), scale_.min, scale_.max);
+}
+
+}  // namespace groupform::recsys

@@ -1,0 +1,53 @@
+#ifndef GROUPFORM_RECSYS_MATRIX_FACTORIZATION_H_
+#define GROUPFORM_RECSYS_MATRIX_FACTORIZATION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "recsys/predictor.h"
+
+namespace groupform::recsys {
+
+/// Biased matrix factorisation trained with SGD (the Funk/Koren recipe):
+/// r̂(u, i) = mu + b_u + b_i + p_u · q_i, minimising squared error with L2
+/// regularisation. This is the second rating-prediction substrate (the
+/// paper's datasets ship predicted ratings; we generate them).
+class MfPredictor : public RatingPredictor {
+ public:
+  struct Options {
+    int num_factors = 16;
+    int num_epochs = 30;
+    double learning_rate = 0.01;
+    double regularization = 0.05;
+    /// Factor initialisation stddev.
+    double init_stddev = 0.1;
+    /// Multiplicative decay of the learning rate per epoch.
+    double lr_decay = 0.97;
+    std::uint64_t seed = 1234;
+  };
+
+  /// Fits on every observation of `matrix`. Training is deterministic for a
+  /// fixed seed (single-threaded SGD with a seeded shuffle each epoch).
+  MfPredictor(const data::RatingMatrix& matrix, Options options);
+
+  Rating Predict(UserId user, ItemId item) const override;
+
+  /// Training RMSE after the final epoch (useful to assert convergence).
+  double final_train_rmse() const { return final_train_rmse_; }
+
+ private:
+  double Raw(UserId user, ItemId item) const;
+
+  Options options_;
+  data::RatingScale scale_;
+  double global_mean_ = 0.0;
+  std::vector<double> user_bias_;
+  std::vector<double> item_bias_;
+  std::vector<double> user_factors_;  // num_users x num_factors, row-major
+  std::vector<double> item_factors_;  // num_items x num_factors, row-major
+  double final_train_rmse_ = 0.0;
+};
+
+}  // namespace groupform::recsys
+
+#endif  // GROUPFORM_RECSYS_MATRIX_FACTORIZATION_H_

@@ -1,0 +1,87 @@
+#include "recsys/predictor.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/logging.h"
+#include "common/random.h"
+
+namespace groupform::recsys {
+
+double Rmse(const RatingPredictor& predictor,
+            const data::RatingMatrix& test) {
+  double sq_sum = 0.0;
+  std::int64_t count = 0;
+  for (UserId u = 0; u < test.num_users(); ++u) {
+    for (const auto& entry : test.RatingsOf(u)) {
+      const double err = predictor.Predict(u, entry.item) - entry.rating;
+      sq_sum += err * err;
+      ++count;
+    }
+  }
+  if (count == 0) return 0.0;
+  return std::sqrt(sq_sum / static_cast<double>(count));
+}
+
+HoldoutSplit SplitHoldout(const data::RatingMatrix& matrix,
+                          double holdout_fraction, std::uint64_t seed) {
+  GF_CHECK_GE(holdout_fraction, 0.0);
+  GF_CHECK_LE(holdout_fraction, 1.0);
+  common::Rng rng(seed);
+  data::RatingMatrixBuilder train(matrix.num_users(), matrix.num_items(),
+                                  matrix.scale());
+  data::RatingMatrixBuilder test(matrix.num_users(), matrix.num_items(),
+                                 matrix.scale());
+  for (UserId u = 0; u < matrix.num_users(); ++u) {
+    for (const auto& entry : matrix.RatingsOf(u)) {
+      auto& target = rng.Bernoulli(holdout_fraction) ? test : train;
+      GF_CHECK(target.AddRating(u, entry.item, entry.rating).ok());
+    }
+  }
+  return {std::move(train).Build(), std::move(test).Build()};
+}
+
+data::RatingMatrix DensifyWithPredictions(const data::RatingMatrix& matrix,
+                                          const RatingPredictor& predictor,
+                                          std::int32_t num_popular_items) {
+  // Rank items by observation count (ties by item id) and keep the head.
+  std::vector<std::int64_t> item_counts(
+      static_cast<std::size_t>(matrix.num_items()), 0);
+  for (UserId u = 0; u < matrix.num_users(); ++u) {
+    for (const auto& entry : matrix.RatingsOf(u)) {
+      ++item_counts[static_cast<std::size_t>(entry.item)];
+    }
+  }
+  std::vector<ItemId> popular(static_cast<std::size_t>(matrix.num_items()));
+  std::iota(popular.begin(), popular.end(), 0);
+  const std::size_t keep = std::min<std::size_t>(
+      static_cast<std::size_t>(std::max(num_popular_items, 0)),
+      popular.size());
+  std::partial_sort(popular.begin(), popular.begin() + keep, popular.end(),
+                    [&](ItemId a, ItemId b) {
+                      const auto ca = item_counts[static_cast<std::size_t>(a)];
+                      const auto cb = item_counts[static_cast<std::size_t>(b)];
+                      if (ca != cb) return ca > cb;
+                      return a < b;
+                    });
+  popular.resize(keep);
+
+  data::RatingMatrixBuilder builder(matrix.num_users(), matrix.num_items(),
+                                    matrix.scale());
+  for (UserId u = 0; u < matrix.num_users(); ++u) {
+    for (const auto& entry : matrix.RatingsOf(u)) {
+      GF_CHECK(builder.AddRating(u, entry.item, entry.rating).ok());
+    }
+    for (ItemId item : popular) {
+      if (matrix.GetRating(u, item).has_value()) continue;
+      const Rating predicted = std::clamp(predictor.Predict(u, item),
+                                          matrix.scale().min,
+                                          matrix.scale().max);
+      GF_CHECK(builder.AddRating(u, item, predicted).ok());
+    }
+  }
+  return std::move(builder).Build();
+}
+
+}  // namespace groupform::recsys

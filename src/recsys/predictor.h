@@ -1,0 +1,45 @@
+#ifndef GROUPFORM_RECSYS_PREDICTOR_H_
+#define GROUPFORM_RECSYS_PREDICTOR_H_
+
+#include <cstdint>
+
+#include "data/rating_matrix.h"
+
+namespace groupform::recsys {
+
+/// Interface of a rating predictor. The paper assumes sc(u, i) "denotes
+/// user u's preference for item i, whether user provided or system
+/// predicted" (§2.1); predictors implement the "system predicted" half.
+class RatingPredictor {
+ public:
+  virtual ~RatingPredictor() = default;
+
+  /// Predicted rating of `item` for `user`, clamped to the training scale.
+  virtual Rating Predict(UserId user, ItemId item) const = 0;
+};
+
+/// Root-mean-squared error of `predictor` on every observation in `test`.
+/// Returns 0 for an empty test set.
+double Rmse(const RatingPredictor& predictor, const data::RatingMatrix& test);
+
+/// Splits observations into train/test by Bernoulli(holdout_fraction) per
+/// observation (seeded). Users/items keep their ids in both halves.
+struct HoldoutSplit {
+  data::RatingMatrix train;
+  data::RatingMatrix test;
+};
+HoldoutSplit SplitHoldout(const data::RatingMatrix& matrix,
+                          double holdout_fraction, std::uint64_t seed);
+
+/// Produces a matrix where every user additionally holds predicted ratings
+/// for the `num_popular_items` globally most-rated items they had not
+/// rated. This is the paper's "standard pre-processing ... and rating
+/// prediction" step that densifies sparse explicit feedback before group
+/// formation.
+data::RatingMatrix DensifyWithPredictions(const data::RatingMatrix& matrix,
+                                          const RatingPredictor& predictor,
+                                          std::int32_t num_popular_items);
+
+}  // namespace groupform::recsys
+
+#endif  // GROUPFORM_RECSYS_PREDICTOR_H_

@@ -1,0 +1,52 @@
+#include "recsys/preference_lists.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace groupform::recsys {
+
+std::vector<data::RatingEntry> FullPreferenceList(
+    const data::RatingMatrix& matrix, UserId user) {
+  const auto row = matrix.RatingsOf(user);
+  std::vector<data::RatingEntry> list(row.begin(), row.end());
+  std::sort(list.begin(), list.end(), PrefersEntry);
+  return list;
+}
+
+std::vector<data::RatingEntry> TopKList(const data::RatingMatrix& matrix,
+                                        UserId user, int k) {
+  GF_CHECK_GT(k, 0);
+  const auto row = matrix.RatingsOf(user);
+  std::vector<data::RatingEntry> list(row.begin(), row.end());
+  const std::size_t keep =
+      std::min<std::size_t>(static_cast<std::size_t>(k), list.size());
+  std::partial_sort(list.begin(), list.begin() + keep, list.end(),
+                    PrefersEntry);
+  list.resize(keep);
+  return list;
+}
+
+PreferenceListStore::PreferenceListStore(const data::RatingMatrix& matrix,
+                                         int k)
+    : k_(k) {
+  GF_CHECK_GT(k, 0);
+  offsets_.reserve(static_cast<std::size_t>(matrix.num_users()) + 1);
+  offsets_.push_back(0);
+  // Worst case every user has >= k ratings.
+  entries_.reserve(static_cast<std::size_t>(matrix.num_users()) *
+                   static_cast<std::size_t>(k));
+  std::vector<data::RatingEntry> scratch;
+  for (UserId u = 0; u < matrix.num_users(); ++u) {
+    const auto row = matrix.RatingsOf(u);
+    scratch.assign(row.begin(), row.end());
+    const std::size_t keep =
+        std::min<std::size_t>(static_cast<std::size_t>(k), scratch.size());
+    std::partial_sort(scratch.begin(), scratch.begin() + keep, scratch.end(),
+                      PrefersEntry);
+    entries_.insert(entries_.end(), scratch.begin(), scratch.begin() + keep);
+    offsets_.push_back(entries_.size());
+  }
+}
+
+}  // namespace groupform::recsys

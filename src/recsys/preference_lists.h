@@ -1,0 +1,59 @@
+#ifndef GROUPFORM_RECSYS_PREFERENCE_LISTS_H_
+#define GROUPFORM_RECSYS_PREFERENCE_LISTS_H_
+
+#include <span>
+#include <vector>
+
+#include "data/rating_matrix.h"
+
+namespace groupform::recsys {
+
+/// Library-wide preference tie rule: higher rating first, then smaller item
+/// id. Every component (per-user lists, group lists, bucket keys) uses this
+/// ordering, which is what makes the greedy algorithms and the golden tests
+/// deterministic.
+inline bool PrefersEntry(const data::RatingEntry& a,
+                         const data::RatingEntry& b) {
+  if (a.rating != b.rating) return a.rating > b.rating;
+  return a.item < b.item;
+}
+
+/// The user's preference list L_u (§4.1): all rated items sorted by the tie
+/// rule.
+std::vector<data::RatingEntry> FullPreferenceList(
+    const data::RatingMatrix& matrix, UserId user);
+
+/// The user's top-k list L_u^k. Returns fewer than k entries when the user
+/// rated fewer than k items.
+std::vector<data::RatingEntry> TopKList(const data::RatingMatrix& matrix,
+                                        UserId user, int k);
+
+/// Precomputed top-k lists for the whole population, stored contiguously.
+/// Building costs O(sum_u d_u log k); the greedy algorithms then read each
+/// user's list in O(k).
+class PreferenceListStore {
+ public:
+  /// Builds top-`k` lists for every user of `matrix`.
+  PreferenceListStore(const data::RatingMatrix& matrix, int k);
+
+  int k() const { return k_; }
+  std::int32_t num_users() const {
+    return static_cast<std::int32_t>(offsets_.size()) - 1;
+  }
+
+  /// The user's top-k list (possibly shorter than k).
+  std::span<const data::RatingEntry> TopK(UserId user) const {
+    const auto begin = offsets_[static_cast<std::size_t>(user)];
+    const auto end = offsets_[static_cast<std::size_t>(user) + 1];
+    return {entries_.data() + begin, entries_.data() + end};
+  }
+
+ private:
+  int k_;
+  std::vector<std::size_t> offsets_;
+  std::vector<data::RatingEntry> entries_;
+};
+
+}  // namespace groupform::recsys
+
+#endif  // GROUPFORM_RECSYS_PREFERENCE_LISTS_H_

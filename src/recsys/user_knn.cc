@@ -1,0 +1,144 @@
+#include "recsys/user_knn.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+#include "common/hash.h"
+#include "common/logging.h"
+#include "common/random.h"
+
+namespace groupform::recsys {
+namespace {
+
+struct PairStats {
+  double dot = 0.0;
+  double norm_a = 0.0;
+  double norm_b = 0.0;
+  int overlap = 0;
+};
+
+struct PairKey {
+  UserId a;
+  UserId b;
+  friend bool operator==(const PairKey&, const PairKey&) = default;
+};
+
+struct PairKeyHash {
+  std::size_t operator()(const PairKey& key) const {
+    std::size_t seed = 0;
+    common::HashCombineValue(seed, key.a);
+    common::HashCombineValue(seed, key.b);
+    return seed;
+  }
+};
+
+}  // namespace
+
+UserKnnPredictor::UserKnnPredictor(const data::RatingMatrix& matrix,
+                                   Options options)
+    : matrix_(&matrix), options_(options) {
+  GF_CHECK_GT(options_.max_neighbors, 0);
+  common::Rng rng(options_.seed);
+
+  // Per-user means.
+  user_means_.resize(static_cast<std::size_t>(matrix.num_users()), 0.0);
+  double total = 0.0;
+  std::int64_t count = 0;
+  for (UserId u = 0; u < matrix.num_users(); ++u) {
+    const auto row = matrix.RatingsOf(u);
+    double sum = 0.0;
+    for (const auto& e : row) sum += e.rating;
+    user_means_[static_cast<std::size_t>(u)] =
+        row.empty() ? 0.0 : sum / static_cast<double>(row.size());
+    total += sum;
+    count += static_cast<std::int64_t>(row.size());
+  }
+  global_mean_ = count > 0 ? total / static_cast<double>(count) : 0.0;
+
+  // Invert to per-item rater lists.
+  std::vector<std::vector<std::pair<UserId, double>>> raters(
+      static_cast<std::size_t>(matrix.num_items()));
+  for (UserId u = 0; u < matrix.num_users(); ++u) {
+    for (const auto& e : matrix.RatingsOf(u)) {
+      raters[static_cast<std::size_t>(e.item)].emplace_back(u, e.rating);
+    }
+  }
+
+  // Pearson statistics via item-wise pair accumulation, with head items
+  // subsampled to bound the quadratic term.
+  std::unordered_map<PairKey, PairStats, PairKeyHash> pairs;
+  for (auto& item_raters : raters) {
+    if (options_.max_raters_per_item > 0 &&
+        static_cast<int>(item_raters.size()) >
+            options_.max_raters_per_item) {
+      rng.Shuffle(item_raters);
+      item_raters.resize(
+          static_cast<std::size_t>(options_.max_raters_per_item));
+    }
+    for (std::size_t x = 0; x < item_raters.size(); ++x) {
+      const auto [ua, ra] = item_raters[x];
+      const double ca = ra - user_means_[static_cast<std::size_t>(ua)];
+      for (std::size_t y = x + 1; y < item_raters.size(); ++y) {
+        const auto [ub, rb] = item_raters[y];
+        const double cb = rb - user_means_[static_cast<std::size_t>(ub)];
+        PairKey key = ua < ub ? PairKey{ua, ub} : PairKey{ub, ua};
+        PairStats& stats = pairs[key];
+        stats.dot += ca * cb;
+        stats.norm_a += ca * ca;
+        stats.norm_b += cb * cb;
+        ++stats.overlap;
+      }
+    }
+  }
+
+  neighbors_.resize(static_cast<std::size_t>(matrix.num_users()));
+  std::vector<std::vector<std::pair<double, UserId>>> scratch(
+      neighbors_.size());
+  for (const auto& [key, stats] : pairs) {
+    if (stats.overlap < options_.min_overlap) continue;
+    const double denom = std::sqrt(stats.norm_a) * std::sqrt(stats.norm_b);
+    if (denom <= 1e-12) continue;
+    double sim = stats.dot / denom;
+    sim *= static_cast<double>(stats.overlap) /
+           (static_cast<double>(stats.overlap) + options_.shrinkage);
+    scratch[static_cast<std::size_t>(key.a)].emplace_back(sim, key.b);
+    scratch[static_cast<std::size_t>(key.b)].emplace_back(sim, key.a);
+  }
+  for (std::size_t u = 0; u < scratch.size(); ++u) {
+    auto& cands = scratch[u];
+    const std::size_t keep = std::min<std::size_t>(
+        static_cast<std::size_t>(options_.max_neighbors), cands.size());
+    std::partial_sort(cands.begin(), cands.begin() + keep, cands.end(),
+                      [](const auto& a, const auto& b) {
+                        if (a.first != b.first) return a.first > b.first;
+                        return a.second < b.second;
+                      });
+    cands.resize(keep);
+    auto& out = neighbors_[u];
+    out.reserve(cands.size());
+    for (const auto& [sim, user] : cands) out.emplace_back(user, sim);
+  }
+}
+
+Rating UserKnnPredictor::Predict(UserId user, ItemId item) const {
+  const double user_mean =
+      matrix_->NumRatingsOf(user) > 0
+          ? user_means_[static_cast<std::size_t>(user)]
+          : global_mean_;
+  double num = 0.0;
+  double den = 0.0;
+  for (const auto& [neighbor, sim] :
+       neighbors_[static_cast<std::size_t>(user)]) {
+    const auto rating = matrix_->GetRating(neighbor, item);
+    if (!rating.has_value()) continue;
+    num += sim *
+           (*rating - user_means_[static_cast<std::size_t>(neighbor)]);
+    den += std::abs(sim);
+  }
+  double prediction = user_mean;
+  if (den > 1e-12) prediction += num / den;
+  return std::clamp(prediction, matrix_->scale().min, matrix_->scale().max);
+}
+
+}  // namespace groupform::recsys

@@ -1,0 +1,58 @@
+#ifndef GROUPFORM_RECSYS_USER_KNN_H_
+#define GROUPFORM_RECSYS_USER_KNN_H_
+
+#include <vector>
+
+#include "recsys/predictor.h"
+
+namespace groupform::recsys {
+
+/// User-based k-nearest-neighbour collaborative filtering with Pearson
+/// similarity over co-rated items (the classic GroupLens predictor and the
+/// third prediction substrate, complementing item-kNN and MF). Fitting
+/// accumulates pair statistics item by item, O(sum_i c_i^2) over per-item
+/// rater counts — appropriate for long-tailed catalogues where items have
+/// bounded audiences; for blockbuster-heavy data cap the accumulation with
+/// max_raters_per_item.
+class UserKnnPredictor : public RatingPredictor {
+ public:
+  struct Options {
+    /// Neighbours kept per user.
+    int max_neighbors = 30;
+    /// Minimum co-rated items for a pair to count.
+    int min_overlap = 2;
+    /// Similarity shrinkage towards 0 for low-support pairs.
+    double shrinkage = 10.0;
+    /// Items rated by more users than this are subsampled during pair
+    /// accumulation (0 = no cap). Keeps fitting tractable when a head item
+    /// was rated by a large share of the population.
+    int max_raters_per_item = 512;
+    /// Seed for the rater subsampling.
+    std::uint64_t seed = 1237;
+  };
+
+  /// The matrix must outlive the predictor.
+  UserKnnPredictor(const data::RatingMatrix& matrix, Options options);
+
+  /// Mean-centred weighted neighbour vote, falling back to the user's
+  /// mean, then the global mean.
+  Rating Predict(UserId user, ItemId item) const override;
+
+  /// Retained neighbour list of `user`: (neighbor, similarity) sorted by
+  /// similarity descending.
+  const std::vector<std::pair<UserId, double>>& NeighborsOf(
+      UserId user) const {
+    return neighbors_[static_cast<std::size_t>(user)];
+  }
+
+ private:
+  const data::RatingMatrix* matrix_;
+  Options options_;
+  double global_mean_ = 0.0;
+  std::vector<double> user_means_;
+  std::vector<std::vector<std::pair<UserId, double>>> neighbors_;
+};
+
+}  // namespace groupform::recsys
+
+#endif  // GROUPFORM_RECSYS_USER_KNN_H_

@@ -1,0 +1,97 @@
+#ifndef GROUPFORM_USERSTUDY_AMT_SIMULATOR_H_
+#define GROUPFORM_USERSTUDY_AMT_SIMULATOR_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "data/rating_matrix.h"
+#include "grouprec/semantics.h"
+
+namespace groupform::userstudy {
+
+/// Simulation of the paper's §7.3 Amazon Mechanical Turk study. The live
+/// study cannot ship with the repository, so the two phases are modelled:
+///
+/// Phase 1 — preference collection: a pool of synthetic "workers" rates the
+/// 10 most popular POIs of a city (drawn from taste archetypes so genuinely
+/// similar raters exist). Three samples of 10 workers are selected with the
+/// paper's normalised pairwise similarity: the most similar subset, the
+/// least similar subset, and a random subset.
+///
+/// Phase 2 — group satisfaction evaluation: each sample is partitioned
+/// into ell = 3 groups by GRD-LM and Baseline-LM (Min and Sum), and each
+/// worker "rates" the two groupings. A worker's latent satisfaction with a
+/// grouping is their mean own-rating of the items recommended to their
+/// group, rescaled to the 1..5 answer scale, plus seeded response noise —
+/// the quantity the HIT questions elicit.
+class AmtSimulator {
+ public:
+  struct Options {
+    std::int32_t num_workers = 50;
+    std::int32_t num_pois = 10;
+    std::int32_t sample_size = 10;
+    /// Number of worker taste archetypes in the pool.
+    int num_archetypes = 4;
+    /// Groups formed per sample (paper: ell = 3).
+    std::int32_t num_groups = 3;
+    /// Items recommended per group.
+    int k = 3;
+    /// Stddev of the 1..5 response noise.
+    double response_noise = 0.35;
+    /// Raters per HIT (paper: 10 unique workers per HIT).
+    int raters_per_hit = 10;
+    std::uint64_t seed = 2015;
+  };
+
+  enum class SampleKind { kSimilar, kDissimilar, kRandom };
+
+  /// Result of one HIT comparison (one sample kind, one aggregation).
+  struct HitResult {
+    SampleKind sample;
+    grouprec::Aggregation aggregation = grouprec::Aggregation::kMin;
+    double avg_satisfaction_grd = 0.0;
+    double avg_satisfaction_baseline = 0.0;
+    double stderr_grd = 0.0;
+    double stderr_baseline = 0.0;
+    /// Fraction of raters preferring GRD's grouping outright.
+    double prefer_grd_fraction = 0.0;
+  };
+
+  struct StudyResult {
+    /// One entry per (sample kind) x (Min, Sum) — six HITs, as in §7.3.
+    std::vector<HitResult> hits;
+    /// Aggregate preference percentages across sample kinds (Figure 7(a)).
+    double prefer_grd_min_pct = 0.0;
+    double prefer_grd_sum_pct = 0.0;
+  };
+
+  explicit AmtSimulator(Options options) : options_(options) {}
+
+  /// Phase-1 worker pool: dense num_workers x num_pois integer ratings.
+  data::RatingMatrix GenerateWorkerPool() const;
+
+  /// The paper's pairwise similarity: positions are compared across the two
+  /// workers' ranked lists; matching items at the same rank contribute
+  /// 1 - |sc(u,i_j) - sc(u',i_j)| / r_max, averaged over all positions.
+  static double PairSimilarity(const data::RatingMatrix& pool, UserId u,
+                               UserId v);
+
+  /// Selects a sample of `sample_size` workers by kind (greedy max/min
+  /// average pairwise similarity from the best seed pair, or uniform).
+  std::vector<UserId> SelectSample(const data::RatingMatrix& pool,
+                                   SampleKind kind) const;
+
+  /// Runs the full two-phase study.
+  common::StatusOr<StudyResult> Run() const;
+
+  static const char* SampleKindToString(SampleKind kind);
+
+ private:
+  Options options_;
+};
+
+}  // namespace groupform::userstudy
+
+#endif  // GROUPFORM_USERSTUDY_AMT_SIMULATOR_H_

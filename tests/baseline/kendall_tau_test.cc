@@ -1,0 +1,136 @@
+// Kendall-Tau distance: tau-b correctness against an O(d^2) reference,
+#include <cmath>
+// boundary values, and sparse-profile handling.
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "baseline/kendall_tau.h"
+#include "common/random.h"
+#include "data/paper_examples.h"
+#include "data/rating_matrix.h"
+
+namespace groupform {
+namespace {
+
+/// O(d^2) reference implementation of tau-b.
+double TauBReference(const std::vector<double>& xs,
+                     const std::vector<double>& ys) {
+  const std::size_t d = xs.size();
+  long long concordant = 0;
+  long long discordant = 0;
+  long long ties_x = 0;
+  long long ties_y = 0;
+  for (std::size_t i = 0; i < d; ++i) {
+    for (std::size_t j = i + 1; j < d; ++j) {
+      const double dx = xs[i] - xs[j];
+      const double dy = ys[i] - ys[j];
+      if (dx == 0.0 && dy == 0.0) {
+        ++ties_x;
+        ++ties_y;
+      } else if (dx == 0.0) {
+        ++ties_x;
+      } else if (dy == 0.0) {
+        ++ties_y;
+      } else if (dx * dy > 0.0) {
+        ++concordant;
+      } else {
+        ++discordant;
+      }
+    }
+  }
+  const long long n0 = static_cast<long long>(d) * (d - 1) / 2;
+  const double denom = std::sqrt(static_cast<double>(n0 - ties_x)) *
+                       std::sqrt(static_cast<double>(n0 - ties_y));
+  if (denom <= 0.0) return 0.0;
+  return static_cast<double>(concordant - discordant) / denom;
+}
+
+TEST(KendallTauB, PerfectAgreementAndReversal) {
+  const std::vector<double> xs = {1, 2, 3, 4, 5};
+  const std::vector<double> up = {10, 20, 30, 40, 50};
+  const std::vector<double> down = {50, 40, 30, 20, 10};
+  EXPECT_NEAR(baseline::KendallTauB(xs, up), 1.0, 1e-12);
+  EXPECT_NEAR(baseline::KendallTauB(xs, down), -1.0, 1e-12);
+}
+
+TEST(KendallTauB, FullyTiedSideGivesZero) {
+  const std::vector<double> xs = {1, 2, 3};
+  const std::vector<double> flat = {7, 7, 7};
+  EXPECT_DOUBLE_EQ(baseline::KendallTauB(xs, flat), 0.0);
+}
+
+TEST(KendallTauB, MatchesQuadraticReferenceOnRandomTiedData) {
+  common::Rng rng(404);
+  for (int trial = 0; trial < 50; ++trial) {
+    const std::size_t d = 2 + rng.NextUint64(40);
+    std::vector<double> xs(d);
+    std::vector<double> ys(d);
+    for (std::size_t i = 0; i < d; ++i) {
+      // 1..5 integer scores: heavy ties, the realistic regime.
+      xs[i] = static_cast<double>(rng.UniformInt(1, 5));
+      ys[i] = static_cast<double>(rng.UniformInt(1, 5));
+    }
+    EXPECT_NEAR(baseline::KendallTauB(xs, ys), TauBReference(xs, ys), 1e-9)
+        << "trial " << trial << " d=" << d;
+  }
+}
+
+TEST(KendallTauDistance, SelfDistanceIsZero) {
+  const auto matrix = data::PaperExample1();
+  for (UserId u = 0; u < matrix.num_users(); ++u) {
+    EXPECT_NEAR(baseline::KendallTauDistance(matrix, u, u), 0.0, 1e-12);
+  }
+}
+
+TEST(KendallTauDistance, SymmetricAndBounded) {
+  const auto matrix = data::PaperExample1();
+  for (UserId u = 0; u < matrix.num_users(); ++u) {
+    for (UserId v = 0; v < matrix.num_users(); ++v) {
+      const double duv = baseline::KendallTauDistance(matrix, u, v);
+      const double dvu = baseline::KendallTauDistance(matrix, v, u);
+      EXPECT_NEAR(duv, dvu, 1e-12);
+      EXPECT_GE(duv, 0.0);
+      EXPECT_LE(duv, 1.0);
+    }
+  }
+}
+
+TEST(KendallTauDistance, IdenticalRatersAreCloserThanOpposedRaters) {
+  const auto matrix = data::PaperExample2();
+  // u3 and u4 are identical (2,5,1); u1 is (3,1,4) — opposed ordering.
+  const double same = baseline::KendallTauDistance(matrix, 2, 3);
+  const double opposed = baseline::KendallTauDistance(matrix, 0, 2);
+  EXPECT_NEAR(same, 0.0, 1e-12);
+  EXPECT_GT(opposed, same);
+}
+
+TEST(KendallTauDistance, SparseProfilesUseTheUnionWithRminFill) {
+  data::RatingMatrixBuilder builder(2, 4, data::RatingScale{1.0, 5.0});
+  // u0 rates items 0,1 high; u1 rates items 2,3 high. On the union each
+  // side's missing items read r_min = 1, so the rankings conflict hard.
+  ASSERT_TRUE(builder.AddRating(0, 0, 5).ok());
+  ASSERT_TRUE(builder.AddRating(0, 1, 4).ok());
+  ASSERT_TRUE(builder.AddRating(1, 2, 5).ok());
+  ASSERT_TRUE(builder.AddRating(1, 3, 4).ok());
+  const auto matrix = std::move(builder).Build();
+  const double d = baseline::KendallTauDistance(matrix, 0, 1);
+  EXPECT_GT(d, 0.5);
+}
+
+TEST(KendallTauDistance, TruncationChangesOnlyTheProfileDepth) {
+  const auto matrix = data::PaperExample1();
+  baseline::KendallTauOptions truncated;
+  truncated.truncate = 1;
+  // Full profiles and depth-1 profiles both yield valid distances.
+  const double full = baseline::KendallTauDistance(matrix, 0, 1);
+  const double shallow =
+      baseline::KendallTauDistance(matrix, 0, 1, truncated);
+  EXPECT_GE(full, 0.0);
+  EXPECT_LE(full, 1.0);
+  EXPECT_GE(shallow, 0.0);
+  EXPECT_LE(shallow, 1.0);
+}
+
+}  // namespace
+}  // namespace groupform

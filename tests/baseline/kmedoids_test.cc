@@ -1,0 +1,109 @@
+// KMedoids on synthetic metric data with known cluster structure.
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "baseline/kmedoids.h"
+#include "common/random.h"
+
+namespace groupform {
+namespace {
+
+using baseline::KMedoids;
+
+/// Points on a line in three well-separated blobs.
+std::vector<double> ThreeBlobs(int per_blob, std::uint64_t seed) {
+  common::Rng rng(seed);
+  std::vector<double> points;
+  for (double center : {0.0, 10.0, 20.0}) {
+    for (int i = 0; i < per_blob; ++i) {
+      points.push_back(center + rng.Gaussian(0.0, 0.5));
+    }
+  }
+  return points;
+}
+
+TEST(KMedoids, RecoversWellSeparatedBlobs) {
+  const auto points = ThreeBlobs(20, 55);
+  const baseline::DistanceFn distance = [&](std::int32_t a, std::int32_t b) {
+    return std::abs(points[static_cast<std::size_t>(a)] -
+                    points[static_cast<std::size_t>(b)]);
+  };
+  KMedoids::Options options;
+  options.num_clusters = 3;
+  const auto result =
+      KMedoids::Cluster(static_cast<std::int32_t>(points.size()), distance,
+                        options);
+  ASSERT_TRUE(result.ok()) << result.status();
+  // Every blob should be pure: all 20 members share one cluster id.
+  for (int blob = 0; blob < 3; ++blob) {
+    std::set<std::int32_t> ids;
+    for (int i = 0; i < 20; ++i) {
+      ids.insert(result->assignment[static_cast<std::size_t>(blob * 20 + i)]);
+    }
+    EXPECT_EQ(ids.size(), 1u) << "blob " << blob;
+  }
+  // Assignment cost of tight blobs stays small.
+  EXPECT_LT(result->cost / static_cast<double>(points.size()), 1.5);
+}
+
+TEST(KMedoids, RejectsDegenerateParameters) {
+  const baseline::DistanceFn distance = [](std::int32_t, std::int32_t) {
+    return 0.0;
+  };
+  KMedoids::Options options;
+  options.num_clusters = 5;
+  EXPECT_FALSE(KMedoids::Cluster(3, distance, options).ok());
+  options.num_clusters = 0;
+  EXPECT_FALSE(KMedoids::Cluster(3, distance, options).ok());
+  EXPECT_FALSE(KMedoids::Cluster(0, distance, options).ok());
+}
+
+TEST(KMedoids, ExactlyAsManyClustersAsPointsIsIdentity) {
+  const baseline::DistanceFn distance = [](std::int32_t a, std::int32_t b) {
+    return a == b ? 0.0 : 1.0;
+  };
+  KMedoids::Options options;
+  options.num_clusters = 4;
+  const auto result = KMedoids::Cluster(4, distance, options);
+  ASSERT_TRUE(result.ok());
+  std::set<std::int32_t> ids(result->assignment.begin(),
+                             result->assignment.end());
+  EXPECT_EQ(ids.size(), 4u);
+  EXPECT_DOUBLE_EQ(result->cost, 0.0);
+}
+
+TEST(KMedoids, DeterministicForFixedSeed) {
+  const auto points = ThreeBlobs(10, 77);
+  const baseline::DistanceFn distance = [&](std::int32_t a, std::int32_t b) {
+    return std::abs(points[static_cast<std::size_t>(a)] -
+                    points[static_cast<std::size_t>(b)]);
+  };
+  KMedoids::Options options;
+  options.num_clusters = 3;
+  const auto a = KMedoids::Cluster(30, distance, options);
+  const auto b = KMedoids::Cluster(30, distance, options);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->assignment, b->assignment);
+  EXPECT_EQ(a->medoids, b->medoids);
+}
+
+TEST(KMedoids, SampledMedoidUpdateStillClusters) {
+  const auto points = ThreeBlobs(40, 91);
+  const baseline::DistanceFn distance = [&](std::int32_t a, std::int32_t b) {
+    return std::abs(points[static_cast<std::size_t>(a)] -
+                    points[static_cast<std::size_t>(b)]);
+  };
+  KMedoids::Options options;
+  options.num_clusters = 3;
+  options.medoid_candidates = 8;  // force the CLARA-style sampling path
+  const auto result = KMedoids::Cluster(120, distance, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_LT(result->cost / 120.0, 1.5);
+}
+
+}  // namespace
+}  // namespace groupform

@@ -1,0 +1,59 @@
+#include "common/csv.h"
+
+#include <cstdio>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+namespace groupform::common {
+namespace {
+
+TEST(CsvReader, ParsesRowsSkipsCommentsAndBlankLines) {
+  const auto rows = CsvReader::ParseString(
+      "# comment\n"
+      "a,b,c\n"
+      "\n"
+      "1,2,3\n");
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0], (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(rows[1], (std::vector<std::string>{"1", "2", "3"}));
+}
+
+TEST(CsvReader, SkipRowsAndCustomDelimiter) {
+  CsvReader::Options options;
+  options.delimiter = ';';
+  options.skip_rows = 1;
+  const auto rows = CsvReader::ParseString("header;x\n1;2\n", options);
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0], (std::vector<std::string>{"1", "2"}));
+}
+
+TEST(CsvReader, HandlesCrLfAndMissingTrailingNewline) {
+  const auto rows = CsvReader::ParseString("a,b\r\nc,d");
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0], (std::vector<std::string>{"a", "b"}));
+  EXPECT_EQ(rows[1], (std::vector<std::string>{"c", "d"}));
+}
+
+TEST(CsvReader, MissingFileIsNotFound) {
+  EXPECT_EQ(CsvReader::ReadFile("/no/such/file.csv").status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST(CsvWriter, WritesRowsAndRoundTrips) {
+  CsvWriter writer;
+  writer.AddRow({"u", "i", "r"});
+  writer.AddRow({"1", "2", "4.5"});
+  EXPECT_EQ(writer.content(), "u,i,r\n1,2,4.5\n");
+
+  const std::string path = testing::TempDir() + "/csv_writer_test.csv";
+  ASSERT_TRUE(writer.WriteFile(path).ok());
+  const auto rows = CsvReader::ReadFile(path);
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->size(), 2u);
+  EXPECT_EQ((*rows)[1][2], "4.5");
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace groupform::common

@@ -1,0 +1,112 @@
+#include "common/random.h"
+
+#include <algorithm>
+#include <set>
+
+#include <gtest/gtest.h>
+
+namespace groupform::common {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.NextUint64(), b.NextUint64());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.NextUint64() == b.NextUint64()) ++equal;
+  }
+  EXPECT_LT(equal, 5);
+}
+
+TEST(Rng, BoundedDrawsStayInBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.NextUint64(13), 13u);
+    const auto v = rng.UniformInt(-5, 5);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 5);
+    const double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Rng, UniformIntCoversTheRange) {
+  Rng rng(11);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.UniformInt(1, 5));
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(Rng, GaussianHasPlausibleMoments) {
+  Rng rng(13);
+  double sum = 0.0;
+  double sq = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.NextGaussian();
+    sum += x;
+    sq += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.05);
+  EXPECT_NEAR(sq / n, 1.0, 0.05);
+}
+
+TEST(Rng, BernoulliRespectsProbability) {
+  Rng rng(17);
+  int hits = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) hits += rng.Bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.02);
+  EXPECT_FALSE(rng.Bernoulli(0.0));
+  EXPECT_TRUE(rng.Bernoulli(1.0));
+}
+
+TEST(Rng, ZipfFavorsLowRanksAndStaysInRange) {
+  Rng rng(19);
+  const int n = 20000;
+  int head = 0;
+  for (int i = 0; i < n; ++i) {
+    const auto rank = rng.Zipf(100, 1.0);
+    ASSERT_GE(rank, 0);
+    ASSERT_LT(rank, 100);
+    if (rank < 10) ++head;
+  }
+  // Under Zipf(s=1, n=100) the top decile carries roughly half the mass.
+  EXPECT_GT(static_cast<double>(head) / n, 0.35);
+}
+
+TEST(Rng, ShuffleIsAPermutation) {
+  Rng rng(23);
+  std::vector<int> v = {1, 2, 3, 4, 5, 6, 7, 8};
+  auto shuffled = v;
+  rng.Shuffle(shuffled);
+  std::sort(shuffled.begin(), shuffled.end());
+  EXPECT_EQ(shuffled, v);
+}
+
+TEST(Rng, SampleWithoutReplacementIsDistinctAndComplete) {
+  Rng rng(29);
+  const auto sample = rng.SampleWithoutReplacement(50, 20);
+  EXPECT_EQ(sample.size(), 20u);
+  std::set<std::int64_t> distinct(sample.begin(), sample.end());
+  EXPECT_EQ(distinct.size(), 20u);
+  for (auto v : sample) {
+    EXPECT_GE(v, 0);
+    EXPECT_LT(v, 50);
+  }
+  // count == n returns everything.
+  const auto all = rng.SampleWithoutReplacement(10, 10);
+  EXPECT_EQ(std::set<std::int64_t>(all.begin(), all.end()).size(), 10u);
+}
+
+}  // namespace
+}  // namespace groupform::common

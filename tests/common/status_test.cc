@@ -1,0 +1,78 @@
+#include "common/status.h"
+
+#include <memory>
+
+#include <gtest/gtest.h>
+
+namespace groupform::common {
+namespace {
+
+TEST(Status, OkByDefault) {
+  Status status;
+  EXPECT_TRUE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kOk);
+  EXPECT_EQ(status.ToString(), "OK");
+}
+
+TEST(Status, FactoriesCarryCodeAndMessage) {
+  const Status status = Status::NotFound("missing thing");
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kNotFound);
+  EXPECT_EQ(status.message(), "missing thing");
+  EXPECT_EQ(status.ToString(), "NOT_FOUND: missing thing");
+}
+
+TEST(Status, EqualityComparesCodeAndMessage) {
+  EXPECT_EQ(Status::Internal("x"), Status::Internal("x"));
+  EXPECT_FALSE(Status::Internal("x") == Status::Internal("y"));
+  EXPECT_FALSE(Status::Internal("x") == Status::DataLoss("x"));
+}
+
+TEST(StatusOr, HoldsValueOrError) {
+  StatusOr<int> ok = 42;
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(*ok, 42);
+  EXPECT_EQ(ok.value_or(0), 42);
+
+  StatusOr<int> err = Status::OutOfRange("too big");
+  EXPECT_FALSE(err.ok());
+  EXPECT_EQ(err.status().code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(err.value_or(-1), -1);
+}
+
+TEST(StatusOr, MoveOnlyValuesWork) {
+  StatusOr<std::unique_ptr<int>> holder = std::make_unique<int>(7);
+  ASSERT_TRUE(holder.ok());
+  std::unique_ptr<int> extracted = std::move(holder).value();
+  EXPECT_EQ(*extracted, 7);
+}
+
+StatusOr<int> Half(int x) {
+  if (x % 2 != 0) return Status::InvalidArgument("odd");
+  return x / 2;
+}
+
+Status UseMacros(int x, int* out) {
+  GF_ASSIGN_OR_RETURN(const int half, Half(x));
+  GF_RETURN_IF_ERROR(Status::Ok());
+  *out = half;
+  return Status::Ok();
+}
+
+TEST(StatusMacros, PropagateErrorsAndAssignValues) {
+  int out = 0;
+  EXPECT_TRUE(UseMacros(8, &out).ok());
+  EXPECT_EQ(out, 4);
+  EXPECT_EQ(UseMacros(7, &out).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(StatusCodeToString, CoversEveryCode) {
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kOk), "OK");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kResourceExhausted),
+               "RESOURCE_EXHAUSTED");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kUnimplemented),
+               "UNIMPLEMENTED");
+}
+
+}  // namespace
+}  // namespace groupform::common

@@ -1,0 +1,161 @@
+// IncrementalFormer: equivalence with the one-shot greedy, add/remove
+// round trips, and error handling.
+#include <gtest/gtest.h>
+
+#include "core/greedy.h"
+#include "core/incremental.h"
+#include "data/paper_examples.h"
+#include "data/synthetic.h"
+#include "grouprec/semantics.h"
+
+namespace groupform {
+namespace {
+
+using core::FormationProblem;
+using core::IncrementalFormer;
+using grouprec::Aggregation;
+using grouprec::Semantics;
+
+FormationProblem Problem(const data::RatingMatrix& matrix,
+                         Semantics semantics, Aggregation aggregation, int k,
+                         int ell) {
+  FormationProblem problem;
+  problem.matrix = &matrix;
+  problem.semantics = semantics;
+  problem.aggregation = aggregation;
+  problem.k = k;
+  problem.max_groups = ell;
+  return problem;
+}
+
+void ExpectSameGroups(const core::FormationResult& a,
+                      const core::FormationResult& b) {
+  ASSERT_EQ(a.num_groups(), b.num_groups());
+  EXPECT_NEAR(a.objective, b.objective, 1e-9);
+  for (int g = 0; g < a.num_groups(); ++g) {
+    EXPECT_EQ(a.groups[static_cast<std::size_t>(g)].members,
+              b.groups[static_cast<std::size_t>(g)].members);
+  }
+}
+
+TEST(IncrementalFormer, FullPopulationMatchesGreedyExactly) {
+  const auto matrix = data::GenerateLatentFactor(
+      data::YahooMusicLikeConfig(250, 60, 404));
+  for (const auto semantics :
+       {Semantics::kLeastMisery, Semantics::kAggregateVoting}) {
+    for (const auto aggregation :
+         {Aggregation::kMax, Aggregation::kMin, Aggregation::kSum}) {
+      const auto problem = Problem(matrix, semantics, aggregation, 4, 8);
+      IncrementalFormer former(problem);
+      former.AddAllUsers();
+      const auto incremental = former.Form();
+      const auto greedy = core::RunGreedy(problem);
+      ASSERT_TRUE(incremental.ok()) << incremental.status();
+      ASSERT_TRUE(greedy.ok());
+      ExpectSameGroups(*incremental, *greedy);
+    }
+  }
+}
+
+TEST(IncrementalFormer, InsertionOrderDoesNotMatter) {
+  const auto matrix = data::PaperExample1();
+  const auto problem =
+      Problem(matrix, Semantics::kLeastMisery, Aggregation::kMin, 1, 3);
+  IncrementalFormer forward(problem);
+  for (UserId u = 0; u < 6; ++u) ASSERT_TRUE(forward.AddUser(u).ok());
+  IncrementalFormer backward(problem);
+  for (UserId u = 5; u >= 0; --u) ASSERT_TRUE(backward.AddUser(u).ok());
+  const auto a = forward.Form();
+  const auto b = backward.Form();
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ExpectSameGroups(*a, *b);
+}
+
+TEST(IncrementalFormer, RemoveThenReaddRestoresTheResult) {
+  const auto matrix = data::GenerateLatentFactor(
+      data::YahooMusicLikeConfig(120, 40, 405));
+  const auto problem =
+      Problem(matrix, Semantics::kLeastMisery, Aggregation::kMin, 3, 6);
+  IncrementalFormer former(problem);
+  former.AddAllUsers();
+  const auto before = former.Form();
+  ASSERT_TRUE(before.ok());
+  for (UserId u : {3, 17, 64, 99}) {
+    ASSERT_TRUE(former.RemoveUser(u).ok());
+  }
+  EXPECT_EQ(former.num_active(), 116);
+  for (UserId u : {99, 3, 64, 17}) {
+    ASSERT_TRUE(former.AddUser(u).ok());
+  }
+  const auto after = former.Form();
+  ASSERT_TRUE(after.ok());
+  ExpectSameGroups(*before, *after);
+}
+
+TEST(IncrementalFormer, SubsetFormationMatchesGreedyOnSubsetMatrix) {
+  const auto matrix = data::GenerateLatentFactor(
+      data::YahooMusicLikeConfig(100, 30, 406));
+  const auto problem =
+      Problem(matrix, Semantics::kAggregateVoting, Aggregation::kMin, 3, 5);
+  // Activate an ascending subset; the subset matrix preserves relative
+  // user order, so the bucket structure (hence the objective) must match.
+  std::vector<UserId> active;
+  for (UserId u = 0; u < 100; u += 3) active.push_back(u);
+  IncrementalFormer former(problem);
+  for (UserId u : active) ASSERT_TRUE(former.AddUser(u).ok());
+  const auto incremental = former.Form();
+  ASSERT_TRUE(incremental.ok());
+
+  const auto subset = matrix.SubsetUsers(active);
+  ASSERT_TRUE(subset.ok());
+  const auto subset_problem = Problem(*subset, Semantics::kAggregateVoting,
+                                      Aggregation::kMin, 3, 5);
+  const auto greedy = core::RunGreedy(subset_problem);
+  ASSERT_TRUE(greedy.ok());
+  EXPECT_NEAR(incremental->objective, greedy->objective, 1e-9);
+  EXPECT_EQ(incremental->num_groups(), greedy->num_groups());
+}
+
+TEST(IncrementalFormer, LifecycleErrors) {
+  const auto matrix = data::PaperExample1();
+  const auto problem =
+      Problem(matrix, Semantics::kLeastMisery, Aggregation::kMin, 1, 3);
+  IncrementalFormer former(problem);
+  EXPECT_FALSE(former.Form().ok());  // empty population
+  EXPECT_FALSE(former.AddUser(-1).ok());
+  EXPECT_FALSE(former.AddUser(6).ok());
+  ASSERT_TRUE(former.AddUser(0).ok());
+  EXPECT_FALSE(former.AddUser(0).ok());     // duplicate add
+  EXPECT_FALSE(former.RemoveUser(1).ok());  // not active
+  ASSERT_TRUE(former.RemoveUser(0).ok());
+  EXPECT_EQ(former.num_active(), 0);
+}
+
+TEST(IncrementalFormer, ChurnKeepsBucketsConsistent) {
+  // Heavy add/remove churn, then compare against a fresh run.
+  const auto matrix = data::GenerateLatentFactor(
+      data::YahooMusicLikeConfig(150, 40, 407));
+  const auto problem =
+      Problem(matrix, Semantics::kLeastMisery, Aggregation::kSum, 3, 7);
+  IncrementalFormer churned(problem);
+  churned.AddAllUsers();
+  for (int round = 0; round < 5; ++round) {
+    for (UserId u = static_cast<UserId>(round); u < 150; u += 7) {
+      ASSERT_TRUE(churned.RemoveUser(u).ok());
+    }
+    for (UserId u = static_cast<UserId>(round); u < 150; u += 7) {
+      ASSERT_TRUE(churned.AddUser(u).ok());
+    }
+  }
+  IncrementalFormer fresh(problem);
+  fresh.AddAllUsers();
+  const auto a = churned.Form();
+  const auto b = fresh.Form();
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ExpectSameGroups(*a, *b);
+}
+
+}  // namespace
+}  // namespace groupform

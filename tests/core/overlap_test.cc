@@ -1,0 +1,122 @@
+// Overlapping-group expansion (§9 future work, implemented as a
+// post-pass).
+#include <gtest/gtest.h>
+
+#include "core/greedy.h"
+#include "core/overlap.h"
+#include "data/paper_examples.h"
+#include "data/synthetic.h"
+#include "eval/weighted_objective.h"
+
+namespace groupform {
+namespace {
+
+using core::FormationProblem;
+using core::OverlapOptions;
+
+FormationProblem Problem(const data::RatingMatrix& matrix, int k, int ell) {
+  FormationProblem problem;
+  problem.matrix = &matrix;
+  problem.semantics = grouprec::Semantics::kLeastMisery;
+  problem.aggregation = grouprec::Aggregation::kMin;
+  problem.k = k;
+  problem.max_groups = ell;
+  return problem;
+}
+
+TEST(Overlap, EveryUserKeepsTheirHomeGroupFirst) {
+  const auto matrix = data::PaperExample1();
+  const auto problem = Problem(matrix, 2, 3);
+  const auto result = core::RunGreedy(problem);
+  ASSERT_TRUE(result.ok());
+  OverlapOptions options;
+  options.min_ndcg = 0.0;  // everyone may join anything
+  options.max_extra_memberships = 2;
+  const auto overlap = core::ExpandWithOverlaps(problem, *result, options);
+  ASSERT_TRUE(overlap.ok()) << overlap.status();
+  ASSERT_EQ(overlap->memberships.size(), 6u);
+  for (UserId u = 0; u < 6; ++u) {
+    const auto& groups = overlap->memberships[static_cast<std::size_t>(u)];
+    ASSERT_FALSE(groups.empty());
+    // The home group (first entry) actually contains the user.
+    const auto& home =
+        result->groups[static_cast<std::size_t>(groups.front())];
+    EXPECT_NE(std::find(home.members.begin(), home.members.end(), u),
+              home.members.end());
+    EXPECT_LE(groups.size(), 3u);  // home + at most 2 extras
+  }
+  EXPECT_GE(overlap->mean_memberships, 1.0);
+}
+
+TEST(Overlap, ZeroExtrasIsTheDisjointPartition) {
+  const auto matrix = data::PaperExample1();
+  const auto problem = Problem(matrix, 2, 3);
+  const auto result = core::RunGreedy(problem);
+  ASSERT_TRUE(result.ok());
+  OverlapOptions options;
+  options.max_extra_memberships = 0;
+  const auto overlap = core::ExpandWithOverlaps(problem, *result, options);
+  ASSERT_TRUE(overlap.ok());
+  EXPECT_DOUBLE_EQ(overlap->mean_memberships, 1.0);
+  EXPECT_EQ(overlap->users_improved, 0);
+  EXPECT_NEAR(overlap->mean_best_ndcg,
+              eval::MeanUserNdcg(problem, *result), 1e-9);
+}
+
+TEST(Overlap, ExtrasNeverDecreaseBestNdcg) {
+  const auto matrix = data::GenerateClusteredDense(80, 30, 8, 71);
+  const auto problem = Problem(matrix, 4, 6);
+  const auto result = core::RunGreedy(problem);
+  ASSERT_TRUE(result.ok());
+  OverlapOptions none;
+  none.max_extra_memberships = 0;
+  OverlapOptions some;
+  some.max_extra_memberships = 2;
+  some.min_ndcg = 0.3;
+  const auto base = core::ExpandWithOverlaps(problem, *result, none);
+  const auto expanded = core::ExpandWithOverlaps(problem, *result, some);
+  ASSERT_TRUE(base.ok());
+  ASSERT_TRUE(expanded.ok());
+  EXPECT_GE(expanded->mean_best_ndcg, base->mean_best_ndcg - 1e-9);
+  EXPECT_GE(expanded->mean_memberships, base->mean_memberships);
+}
+
+TEST(Overlap, ThresholdGatesJoining) {
+  const auto matrix = data::GenerateClusteredDense(60, 20, 6, 73);
+  const auto problem = Problem(matrix, 3, 6);
+  const auto result = core::RunGreedy(problem);
+  ASSERT_TRUE(result.ok());
+  OverlapOptions strict;
+  strict.min_ndcg = 1.0;  // only perfect lists qualify
+  strict.max_extra_memberships = 3;
+  OverlapOptions loose;
+  loose.min_ndcg = 0.0;
+  loose.max_extra_memberships = 3;
+  const auto a = core::ExpandWithOverlaps(problem, *result, strict);
+  const auto b = core::ExpandWithOverlaps(problem, *result, loose);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_LE(a->mean_memberships, b->mean_memberships);
+}
+
+TEST(Overlap, RejectsInvalidInputs) {
+  const auto matrix = data::PaperExample1();
+  const auto problem = Problem(matrix, 2, 3);
+  const auto result = core::RunGreedy(problem);
+  ASSERT_TRUE(result.ok());
+  OverlapOptions bad;
+  bad.max_extra_memberships = -1;
+  EXPECT_FALSE(core::ExpandWithOverlaps(problem, *result, bad).ok());
+  bad.max_extra_memberships = 1;
+  bad.min_ndcg = 1.5;
+  EXPECT_FALSE(core::ExpandWithOverlaps(problem, *result, bad).ok());
+
+  // A corrupted partition is rejected too.
+  auto broken = *result;
+  broken.groups[0].members.push_back(broken.groups[1].members[0]);
+  EXPECT_FALSE(
+      core::ExpandWithOverlaps(problem, broken, OverlapOptions()).ok());
+}
+
+}  // namespace
+}  // namespace groupform

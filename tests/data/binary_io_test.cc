@@ -1,0 +1,99 @@
+// Binary matrix snapshots: round-trip fidelity and corruption detection.
+#include <cstdio>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+#include "data/binary_io.h"
+#include "data/paper_examples.h"
+#include "data/synthetic.h"
+
+namespace groupform {
+namespace {
+
+std::string TempPath(const char* name) {
+  return testing::TempDir() + "/" + name;
+}
+
+void ExpectMatricesEqual(const data::RatingMatrix& a,
+                         const data::RatingMatrix& b) {
+  ASSERT_EQ(a.num_users(), b.num_users());
+  ASSERT_EQ(a.num_items(), b.num_items());
+  ASSERT_EQ(a.num_ratings(), b.num_ratings());
+  EXPECT_EQ(a.scale(), b.scale());
+  for (UserId u = 0; u < a.num_users(); ++u) {
+    const auto ra = a.RatingsOf(u);
+    const auto rb = b.RatingsOf(u);
+    ASSERT_EQ(ra.size(), rb.size()) << "user " << u;
+    for (std::size_t i = 0; i < ra.size(); ++i) {
+      EXPECT_EQ(ra[i], rb[i]);
+    }
+  }
+}
+
+TEST(BinaryIo, RoundTripsDenseAndSparseMatrices) {
+  const std::string path = TempPath("roundtrip.gfrm");
+  {
+    const auto dense = data::PaperExample1();
+    ASSERT_TRUE(data::SaveMatrixBinary(dense, path).ok());
+    const auto loaded = data::LoadMatrixBinary(path);
+    ASSERT_TRUE(loaded.ok()) << loaded.status();
+    ExpectMatricesEqual(dense, *loaded);
+  }
+  {
+    auto config = data::YahooMusicLikeConfig(200, 80, 99);
+    config.integer_ratings = false;  // fractional ratings round-trip too
+    const auto sparse = data::GenerateLatentFactor(config);
+    ASSERT_TRUE(data::SaveMatrixBinary(sparse, path).ok());
+    const auto loaded = data::LoadMatrixBinary(path);
+    ASSERT_TRUE(loaded.ok());
+    ExpectMatricesEqual(sparse, *loaded);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(BinaryIo, MissingFileIsNotFound) {
+  EXPECT_EQ(data::LoadMatrixBinary("/no/such/file.gfrm").status().code(),
+            common::StatusCode::kNotFound);
+}
+
+TEST(BinaryIo, RejectsBadMagicAndTruncation) {
+  const std::string path = TempPath("corrupt.gfrm");
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "NOPE this is not a matrix";
+  }
+  EXPECT_EQ(data::LoadMatrixBinary(path).status().code(),
+            common::StatusCode::kDataLoss);
+
+  // Valid file truncated mid-entries.
+  const auto matrix = data::PaperExample2();
+  ASSERT_TRUE(data::SaveMatrixBinary(matrix, path).ok());
+  std::string content;
+  {
+    std::ifstream in(path, std::ios::binary);
+    content.assign((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  }
+  {
+    std::ofstream out(path, std::ios::binary);
+    out.write(content.data(),
+              static_cast<std::streamsize>(content.size() - 7));
+  }
+  EXPECT_EQ(data::LoadMatrixBinary(path).status().code(),
+            common::StatusCode::kDataLoss);
+
+  // Trailing garbage is also rejected.
+  {
+    std::ofstream out(path, std::ios::binary);
+    out.write(content.data(),
+              static_cast<std::streamsize>(content.size()));
+    out << "extra";
+  }
+  EXPECT_EQ(data::LoadMatrixBinary(path).status().code(),
+            common::StatusCode::kDataLoss);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace groupform

@@ -1,0 +1,60 @@
+// Dataset statistics and the five-point summary used by Table 3 / Table 4.
+#include <gtest/gtest.h>
+
+#include "data/dataset_stats.h"
+#include "data/paper_examples.h"
+
+namespace groupform {
+namespace {
+
+TEST(Summarize, KnownQuartiles) {
+  const auto s = data::Summarize({1, 2, 3, 4, 5});
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.q1, 2.0);
+  EXPECT_DOUBLE_EQ(s.median, 3.0);
+  EXPECT_DOUBLE_EQ(s.q3, 4.0);
+  EXPECT_DOUBLE_EQ(s.max, 5.0);
+}
+
+TEST(Summarize, InterpolatesBetweenOrderStatistics) {
+  const auto s = data::Summarize({1, 2, 3, 4});
+  EXPECT_DOUBLE_EQ(s.q1, 1.75);
+  EXPECT_DOUBLE_EQ(s.median, 2.5);
+  EXPECT_DOUBLE_EQ(s.q3, 3.25);
+}
+
+TEST(Summarize, SingletonAndEmpty) {
+  const auto one = data::Summarize({7});
+  EXPECT_DOUBLE_EQ(one.min, 7.0);
+  EXPECT_DOUBLE_EQ(one.median, 7.0);
+  EXPECT_DOUBLE_EQ(one.max, 7.0);
+  const auto none = data::Summarize({});
+  EXPECT_DOUBLE_EQ(none.median, 0.0);
+}
+
+TEST(ComputeStats, PaperExample1Facts) {
+  const auto matrix = data::PaperExample1();
+  const auto stats = data::ComputeStats(matrix, "example1");
+  EXPECT_EQ(stats.num_users, 6);
+  EXPECT_EQ(stats.num_items, 3);
+  EXPECT_EQ(stats.num_ratings, 18);
+  EXPECT_DOUBLE_EQ(stats.density, 1.0);
+  // Sum of all ratings in Table 1 is 47.
+  EXPECT_NEAR(stats.mean_rating, 47.0 / 18.0, 1e-12);
+  // Histogram: count each value in Table 1.
+  EXPECT_EQ(stats.rating_histogram.at(1), 6);
+  EXPECT_EQ(stats.rating_histogram.at(2), 4);
+  EXPECT_EQ(stats.rating_histogram.at(3), 3);
+  EXPECT_EQ(stats.rating_histogram.at(4), 1);
+  EXPECT_EQ(stats.rating_histogram.at(5), 4);
+  // Every user rated all 3 items.
+  EXPECT_DOUBLE_EQ(stats.ratings_per_user.min, 3.0);
+  EXPECT_DOUBLE_EQ(stats.ratings_per_user.max, 3.0);
+  // Report text mentions the name and the shape.
+  const auto text = data::StatsToString(stats);
+  EXPECT_NE(text.find("example1"), std::string::npos);
+  EXPECT_NE(text.find("users: 6"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace groupform

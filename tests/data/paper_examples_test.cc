@@ -1,0 +1,58 @@
+// The hard-coded paper tables must match the paper cell by cell.
+#include <gtest/gtest.h>
+
+#include "data/paper_examples.h"
+
+namespace groupform {
+namespace {
+
+TEST(PaperExamples, Table1Cells) {
+  const auto m = data::PaperExample1();
+  ASSERT_EQ(m.num_users(), 6);
+  ASSERT_EQ(m.num_items(), 3);
+  // Spot-check a full user column: u2 = (i1: 2, i2: 3, i3: 5).
+  EXPECT_DOUBLE_EQ(m.GetRating(1, 0).value(), 2.0);
+  EXPECT_DOUBLE_EQ(m.GetRating(1, 1).value(), 3.0);
+  EXPECT_DOUBLE_EQ(m.GetRating(1, 2).value(), 5.0);
+  // And the corners.
+  EXPECT_DOUBLE_EQ(m.GetRating(0, 0).value(), 1.0);
+  EXPECT_DOUBLE_EQ(m.GetRating(5, 2).value(), 5.0);
+}
+
+TEST(PaperExamples, Table2Cells) {
+  const auto m = data::PaperExample2();
+  // u3 = u4 = (2, 5, 1).
+  for (UserId u : {2, 3}) {
+    EXPECT_DOUBLE_EQ(m.GetRating(u, 0).value(), 2.0);
+    EXPECT_DOUBLE_EQ(m.GetRating(u, 1).value(), 5.0);
+    EXPECT_DOUBLE_EQ(m.GetRating(u, 2).value(), 1.0);
+  }
+  EXPECT_DOUBLE_EQ(m.GetRating(0, 2).value(), 4.0);
+}
+
+TEST(PaperExamples, Example3And4Shapes) {
+  const auto e3 = data::PaperExample3();
+  EXPECT_EQ(e3.num_users(), 2);
+  EXPECT_EQ(e3.num_items(), 3);
+  EXPECT_DOUBLE_EQ(e3.GetRating(0, 0).value(), 5.0);
+  EXPECT_DOUBLE_EQ(e3.GetRating(1, 2).value(), 5.0);
+
+  const auto e4 = data::PaperExample4();
+  EXPECT_EQ(e4.num_users(), 4);
+  EXPECT_EQ(e4.num_items(), 2);
+  // u2 = u3 = (4, 5); u4 = (3, 2).
+  EXPECT_DOUBLE_EQ(e4.GetRating(1, 1).value(), 5.0);
+  EXPECT_DOUBLE_EQ(e4.GetRating(2, 1).value(), 5.0);
+  EXPECT_DOUBLE_EQ(e4.GetRating(3, 0).value(), 3.0);
+}
+
+TEST(PaperExamples, Table5Cells) {
+  const auto m = data::PaperExample5();
+  // u5 = (2, 4, 3): differs from Example 1's u5 = (3, 1, 1).
+  EXPECT_DOUBLE_EQ(m.GetRating(4, 0).value(), 2.0);
+  EXPECT_DOUBLE_EQ(m.GetRating(4, 1).value(), 4.0);
+  EXPECT_DOUBLE_EQ(m.GetRating(4, 2).value(), 3.0);
+}
+
+}  // namespace
+}  // namespace groupform

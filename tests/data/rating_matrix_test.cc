@@ -1,0 +1,99 @@
+// RatingMatrix and its builder: CSR layout, lookups, validation, subsets.
+#include <gtest/gtest.h>
+
+#include "data/rating_matrix.h"
+
+namespace groupform {
+namespace {
+
+using data::RatingMatrix;
+using data::RatingMatrixBuilder;
+using data::RatingScale;
+
+TEST(RatingMatrixBuilder, BuildsSortedRowsFromUnsortedInput) {
+  RatingMatrixBuilder builder(2, 4, RatingScale{1.0, 5.0});
+  ASSERT_TRUE(builder.AddRating(1, 2, 3.0).ok());
+  ASSERT_TRUE(builder.AddRating(0, 3, 5.0).ok());
+  ASSERT_TRUE(builder.AddRating(0, 1, 2.0).ok());
+  ASSERT_TRUE(builder.AddRating(1, 0, 4.0).ok());
+  const RatingMatrix matrix = std::move(builder).Build();
+
+  EXPECT_EQ(matrix.num_users(), 2);
+  EXPECT_EQ(matrix.num_items(), 4);
+  EXPECT_EQ(matrix.num_ratings(), 4);
+  const auto row0 = matrix.RatingsOf(0);
+  ASSERT_EQ(row0.size(), 2u);
+  EXPECT_EQ(row0[0].item, 1);
+  EXPECT_EQ(row0[1].item, 3);
+  EXPECT_DOUBLE_EQ(matrix.GetRating(1, 0).value(), 4.0);
+  EXPECT_FALSE(matrix.GetRating(1, 3).has_value());
+  EXPECT_DOUBLE_EQ(matrix.GetRatingOr(1, 3, -1.0), -1.0);
+}
+
+TEST(RatingMatrixBuilder, DuplicateKeepsLastValue) {
+  RatingMatrixBuilder builder(1, 2, RatingScale{1.0, 5.0});
+  ASSERT_TRUE(builder.AddRating(0, 1, 2.0).ok());
+  ASSERT_TRUE(builder.AddRating(0, 1, 5.0).ok());
+  const RatingMatrix matrix = std::move(builder).Build();
+  EXPECT_EQ(matrix.num_ratings(), 1);
+  EXPECT_DOUBLE_EQ(matrix.GetRating(0, 1).value(), 5.0);
+}
+
+TEST(RatingMatrixBuilder, RejectsOutOfRangeAndOffScale) {
+  RatingMatrixBuilder builder(2, 2, RatingScale{1.0, 5.0});
+  EXPECT_EQ(builder.AddRating(2, 0, 3.0).code(),
+            common::StatusCode::kOutOfRange);
+  EXPECT_EQ(builder.AddRating(-1, 0, 3.0).code(),
+            common::StatusCode::kOutOfRange);
+  EXPECT_EQ(builder.AddRating(0, 2, 3.0).code(),
+            common::StatusCode::kOutOfRange);
+  EXPECT_EQ(builder.AddRating(0, 0, 0.5).code(),
+            common::StatusCode::kInvalidArgument);
+  EXPECT_EQ(builder.AddRating(0, 0, 6.0).code(),
+            common::StatusCode::kInvalidArgument);
+}
+
+TEST(RatingMatrix, FromDenseKeepsEveryCellAndChecksRaggedness) {
+  const auto ok = RatingMatrix::FromDense({{1, 2}, {3, 4}});
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(ok->num_ratings(), 4);
+  EXPECT_DOUBLE_EQ(ok->Density(), 1.0);
+
+  const auto ragged = RatingMatrix::FromDense({{1, 2}, {3}});
+  EXPECT_FALSE(ragged.ok());
+}
+
+TEST(RatingMatrix, DensityOnSparseData) {
+  RatingMatrixBuilder builder(4, 5, RatingScale{1.0, 5.0});
+  ASSERT_TRUE(builder.AddRating(0, 0, 1.0).ok());
+  ASSERT_TRUE(builder.AddRating(3, 4, 5.0).ok());
+  const RatingMatrix matrix = std::move(builder).Build();
+  EXPECT_DOUBLE_EQ(matrix.Density(), 2.0 / 20.0);
+  EXPECT_EQ(matrix.NumRatingsOf(0), 1);
+  EXPECT_EQ(matrix.NumRatingsOf(1), 0);
+}
+
+TEST(RatingMatrix, SubsetUsersReindexesInGivenOrder) {
+  const auto matrix =
+      RatingMatrix::FromDense({{1, 2}, {3, 4}, {5, 1}}).value();
+  const auto subset = matrix.SubsetUsers({2, 0});
+  ASSERT_TRUE(subset.ok());
+  EXPECT_EQ(subset->num_users(), 2);
+  EXPECT_DOUBLE_EQ(subset->GetRating(0, 0).value(), 5.0);  // old user 2
+  EXPECT_DOUBLE_EQ(subset->GetRating(1, 1).value(), 2.0);  // old user 0
+
+  EXPECT_FALSE(matrix.SubsetUsers({0, 0}).ok());  // duplicate
+  EXPECT_FALSE(matrix.SubsetUsers({5}).ok());     // out of range
+}
+
+TEST(RatingMatrix, EmptyRowsAreServedAsEmptySpans) {
+  RatingMatrixBuilder builder(3, 3, RatingScale{1.0, 5.0});
+  ASSERT_TRUE(builder.AddRating(1, 1, 3.0).ok());
+  const RatingMatrix matrix = std::move(builder).Build();
+  EXPECT_TRUE(matrix.RatingsOf(0).empty());
+  EXPECT_EQ(matrix.RatingsOf(1).size(), 1u);
+  EXPECT_TRUE(matrix.RatingsOf(2).empty());
+}
+
+}  // namespace
+}  // namespace groupform

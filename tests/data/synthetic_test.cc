@@ -1,0 +1,118 @@
+// Synthetic dataset generators: determinism, scale, sparsity floors, and
+#include <cmath>
+// the structural properties group formation depends on.
+#include <gtest/gtest.h>
+
+#include "data/dataset_stats.h"
+#include "data/synthetic.h"
+
+namespace groupform {
+namespace {
+
+TEST(GenerateLatentFactor, RespectsShapeScaleAndSparsityFloor) {
+  data::SyntheticConfig config;
+  config.num_users = 200;
+  config.num_items = 120;
+  config.min_ratings_per_user = 20;
+  config.max_ratings_per_user = 50;
+  config.seed = 1;
+  const auto matrix = data::GenerateLatentFactor(config);
+  EXPECT_EQ(matrix.num_users(), 200);
+  EXPECT_EQ(matrix.num_items(), 120);
+  for (UserId u = 0; u < matrix.num_users(); ++u) {
+    const auto row = matrix.RatingsOf(u);
+    EXPECT_GE(row.size(), 20u);
+    EXPECT_LE(row.size(), 50u);
+    for (const auto& e : row) {
+      EXPECT_GE(e.rating, 1.0);
+      EXPECT_LE(e.rating, 5.0);
+      // Integer quantisation by default.
+      EXPECT_DOUBLE_EQ(e.rating, std::round(e.rating));
+    }
+  }
+}
+
+TEST(GenerateLatentFactor, DeterministicForFixedSeed) {
+  const auto config = data::YahooMusicLikeConfig(150, 60, 77);
+  const auto a = data::GenerateLatentFactor(config);
+  const auto b = data::GenerateLatentFactor(config);
+  ASSERT_EQ(a.num_ratings(), b.num_ratings());
+  for (UserId u = 0; u < a.num_users(); ++u) {
+    const auto ra = a.RatingsOf(u);
+    const auto rb = b.RatingsOf(u);
+    ASSERT_EQ(ra.size(), rb.size());
+    for (std::size_t i = 0; i < ra.size(); ++i) {
+      EXPECT_EQ(ra[i], rb[i]);
+    }
+  }
+}
+
+TEST(GenerateLatentFactor, DifferentSeedsDiffer) {
+  auto config = data::YahooMusicLikeConfig(100, 50, 1);
+  const auto a = data::GenerateLatentFactor(config);
+  config.seed = 2;
+  const auto b = data::GenerateLatentFactor(config);
+  // Extremely unlikely to coincide.
+  bool any_difference = a.num_ratings() != b.num_ratings();
+  for (UserId u = 0; !any_difference && u < a.num_users(); ++u) {
+    const auto ra = a.RatingsOf(u);
+    const auto rb = b.RatingsOf(u);
+    if (ra.size() != rb.size()) {
+      any_difference = true;
+      break;
+    }
+    for (std::size_t i = 0; i < ra.size(); ++i) {
+      if (!(ra[i] == rb[i])) {
+        any_difference = true;
+        break;
+      }
+    }
+  }
+  EXPECT_TRUE(any_difference);
+}
+
+TEST(GenerateLatentFactor, PopularitySkewConcentratesOnTheHead) {
+  auto config = data::YahooMusicLikeConfig(400, 200, 5);
+  const auto matrix = data::GenerateLatentFactor(config);
+  // Count observations landing in the top 10% of item ids (the Zipf head).
+  std::int64_t head = 0;
+  for (UserId u = 0; u < matrix.num_users(); ++u) {
+    for (const auto& e : matrix.RatingsOf(u)) {
+      if (e.item < 20) ++head;
+    }
+  }
+  const double head_share =
+      static_cast<double>(head) / static_cast<double>(matrix.num_ratings());
+  // Uniform would give 10%; the head-heavy skew should clearly exceed it.
+  EXPECT_GT(head_share, 0.2);
+}
+
+TEST(GenerateUniformDense, FullDensityIntegerRatings) {
+  const auto matrix =
+      data::GenerateUniformDense(8, 6, data::RatingScale{1.0, 5.0}, 3);
+  EXPECT_EQ(matrix.num_ratings(), 48);
+  EXPECT_DOUBLE_EQ(matrix.Density(), 1.0);
+  for (UserId u = 0; u < 8; ++u) {
+    for (const auto& e : matrix.RatingsOf(u)) {
+      EXPECT_DOUBLE_EQ(e.rating, std::round(e.rating));
+      EXPECT_GE(e.rating, 1.0);
+      EXPECT_LE(e.rating, 5.0);
+    }
+  }
+}
+
+TEST(GenerateClusteredDense, EveryUserRatesEverything) {
+  const auto matrix = data::GenerateClusteredDense(50, 30, 5, 9);
+  EXPECT_DOUBLE_EQ(matrix.Density(), 1.0);
+}
+
+TEST(Presets, ShapesDifferAsDocumented) {
+  const auto yahoo = data::YahooMusicLikeConfig(1000, 500);
+  const auto movielens = data::MovieLensLikeConfig(1000, 500);
+  EXPECT_GT(yahoo.popularity_skew, movielens.popularity_skew);
+  EXPECT_GE(yahoo.min_ratings_per_user, 20);
+  EXPECT_GE(movielens.min_ratings_per_user, 20);
+}
+
+}  // namespace
+}  // namespace groupform

@@ -1,0 +1,111 @@
+// Experiment dispatcher: every algorithm kind runs, is timed, and repeats
+// deterministically.
+#include <gtest/gtest.h>
+
+#include "data/synthetic.h"
+#include "eval/experiment.h"
+
+namespace groupform {
+namespace {
+
+using core::FormationProblem;
+using eval::AlgorithmKind;
+
+FormationProblem SmallProblem(const data::RatingMatrix& matrix) {
+  FormationProblem problem;
+  problem.matrix = &matrix;
+  problem.semantics = grouprec::Semantics::kLeastMisery;
+  problem.aggregation = grouprec::Aggregation::kMin;
+  problem.k = 2;
+  problem.max_groups = 3;
+  return problem;
+}
+
+TEST(RunAlgorithm, EveryKindRunsOnASmallInstance) {
+  const auto matrix = data::GenerateUniformDense(
+      10, 6, data::RatingScale{1.0, 5.0}, 31);
+  const auto problem = SmallProblem(matrix);
+  for (const auto kind :
+       {AlgorithmKind::kGreedy, AlgorithmKind::kBaseline,
+        AlgorithmKind::kExactDp, AlgorithmKind::kLocalSearch,
+        AlgorithmKind::kSimulatedAnnealing, AlgorithmKind::kBranchAndBound,
+        AlgorithmKind::kVectorKMeans}) {
+    const auto outcome = eval::RunAlgorithm(kind, problem);
+    ASSERT_TRUE(outcome.ok()) << eval::AlgorithmKindToString(kind) << ": "
+                              << outcome.status();
+    EXPECT_GE(outcome->seconds, 0.0);
+    EXPECT_TRUE(core::ValidatePartition(problem, outcome->result).ok());
+  }
+}
+
+TEST(RunAlgorithm, OptimalDominatesGreedyAndLocalSearch) {
+  const auto matrix = data::GenerateUniformDense(
+      9, 5, data::RatingScale{1.0, 5.0}, 37);
+  const auto problem = SmallProblem(matrix);
+  const auto grd = eval::RunAlgorithm(AlgorithmKind::kGreedy, problem);
+  const auto ls = eval::RunAlgorithm(AlgorithmKind::kLocalSearch, problem);
+  const auto opt = eval::RunAlgorithm(AlgorithmKind::kExactDp, problem);
+  ASSERT_TRUE(grd.ok());
+  ASSERT_TRUE(ls.ok());
+  ASSERT_TRUE(opt.ok());
+  EXPECT_GE(opt->result.objective, grd->result.objective - 1e-9);
+  EXPECT_GE(opt->result.objective, ls->result.objective - 1e-9);
+  EXPECT_GE(ls->result.objective, grd->result.objective - 1e-9);
+}
+
+TEST(RunRepeated, AveragesOverRepetitions) {
+  const auto matrix = data::GenerateUniformDense(
+      12, 6, data::RatingScale{1.0, 5.0}, 41);
+  const auto problem = SmallProblem(matrix);
+  const auto repeated =
+      eval::RunRepeated(AlgorithmKind::kGreedy, problem, 3);
+  ASSERT_TRUE(repeated.ok());
+  // Greedy is deterministic, so the mean equals any single run.
+  const auto single = eval::RunAlgorithm(AlgorithmKind::kGreedy, problem);
+  ASSERT_TRUE(single.ok());
+  EXPECT_DOUBLE_EQ(repeated->mean_objective, single->result.objective);
+  EXPECT_GT(repeated->mean_seconds, 0.0);
+  EXPECT_FALSE(repeated->last_result.groups.empty());
+}
+
+TEST(AlgorithmKindToString, Names) {
+  EXPECT_STREQ(eval::AlgorithmKindToString(AlgorithmKind::kGreedy), "GRD");
+  EXPECT_STREQ(eval::AlgorithmKindToString(AlgorithmKind::kBaseline),
+               "Baseline");
+  EXPECT_STREQ(eval::AlgorithmKindToString(AlgorithmKind::kExactDp), "OPT");
+  EXPECT_STREQ(eval::AlgorithmKindToString(AlgorithmKind::kLocalSearch),
+               "OPT*");
+  EXPECT_STREQ(
+      eval::AlgorithmKindToString(AlgorithmKind::kSimulatedAnnealing),
+      "SA");
+  EXPECT_STREQ(eval::AlgorithmKindToString(AlgorithmKind::kBranchAndBound),
+               "BNB");
+  EXPECT_STREQ(eval::AlgorithmKindToString(AlgorithmKind::kVectorKMeans),
+               "VecKMeans");
+}
+
+TEST(RunAlgorithm, SolverLadderOrdersAsExpected) {
+  // On a small instance the quality ladder must hold: exact solvers at the
+  // top, refiners at least at the greedy seed.
+  const auto matrix = data::GenerateUniformDense(
+      10, 5, data::RatingScale{1.0, 5.0}, 43);
+  const auto problem = SmallProblem(matrix);
+  const auto value = [&](AlgorithmKind kind) {
+    const auto outcome = eval::RunAlgorithm(kind, problem);
+    EXPECT_TRUE(outcome.ok()) << eval::AlgorithmKindToString(kind);
+    return outcome.ok() ? outcome->result.objective : -1.0;
+  };
+  const double grd = value(AlgorithmKind::kGreedy);
+  const double opt = value(AlgorithmKind::kExactDp);
+  const double bnb = value(AlgorithmKind::kBranchAndBound);
+  const double ls = value(AlgorithmKind::kLocalSearch);
+  const double sa = value(AlgorithmKind::kSimulatedAnnealing);
+  EXPECT_NEAR(bnb, opt, 1e-9);
+  EXPECT_GE(ls, grd - 1e-9);
+  EXPECT_GE(sa, grd - 1e-9);
+  EXPECT_LE(ls, opt + 1e-9);
+  EXPECT_LE(sa, opt + 1e-9);
+}
+
+}  // namespace
+}  // namespace groupform

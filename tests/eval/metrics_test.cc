@@ -1,0 +1,95 @@
+// Evaluation metrics: average group satisfaction, size summaries,
+// per-user satisfaction, fully-satisfied fraction.
+#include <gtest/gtest.h>
+
+#include "core/greedy.h"
+#include "data/paper_examples.h"
+#include "data/synthetic.h"
+#include "eval/metrics.h"
+
+namespace groupform {
+namespace {
+
+using core::FormationProblem;
+using grouprec::Aggregation;
+using grouprec::Semantics;
+
+FormationProblem Problem(const data::RatingMatrix& matrix,
+                         Semantics semantics, Aggregation aggregation, int k,
+                         int ell) {
+  FormationProblem problem;
+  problem.matrix = &matrix;
+  problem.semantics = semantics;
+  problem.aggregation = aggregation;
+  problem.k = k;
+  problem.max_groups = ell;
+  return problem;
+}
+
+TEST(AvgGroupSatisfaction, HandComputedOnExample2) {
+  const auto matrix = data::PaperExample2();
+  const auto problem = Problem(matrix, Semantics::kAggregateVoting,
+                               Aggregation::kMin, 2, 2);
+  const auto result = core::RunGreedy(problem);
+  ASSERT_TRUE(result.ok());
+  // Groups: {u3,u4} list (i2,i1) scores 10, 4 -> 14; {u1,u2,u5,u6} list
+  // (i3,i2) scores 11, 9 -> 20. Average over 2 groups = 17.
+  EXPECT_DOUBLE_EQ(eval::AvgGroupSatisfaction(problem, *result), 17.0);
+}
+
+TEST(GroupSizeSummary, MatchesGroupSizes) {
+  const auto matrix = data::PaperExample1();
+  const auto problem = Problem(matrix, Semantics::kLeastMisery,
+                               Aggregation::kMin, 1, 3);
+  const auto result = core::RunGreedy(problem);
+  ASSERT_TRUE(result.ok());
+  const auto summary = eval::GroupSizeSummary(*result);
+  // Groups of sizes {2, 2, 2}.
+  EXPECT_DOUBLE_EQ(summary.min, 2.0);
+  EXPECT_DOUBLE_EQ(summary.median, 2.0);
+  EXPECT_DOUBLE_EQ(summary.max, 2.0);
+}
+
+TEST(MeanPerUserSatisfaction, FullySatisfiedGroupsScoreTheirOwnRatings) {
+  const auto matrix = data::PaperExample1();
+  // ell large enough for every bucket to be its own group (k = 1).
+  const auto problem = Problem(matrix, Semantics::kLeastMisery,
+                               Aggregation::kMin, 1, 6);
+  const auto result = core::RunGreedy(problem);
+  ASSERT_TRUE(result.ok());
+  // Every user gets their own top item: mean of (4,5,5,5,3,5)/1 = 27/6.
+  EXPECT_NEAR(eval::MeanPerUserSatisfaction(problem, *result), 27.0 / 6.0,
+              1e-9);
+  EXPECT_DOUBLE_EQ(eval::FullySatisfiedFraction(problem, *result), 1.0);
+}
+
+TEST(FullySatisfiedFraction, DropsForTheResidualGroup) {
+  const auto matrix = data::PaperExample1();
+  const auto problem = Problem(matrix, Semantics::kLeastMisery,
+                               Aggregation::kMin, 2, 3);
+  const auto result = core::RunGreedy(problem);
+  ASSERT_TRUE(result.ok());
+  // Groups {u1}, {u2} are fully satisfied; the residual 4 users are not
+  // guaranteed to be.
+  const double fraction = eval::FullySatisfiedFraction(problem, *result);
+  EXPECT_GE(fraction, 2.0 / 6.0);
+  EXPECT_LT(fraction, 1.0);
+}
+
+TEST(Metrics, AvgSatisfactionGrowsWithMoreGroups) {
+  // The paper's Figure 3(c) trend: more groups, higher satisfaction.
+  const auto matrix = data::GenerateClusteredDense(120, 50, 10, 81);
+  double previous = -1.0;
+  for (int ell : {2, 6, 12}) {
+    const auto problem = Problem(matrix, Semantics::kAggregateVoting,
+                                 Aggregation::kMin, 5, ell);
+    const auto result = core::RunGreedy(problem);
+    ASSERT_TRUE(result.ok());
+    const double value = result->objective;
+    EXPECT_GE(value, previous - 1e-9) << "ell=" << ell;
+    previous = value;
+  }
+}
+
+}  // namespace
+}  // namespace groupform

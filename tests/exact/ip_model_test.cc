@@ -1,0 +1,117 @@
+// IpModel: structural checks of the emitted LP text (no MILP solver ships
+// with the repository; the text is for external CPLEX/Gurobi use).
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "data/paper_examples.h"
+#include "exact/ip_model.h"
+#include "grouprec/semantics.h"
+
+namespace groupform {
+namespace {
+
+using core::FormationProblem;
+using grouprec::Aggregation;
+using grouprec::Semantics;
+
+FormationProblem Problem(const data::RatingMatrix& matrix,
+                         Semantics semantics, Aggregation aggregation, int k,
+                         int ell) {
+  FormationProblem problem;
+  problem.matrix = &matrix;
+  problem.semantics = semantics;
+  problem.aggregation = aggregation;
+  problem.k = k;
+  problem.max_groups = ell;
+  return problem;
+}
+
+int CountOccurrences(const std::string& text, const std::string& needle) {
+  int count = 0;
+  std::size_t pos = 0;
+  while ((pos = text.find(needle, pos)) != std::string::npos) {
+    ++count;
+    pos += needle.size();
+  }
+  return count;
+}
+
+TEST(IpModel, LmMinModelHasExpectedSections) {
+  const auto matrix = data::PaperExample1();
+  const auto problem = Problem(matrix, Semantics::kLeastMisery,
+                               Aggregation::kMin, 2, 3);
+  const auto lp = exact::IpModel::BuildLpText(problem);
+  ASSERT_TRUE(lp.ok()) << lp.status();
+  EXPECT_NE(lp->find("Maximize"), std::string::npos);
+  EXPECT_NE(lp->find("Subject To"), std::string::npos);
+  EXPECT_NE(lp->find("Binaries"), std::string::npos);
+  EXPECT_NE(lp->find("End"), std::string::npos);
+  // One assignment constraint per user.
+  EXPECT_EQ(CountOccurrences(*lp, "assign_"), 6);
+  // One pivot-selection constraint per group.
+  EXPECT_EQ(CountOccurrences(*lp, " pivot_"), 3);
+  // LM linearisation: one constraint per (item, group, user).
+  EXPECT_EQ(CountOccurrences(*lp, " lm_"), 3 * 3 * 6);
+  // Min ordering constraints exist for k > 1.
+  EXPECT_GT(CountOccurrences(*lp, " ord_"), 0);
+}
+
+TEST(IpModel, AvModelSumsMemberScores) {
+  const auto matrix = data::PaperExample2();
+  const auto problem = Problem(matrix, Semantics::kAggregateVoting,
+                               Aggregation::kMin, 2, 2);
+  const auto lp = exact::IpModel::BuildLpText(problem);
+  ASSERT_TRUE(lp.ok());
+  EXPECT_EQ(CountOccurrences(*lp, " av_"), 3 * 2);
+  EXPECT_EQ(CountOccurrences(*lp, " lm_"), 0);
+}
+
+TEST(IpModel, SumAggregationUsesPerItemContributions) {
+  const auto matrix = data::PaperExample1();
+  const auto problem = Problem(matrix, Semantics::kLeastMisery,
+                               Aggregation::kSum, 2, 2);
+  const auto lp = exact::IpModel::BuildLpText(problem);
+  ASSERT_TRUE(lp.ok());
+  EXPECT_GT(CountOccurrences(*lp, "z_"), 0);
+  EXPECT_EQ(CountOccurrences(*lp, " piv_"), 0);
+}
+
+TEST(IpModel, KEqualsOneOmitsRestSelection) {
+  const auto matrix = data::PaperExample1();
+  const auto problem = Problem(matrix, Semantics::kLeastMisery,
+                               Aggregation::kMin, 1, 2);
+  const auto lp = exact::IpModel::BuildLpText(problem);
+  ASSERT_TRUE(lp.ok());
+  EXPECT_EQ(CountOccurrences(*lp, " rest_"), 0);
+  EXPECT_EQ(CountOccurrences(*lp, "w_"), 0);
+}
+
+TEST(IpModel, RefusesHugeInstances) {
+  data::RatingMatrixBuilder builder(3000, 3000,
+                                    data::RatingScale{1.0, 5.0});
+  ASSERT_TRUE(builder.AddRating(0, 0, 3.0).ok());
+  const auto matrix = std::move(builder).Build();
+  const auto problem = Problem(matrix, Semantics::kLeastMisery,
+                               Aggregation::kMin, 2, 10);
+  EXPECT_EQ(exact::IpModel::BuildLpText(problem).status().code(),
+            common::StatusCode::kResourceExhausted);
+}
+
+TEST(IpModel, WriteLpFileRoundTrips) {
+  const auto matrix = data::PaperExample1();
+  const auto problem = Problem(matrix, Semantics::kLeastMisery,
+                               Aggregation::kMin, 1, 2);
+  const std::string path = testing::TempDir() + "/model.lp";
+  ASSERT_TRUE(exact::IpModel::WriteLpFile(problem, path).ok());
+  std::ifstream in(path);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  EXPECT_NE(buffer.str().find("Maximize"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace groupform

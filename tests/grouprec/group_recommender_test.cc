@@ -1,0 +1,84 @@
+// GroupRecommender facade: the forward problem on known instances.
+#include <gtest/gtest.h>
+
+#include "data/paper_examples.h"
+#include "grouprec/group_recommender.h"
+
+namespace groupform {
+namespace {
+
+using grouprec::Aggregation;
+using grouprec::GroupRecommender;
+using grouprec::Semantics;
+
+GroupRecommender::Options LmOptions(int k) {
+  GroupRecommender::Options options;
+  options.semantics = Semantics::kLeastMisery;
+  options.aggregation = Aggregation::kMin;
+  options.k = k;
+  return options;
+}
+
+TEST(GroupRecommender, PaperExample3Group) {
+  const auto matrix = data::PaperExample3();
+  const GroupRecommender recommender(matrix, LmOptions(2));
+  const std::vector<UserId> group = {0, 1};
+  const auto rec = recommender.Recommend(group);
+  ASSERT_TRUE(rec.ok()) << rec.status();
+  ASSERT_EQ(rec->list.size(), 2);
+  EXPECT_EQ(rec->list.items[0].item, 1);  // i2, LM 4
+  EXPECT_DOUBLE_EQ(rec->satisfaction, 1.0);  // bottom item LM score
+}
+
+TEST(GroupRecommender, AvSemanticsAndSumAggregation) {
+  const auto matrix = data::PaperExample2();
+  GroupRecommender::Options options;
+  options.semantics = Semantics::kAggregateVoting;
+  options.aggregation = Aggregation::kSum;
+  options.k = 2;
+  const GroupRecommender recommender(matrix, options);
+  const std::vector<UserId> group = {0, 1, 4, 5};
+  const auto rec = recommender.Recommend(group);
+  ASSERT_TRUE(rec.ok());
+  // AV scores: i3 = 11, i2 = 9 -> sum 20 (the paper's §5 walkthrough).
+  EXPECT_DOUBLE_EQ(rec->satisfaction, 20.0);
+}
+
+TEST(GroupRecommender, RecommendAllHandlesOverlappingRosters) {
+  const auto matrix = data::PaperExample1();
+  const GroupRecommender recommender(matrix, LmOptions(1));
+  const std::vector<std::vector<UserId>> rosters = {
+      {1, 5}, {2, 3}, {1, 2, 3}};  // user 1 appears twice: forward problem
+  const auto recs = recommender.RecommendAll(rosters);
+  ASSERT_TRUE(recs.ok());
+  ASSERT_EQ(recs->size(), 3u);
+  EXPECT_DOUBLE_EQ((*recs)[0].satisfaction, 5.0);  // {u2,u6} on i3
+  EXPECT_DOUBLE_EQ((*recs)[1].satisfaction, 5.0);  // {u3,u4} on i2
+}
+
+TEST(GroupRecommender, RejectsBadInputs) {
+  const auto matrix = data::PaperExample1();
+  const GroupRecommender recommender(matrix, LmOptions(2));
+  const std::vector<UserId> empty;
+  EXPECT_FALSE(recommender.Recommend(empty).ok());
+  const std::vector<UserId> out_of_range = {0, 42};
+  EXPECT_EQ(recommender.Recommend(out_of_range).status().code(),
+            common::StatusCode::kOutOfRange);
+}
+
+TEST(GroupRecommender, CandidateDepthTruncation) {
+  const auto matrix = data::PaperExample1();
+  auto options = LmOptions(2);
+  options.candidate_depth = 1;  // union of members' top-1 items only
+  const GroupRecommender truncated(matrix, options);
+  const GroupRecommender full(matrix, LmOptions(2));
+  const std::vector<UserId> group = {0, 4};
+  const auto a = truncated.Recommend(group);
+  const auto b = full.Recommend(group);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_LE(a->satisfaction, b->satisfaction + 1e-9);
+}
+
+}  // namespace
+}  // namespace groupform

@@ -1,0 +1,146 @@
+// End-to-end pipeline: generate sparse data -> train a predictor ->
+// densify -> snapshot to disk -> reload -> form groups (several solvers)
+// -> evaluate -> expand with overlaps. Exercises the seams between the
+// modules rather than any one module.
+#include <cstdio>
+
+#include <gtest/gtest.h>
+
+#include "baseline/cluster_baseline.h"
+#include "core/constrained.h"
+#include "core/greedy.h"
+#include "core/incremental.h"
+#include "core/overlap.h"
+#include "data/binary_io.h"
+#include "data/synthetic.h"
+#include "eval/metrics.h"
+#include "eval/weighted_objective.h"
+#include "exact/local_search.h"
+#include "recsys/matrix_factorization.h"
+#include "recsys/predictor.h"
+
+namespace groupform {
+namespace {
+
+TEST(Pipeline, SparseToPredictedToFormedToEvaluated) {
+  // 1. Sparse explicit feedback.
+  auto config = data::YahooMusicLikeConfig(400, 120, /*seed=*/606);
+  config.min_ratings_per_user = 10;
+  config.max_ratings_per_user = 30;
+  const auto sparse = data::GenerateLatentFactor(config);
+  ASSERT_LT(sparse.Density(), 0.3);
+
+  // 2. Train MF, densify the popular head with predictions.
+  recsys::MfPredictor::Options mf_options;
+  mf_options.num_epochs = 10;
+  const recsys::MfPredictor predictor(sparse, mf_options);
+  const auto dense = recsys::DensifyWithPredictions(sparse, predictor, 40);
+  ASSERT_GT(dense.num_ratings(), sparse.num_ratings());
+
+  // 3. Snapshot to disk and reload; formation must be identical on both.
+  const std::string path = testing::TempDir() + "/pipeline.gfrm";
+  ASSERT_TRUE(data::SaveMatrixBinary(dense, path).ok());
+  const auto reloaded = data::LoadMatrixBinary(path);
+  ASSERT_TRUE(reloaded.ok());
+  std::remove(path.c_str());
+
+  core::FormationProblem problem;
+  problem.matrix = &dense;
+  problem.semantics = grouprec::Semantics::kLeastMisery;
+  problem.aggregation = grouprec::Aggregation::kMax;
+  problem.k = 5;
+  problem.max_groups = 12;
+  core::FormationProblem reloaded_problem = problem;
+  reloaded_problem.matrix = &*reloaded;
+
+  const auto formed = core::RunGreedy(problem);
+  const auto formed_reloaded = core::RunGreedy(reloaded_problem);
+  ASSERT_TRUE(formed.ok());
+  ASSERT_TRUE(formed_reloaded.ok());
+  EXPECT_DOUBLE_EQ(formed->objective, formed_reloaded->objective);
+
+  // 4. The solution validates, and the solver ladder behaves.
+  EXPECT_TRUE(core::ValidatePartition(problem, *formed).ok());
+  const auto refined = exact::LocalSearchSolver(problem).Run();
+  ASSERT_TRUE(refined.ok());
+  EXPECT_GE(refined->objective, formed->objective - 1e-9);
+  const auto clustered = baseline::RunBaseline(problem);
+  ASSERT_TRUE(clustered.ok());
+  EXPECT_GE(formed->objective, clustered->objective - 1e-9);
+
+  // 5. Metrics are finite and consistent.
+  EXPECT_GT(eval::AvgGroupSatisfaction(problem, *formed), 0.0);
+  EXPECT_GT(eval::MeanPerUserSatisfaction(problem, *formed),
+            dense.scale().min - 1e-9);
+  const double ndcg = eval::MeanUserNdcg(problem, *formed);
+  EXPECT_GT(ndcg, 0.0);
+  EXPECT_LE(ndcg, 1.0 + 1e-9);
+
+  // 6. Overlap expansion only improves per-user coverage.
+  core::OverlapOptions overlap_options;
+  overlap_options.min_ndcg = 0.6;
+  const auto overlap =
+      core::ExpandWithOverlaps(problem, *formed, overlap_options);
+  ASSERT_TRUE(overlap.ok());
+  EXPECT_GE(overlap->mean_best_ndcg, ndcg - 1e-9);
+}
+
+TEST(Pipeline, IncrementalRoundsTrackArrivalsAndDepartures) {
+  // Operational loop: nightly formation over a changing population.
+  const auto matrix = data::GenerateLatentFactor(
+      data::YahooMusicLikeConfig(300, 80, /*seed=*/707));
+  core::FormationProblem problem;
+  problem.matrix = &matrix;
+  problem.semantics = grouprec::Semantics::kAggregateVoting;
+  problem.aggregation = grouprec::Aggregation::kMin;
+  problem.k = 4;
+  problem.max_groups = 10;
+
+  core::IncrementalFormer former(problem);
+  // Night 1: first 200 users signed up.
+  for (UserId u = 0; u < 200; ++u) ASSERT_TRUE(former.AddUser(u).ok());
+  const auto night1 = former.Form();
+  ASSERT_TRUE(night1.ok());
+  // Night 2: 100 arrivals, 50 departures.
+  for (UserId u = 200; u < 300; ++u) ASSERT_TRUE(former.AddUser(u).ok());
+  for (UserId u = 0; u < 50; ++u) ASSERT_TRUE(former.RemoveUser(u).ok());
+  const auto night2 = former.Form();
+  ASSERT_TRUE(night2.ok());
+  EXPECT_EQ(former.num_active(), 250);
+  // Both nights produced at most ell groups covering the active users.
+  std::int64_t covered = 0;
+  for (const auto& g : night2->groups) {
+    covered += static_cast<std::int64_t>(g.members.size());
+  }
+  EXPECT_EQ(covered, 250);
+  EXPECT_LE(night2->num_groups(), 10);
+}
+
+TEST(Pipeline, ConstrainedFormationFeedsTheGroupBudget) {
+  const auto matrix = data::GenerateLatentFactor(
+      data::YahooMusicLikeConfig(240, 60, /*seed=*/808));
+  core::FormationProblem problem;
+  problem.matrix = &matrix;
+  problem.semantics = grouprec::Semantics::kLeastMisery;
+  problem.aggregation = grouprec::Aggregation::kMax;
+  problem.k = 5;
+  problem.max_groups = 12;
+  core::SizeConstraints constraints;
+  constraints.min_group_size = 8;
+  constraints.max_group_size = 40;
+  const auto result = core::RunSizeConstrainedGreedy(problem, constraints);
+  ASSERT_TRUE(result.ok()) << result.status();
+  for (const auto& g : result->groups) {
+    EXPECT_GE(g.members.size(), 8u);
+    EXPECT_LE(g.members.size(), 40u);
+  }
+  // The weighted view of the same result is consistent with the plain one.
+  const double uniform = eval::WeightedSumObjective(
+      problem, *result, grouprec::PositionWeighting::kUniform);
+  const double discounted = eval::WeightedSumObjective(
+      problem, *result, grouprec::PositionWeighting::kLogInverse);
+  EXPECT_GE(uniform, discounted);
+}
+
+}  // namespace
+}  // namespace groupform

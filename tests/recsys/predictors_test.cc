@@ -1,0 +1,133 @@
+// Rating-prediction substrates: item-kNN and matrix factorisation.
+#include <gtest/gtest.h>
+
+#include "data/synthetic.h"
+#include "recsys/item_knn.h"
+#include "recsys/matrix_factorization.h"
+#include "recsys/predictor.h"
+
+namespace groupform {
+namespace {
+
+data::RatingMatrix StructuredMatrix(std::int32_t users, std::int32_t items,
+                                    std::uint64_t seed) {
+  data::SyntheticConfig config;
+  config.num_users = users;
+  config.num_items = items;
+  config.num_taste_clusters = 5;
+  config.min_ratings_per_user = std::min<std::int32_t>(20, items);
+  config.max_ratings_per_user = std::min<std::int32_t>(40, items);
+  config.seed = seed;
+  return data::GenerateLatentFactor(config);
+}
+
+/// Predicts the global mean of the scale: the no-skill baseline.
+class MidpointPredictor : public recsys::RatingPredictor {
+ public:
+  explicit MidpointPredictor(const data::RatingMatrix& matrix)
+      : value_(0.5 * (matrix.scale().min + matrix.scale().max)) {}
+  Rating Predict(UserId, ItemId) const override { return value_; }
+
+ private:
+  Rating value_;
+};
+
+TEST(HoldoutSplit, PartitionsObservationsWithoutLoss) {
+  const auto matrix = StructuredMatrix(100, 60, 3);
+  const auto split = recsys::SplitHoldout(matrix, 0.25, 42);
+  EXPECT_EQ(split.train.num_ratings() + split.test.num_ratings(),
+            matrix.num_ratings());
+  // Roughly a quarter held out.
+  const double frac = static_cast<double>(split.test.num_ratings()) /
+                      static_cast<double>(matrix.num_ratings());
+  EXPECT_GT(frac, 0.15);
+  EXPECT_LT(frac, 0.35);
+  // No observation appears in both halves.
+  for (UserId u = 0; u < matrix.num_users(); ++u) {
+    for (const auto& e : split.test.RatingsOf(u)) {
+      EXPECT_FALSE(split.train.GetRating(u, e.item).has_value());
+    }
+  }
+}
+
+TEST(ItemKnn, BeatsTheMidpointBaselineOnHeldOutData) {
+  const auto matrix = StructuredMatrix(300, 80, 7);
+  const auto split = recsys::SplitHoldout(matrix, 0.2, 11);
+  recsys::ItemKnnPredictor::Options options;
+  const recsys::ItemKnnPredictor knn(split.train, options);
+  const MidpointPredictor baseline(split.train);
+  const double knn_rmse = recsys::Rmse(knn, split.test);
+  const double base_rmse = recsys::Rmse(baseline, split.test);
+  EXPECT_LT(knn_rmse, base_rmse);
+}
+
+TEST(ItemKnn, PredictionsStayInScale) {
+  const auto matrix = StructuredMatrix(120, 40, 9);
+  const recsys::ItemKnnPredictor knn(matrix, {});
+  for (UserId u = 0; u < 20; ++u) {
+    for (ItemId i = 0; i < matrix.num_items(); ++i) {
+      const Rating r = knn.Predict(u, i);
+      EXPECT_GE(r, matrix.scale().min);
+      EXPECT_LE(r, matrix.scale().max);
+    }
+  }
+}
+
+TEST(ItemKnn, NeighborListsAreBoundedAndSymmetricallyPlausible) {
+  const auto matrix = StructuredMatrix(150, 30, 13);
+  recsys::ItemKnnPredictor::Options options;
+  options.max_neighbors = 5;
+  const recsys::ItemKnnPredictor knn(matrix, options);
+  for (ItemId i = 0; i < matrix.num_items(); ++i) {
+    EXPECT_LE(knn.NeighborsOf(i).size(), 5u);
+    for (const auto& [neighbor, sim] : knn.NeighborsOf(i)) {
+      EXPECT_NE(neighbor, i);
+      EXPECT_GE(sim, -1.0);
+      EXPECT_LE(sim, 1.0);
+    }
+  }
+}
+
+TEST(MatrixFactorization, TrainingReducesRmseBelowBaseline) {
+  const auto matrix = StructuredMatrix(300, 80, 17);
+  const auto split = recsys::SplitHoldout(matrix, 0.2, 19);
+  recsys::MfPredictor::Options options;
+  options.num_epochs = 25;
+  const recsys::MfPredictor mf(split.train, options);
+  const MidpointPredictor baseline(split.train);
+  EXPECT_LT(recsys::Rmse(mf, split.test),
+            recsys::Rmse(baseline, split.test));
+  // Training RMSE should be solidly below one rating step.
+  EXPECT_LT(mf.final_train_rmse(), 1.0);
+}
+
+TEST(MatrixFactorization, DeterministicForFixedSeed) {
+  const auto matrix = StructuredMatrix(80, 30, 21);
+  recsys::MfPredictor::Options options;
+  options.num_epochs = 5;
+  const recsys::MfPredictor a(matrix, options);
+  const recsys::MfPredictor b(matrix, options);
+  for (UserId u = 0; u < 10; ++u) {
+    EXPECT_DOUBLE_EQ(a.Predict(u, 0), b.Predict(u, 0));
+  }
+}
+
+TEST(DensifyWithPredictions, FillsPopularItemsOnly) {
+  const auto matrix = StructuredMatrix(60, 50, 23);
+  const MidpointPredictor predictor(matrix);
+  const auto densified =
+      recsys::DensifyWithPredictions(matrix, predictor, 10);
+  EXPECT_EQ(densified.num_users(), matrix.num_users());
+  EXPECT_GE(densified.num_ratings(), matrix.num_ratings());
+  // Original observations are preserved verbatim.
+  for (UserId u = 0; u < matrix.num_users(); ++u) {
+    for (const auto& e : matrix.RatingsOf(u)) {
+      const auto kept = densified.GetRating(u, e.item);
+      ASSERT_TRUE(kept.has_value());
+      EXPECT_DOUBLE_EQ(*kept, e.rating);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace groupform

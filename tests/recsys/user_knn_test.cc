@@ -1,0 +1,92 @@
+// User-based kNN predictor.
+#include <gtest/gtest.h>
+
+#include "data/synthetic.h"
+#include "recsys/predictor.h"
+#include "recsys/user_knn.h"
+
+namespace groupform {
+namespace {
+
+data::RatingMatrix StructuredMatrix(std::int32_t users, std::int32_t items,
+                                    std::uint64_t seed) {
+  data::SyntheticConfig config;
+  config.num_users = users;
+  config.num_items = items;
+  config.num_taste_clusters = 5;
+  config.min_ratings_per_user = std::min<std::int32_t>(20, items);
+  config.max_ratings_per_user = std::min<std::int32_t>(40, items);
+  config.seed = seed;
+  return data::GenerateLatentFactor(config);
+}
+
+class MidpointPredictor : public recsys::RatingPredictor {
+ public:
+  explicit MidpointPredictor(const data::RatingMatrix& matrix)
+      : value_(0.5 * (matrix.scale().min + matrix.scale().max)) {}
+  Rating Predict(UserId, ItemId) const override { return value_; }
+
+ private:
+  Rating value_;
+};
+
+TEST(UserKnn, BeatsMidpointBaselineOnHoldout) {
+  const auto matrix = StructuredMatrix(300, 80, 31);
+  const auto split = recsys::SplitHoldout(matrix, 0.2, 33);
+  const recsys::UserKnnPredictor knn(split.train, {});
+  const MidpointPredictor baseline(split.train);
+  EXPECT_LT(recsys::Rmse(knn, split.test),
+            recsys::Rmse(baseline, split.test));
+}
+
+TEST(UserKnn, PredictionsStayInScale) {
+  const auto matrix = StructuredMatrix(100, 40, 35);
+  const recsys::UserKnnPredictor knn(matrix, {});
+  for (UserId u = 0; u < 25; ++u) {
+    for (ItemId i = 0; i < matrix.num_items(); ++i) {
+      const Rating r = knn.Predict(u, i);
+      EXPECT_GE(r, matrix.scale().min);
+      EXPECT_LE(r, matrix.scale().max);
+    }
+  }
+}
+
+TEST(UserKnn, NeighborListsBoundedAndExcludeSelf) {
+  const auto matrix = StructuredMatrix(120, 40, 37);
+  recsys::UserKnnPredictor::Options options;
+  options.max_neighbors = 7;
+  const recsys::UserKnnPredictor knn(matrix, options);
+  for (UserId u = 0; u < matrix.num_users(); ++u) {
+    EXPECT_LE(knn.NeighborsOf(u).size(), 7u);
+    for (const auto& [neighbor, sim] : knn.NeighborsOf(u)) {
+      EXPECT_NE(neighbor, u);
+      EXPECT_GE(sim, -1.0);
+      EXPECT_LE(sim, 1.0);
+    }
+  }
+}
+
+TEST(UserKnn, RaterSubsamplingStillPredicts) {
+  const auto matrix = StructuredMatrix(200, 30, 39);
+  recsys::UserKnnPredictor::Options options;
+  options.max_raters_per_item = 32;  // force the subsampling path
+  const auto split = recsys::SplitHoldout(matrix, 0.2, 41);
+  const recsys::UserKnnPredictor trained(split.train, options);
+  const MidpointPredictor baseline(split.train);
+  // Subsampling weakens the neighbourhoods; the predictor must stay in
+  // the same league as the no-skill baseline, not collapse.
+  EXPECT_LT(recsys::Rmse(trained, split.test),
+            recsys::Rmse(baseline, split.test) + 0.15);
+}
+
+TEST(UserKnn, DeterministicForFixedSeed) {
+  const auto matrix = StructuredMatrix(80, 25, 43);
+  const recsys::UserKnnPredictor a(matrix, {});
+  const recsys::UserKnnPredictor b(matrix, {});
+  for (UserId u = 0; u < 10; ++u) {
+    EXPECT_DOUBLE_EQ(a.Predict(u, 3), b.Predict(u, 3));
+  }
+}
+
+}  // namespace
+}  // namespace groupform

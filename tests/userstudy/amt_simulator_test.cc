@@ -1,0 +1,139 @@
+// The simulated AMT study (§7.3): pool generation, the paper's similarity
+#include <cmath>
+// formula, sample selection, and the end-to-end study.
+#include <algorithm>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "userstudy/amt_simulator.h"
+
+namespace groupform {
+namespace {
+
+using userstudy::AmtSimulator;
+
+AmtSimulator::Options SmallOptions() {
+  AmtSimulator::Options options;
+  options.num_workers = 30;
+  options.raters_per_hit = 10;
+  options.seed = 2015;
+  return options;
+}
+
+TEST(AmtSimulator, WorkerPoolShapeAndScale) {
+  const AmtSimulator sim(SmallOptions());
+  const auto pool = sim.GenerateWorkerPool();
+  EXPECT_EQ(pool.num_users(), 30);
+  EXPECT_EQ(pool.num_items(), 10);
+  EXPECT_DOUBLE_EQ(pool.Density(), 1.0);
+  for (UserId w = 0; w < pool.num_users(); ++w) {
+    for (const auto& e : pool.RatingsOf(w)) {
+      EXPECT_GE(e.rating, 1.0);
+      EXPECT_LE(e.rating, 5.0);
+      EXPECT_DOUBLE_EQ(e.rating, std::round(e.rating));
+    }
+  }
+}
+
+TEST(AmtSimulator, PairSimilarityIsOneForIdenticalRaters) {
+  // Two workers with byte-identical profiles must have similarity 1 and
+  // dissimilar profiles must score lower.
+  const auto matrix = data::RatingMatrix::FromDense(
+      {{5, 4, 3, 2, 1}, {5, 4, 3, 2, 1}, {1, 2, 3, 4, 5}},
+      data::RatingScale{1.0, 5.0});
+  ASSERT_TRUE(matrix.ok());
+  const double same = AmtSimulator::PairSimilarity(*matrix, 0, 1);
+  const double opposed = AmtSimulator::PairSimilarity(*matrix, 0, 2);
+  EXPECT_DOUBLE_EQ(same, 1.0);
+  EXPECT_LT(opposed, same);
+}
+
+TEST(AmtSimulator, SamplesAreDistinctUsersOfRequestedSize) {
+  const AmtSimulator sim(SmallOptions());
+  const auto pool = sim.GenerateWorkerPool();
+  for (const auto kind :
+       {AmtSimulator::SampleKind::kSimilar,
+        AmtSimulator::SampleKind::kDissimilar,
+        AmtSimulator::SampleKind::kRandom}) {
+    const auto sample = sim.SelectSample(pool, kind);
+    EXPECT_EQ(sample.size(), 10u);
+    const std::set<UserId> distinct(sample.begin(), sample.end());
+    EXPECT_EQ(distinct.size(), sample.size());
+    for (UserId u : sample) {
+      EXPECT_GE(u, 0);
+      EXPECT_LT(u, pool.num_users());
+    }
+  }
+}
+
+TEST(AmtSimulator, SimilarSampleIsMoreCoherentThanDissimilar) {
+  const AmtSimulator sim(SmallOptions());
+  const auto pool = sim.GenerateWorkerPool();
+  const auto mean_sim = [&](const std::vector<UserId>& sample) {
+    double total = 0.0;
+    int pairs = 0;
+    for (std::size_t i = 0; i < sample.size(); ++i) {
+      for (std::size_t j = i + 1; j < sample.size(); ++j) {
+        total += AmtSimulator::PairSimilarity(pool, sample[i], sample[j]);
+        ++pairs;
+      }
+    }
+    return total / pairs;
+  };
+  const double similar =
+      mean_sim(sim.SelectSample(pool, AmtSimulator::SampleKind::kSimilar));
+  const double dissimilar = mean_sim(
+      sim.SelectSample(pool, AmtSimulator::SampleKind::kDissimilar));
+  EXPECT_GT(similar, dissimilar);
+}
+
+TEST(AmtSimulator, StudyProducesSixHitsWithSaneNumbers) {
+  const AmtSimulator sim(SmallOptions());
+  const auto study = sim.Run();
+  ASSERT_TRUE(study.ok()) << study.status();
+  ASSERT_EQ(study->hits.size(), 6u);  // 3 sample kinds x {Min, Sum}
+  for (const auto& hit : study->hits) {
+    EXPECT_GE(hit.avg_satisfaction_grd, 1.0);
+    EXPECT_LE(hit.avg_satisfaction_grd, 5.0);
+    EXPECT_GE(hit.avg_satisfaction_baseline, 1.0);
+    EXPECT_LE(hit.avg_satisfaction_baseline, 5.0);
+    EXPECT_GE(hit.prefer_grd_fraction, 0.0);
+    EXPECT_LE(hit.prefer_grd_fraction, 1.0);
+    EXPECT_GE(hit.stderr_grd, 0.0);
+  }
+  EXPECT_GE(study->prefer_grd_min_pct, 0.0);
+  EXPECT_LE(study->prefer_grd_min_pct, 100.0);
+}
+
+TEST(AmtSimulator, GrdAtLeastMatchesBaselineSatisfactionOnAverage) {
+  // The paper's Figure 7 claim, in expectation over the six HITs.
+  const AmtSimulator sim(SmallOptions());
+  const auto study = sim.Run();
+  ASSERT_TRUE(study.ok());
+  double grd_total = 0.0;
+  double base_total = 0.0;
+  for (const auto& hit : study->hits) {
+    grd_total += hit.avg_satisfaction_grd;
+    base_total += hit.avg_satisfaction_baseline;
+  }
+  EXPECT_GE(grd_total, base_total - 1e-9);
+}
+
+TEST(AmtSimulator, DeterministicForFixedSeed) {
+  const AmtSimulator a(SmallOptions());
+  const AmtSimulator b(SmallOptions());
+  const auto sa = a.Run();
+  const auto sb = b.Run();
+  ASSERT_TRUE(sa.ok());
+  ASSERT_TRUE(sb.ok());
+  for (std::size_t i = 0; i < sa->hits.size(); ++i) {
+    EXPECT_DOUBLE_EQ(sa->hits[i].avg_satisfaction_grd,
+                     sb->hits[i].avg_satisfaction_grd);
+    EXPECT_DOUBLE_EQ(sa->hits[i].prefer_grd_fraction,
+                     sb->hits[i].prefer_grd_fraction);
+  }
+}
+
+}  // namespace
+}  // namespace groupform

@@ -1,0 +1,223 @@
+// groupform_cli — run recommendation-aware group formation from the
+// command line.
+//
+//   groupform_cli --input ratings.csv --semantics lm --aggregation min \
+//                 --k 5 --groups 10 --algorithm greedy \
+//                 --output groups.csv
+//
+//   groupform_cli --synthetic yahoo --users 2000 --items 500 \
+//                 --algorithm localsearch --emit-lp model.lp
+//
+// Flags:
+//   --input PATH        user,item,rating CSV (ids re-indexed densely)
+//   --movielens PATH    MovieLens ratings.dat ("user::item::rating::ts")
+//   --synthetic NAME    yahoo | movielens (requires --users / --items)
+//   --users N --items M --seed S    synthetic shape (default 1000x500)
+//   --semantics lm|av   group recommendation semantics (default lm)
+//   --aggregation max|min|sum       list aggregation (default min)
+//   --k N               list length (default 5)
+//   --groups N          max groups, the paper's ell (default 10)
+//   --missing rmin|zero|skip        missing-rating policy (default rmin)
+//   --algorithm greedy|baseline|veckmeans|localsearch|sa|bnb|exact
+//   --candidate-depth D residual candidate truncation (0 = full catalogue)
+//   --output PATH       write "group,user" CSV of the partition
+//   --emit-lp PATH      also write the Appendix-A IP in LP format
+#include <cstdio>
+#include <string>
+
+#include "baseline/cluster_baseline.h"
+#include "baseline/vector_kmeans.h"
+#include "common/csv.h"
+#include "common/flags.h"
+#include "common/stopwatch.h"
+#include "common/strings.h"
+#include "core/formation.h"
+#include "core/greedy.h"
+#include "data/dataset_stats.h"
+#include "data/loaders.h"
+#include "data/synthetic.h"
+#include "eval/metrics.h"
+#include "eval/weighted_objective.h"
+#include "exact/ip_model.h"
+#include "exact/branch_and_bound.h"
+#include "exact/local_search.h"
+#include "exact/simulated_annealing.h"
+#include "exact/subset_dp.h"
+#include "grouprec/semantics.h"
+
+namespace {
+
+using namespace groupform;
+
+common::StatusOr<data::RatingMatrix> LoadData(
+    const common::FlagParser& flags) {
+  if (flags.Has("input")) {
+    data::LoaderOptions options;
+    return data::LoadTripletFile(flags.GetString("input", ""), options);
+  }
+  if (flags.Has("movielens")) {
+    return data::LoadMovieLens(flags.GetString("movielens", ""));
+  }
+  const std::string kind = flags.GetString("synthetic", "yahoo");
+  const auto users = static_cast<std::int32_t>(flags.GetInt("users", 1000));
+  const auto items = static_cast<std::int32_t>(flags.GetInt("items", 500));
+  const auto seed = static_cast<std::uint64_t>(flags.GetInt("seed", 42));
+  if (kind == "yahoo") {
+    return data::GenerateLatentFactor(
+        data::YahooMusicLikeConfig(users, items, seed));
+  }
+  if (kind == "movielens") {
+    return data::GenerateLatentFactor(
+        data::MovieLensLikeConfig(users, items, seed));
+  }
+  return common::Status::InvalidArgument("unknown --synthetic: " + kind);
+}
+
+common::StatusOr<core::FormationProblem> BuildProblem(
+    const common::FlagParser& flags, const data::RatingMatrix& matrix) {
+  core::FormationProblem problem;
+  problem.matrix = &matrix;
+  const std::string semantics = flags.GetString("semantics", "lm");
+  if (semantics == "lm") {
+    problem.semantics = grouprec::Semantics::kLeastMisery;
+  } else if (semantics == "av") {
+    problem.semantics = grouprec::Semantics::kAggregateVoting;
+  } else {
+    return common::Status::InvalidArgument("unknown --semantics: " +
+                                           semantics);
+  }
+  const std::string aggregation = flags.GetString("aggregation", "min");
+  if (aggregation == "max") {
+    problem.aggregation = grouprec::Aggregation::kMax;
+  } else if (aggregation == "min") {
+    problem.aggregation = grouprec::Aggregation::kMin;
+  } else if (aggregation == "sum") {
+    problem.aggregation = grouprec::Aggregation::kSum;
+  } else {
+    return common::Status::InvalidArgument("unknown --aggregation: " +
+                                           aggregation);
+  }
+  const std::string missing = flags.GetString("missing", "rmin");
+  if (missing == "rmin") {
+    problem.missing = grouprec::MissingRatingPolicy::kScaleMin;
+  } else if (missing == "zero") {
+    problem.missing = grouprec::MissingRatingPolicy::kZero;
+  } else if (missing == "skip") {
+    problem.missing = grouprec::MissingRatingPolicy::kSkipUser;
+  } else {
+    return common::Status::InvalidArgument("unknown --missing: " + missing);
+  }
+  problem.k = static_cast<int>(flags.GetInt("k", 5));
+  problem.max_groups = static_cast<int>(flags.GetInt("groups", 10));
+  problem.candidate_depth =
+      static_cast<int>(flags.GetInt("candidate-depth", 0));
+  GF_RETURN_IF_ERROR(problem.Validate());
+  return problem;
+}
+
+common::StatusOr<core::FormationResult> RunChosen(
+    const common::FlagParser& flags,
+    const core::FormationProblem& problem) {
+  const std::string algorithm = flags.GetString("algorithm", "greedy");
+  if (algorithm == "greedy") return core::RunGreedy(problem);
+  if (algorithm == "baseline") return baseline::RunBaseline(problem);
+  if (algorithm == "veckmeans") {
+    return baseline::VectorKMeansFormer(problem).Run();
+  }
+  if (algorithm == "localsearch") {
+    return exact::LocalSearchSolver(problem).Run();
+  }
+  if (algorithm == "sa") {
+    return exact::SimulatedAnnealingSolver(problem).Run();
+  }
+  if (algorithm == "bnb") return exact::BranchAndBoundSolver(problem).Run();
+  if (algorithm == "exact") return exact::SubsetDpSolver(problem).Run();
+  return common::Status::InvalidArgument("unknown --algorithm: " +
+                                         algorithm);
+}
+
+int RealMain(int argc, char** argv) {
+  common::FlagParser flags;
+  if (const auto status = flags.Parse(argc, argv); !status.ok()) {
+    std::fprintf(stderr, "%s\n", status.ToString().c_str());
+    return 2;
+  }
+  if (flags.GetBool("help", false)) {
+    std::printf("see the header comment of tools/groupform_cli.cc\n");
+    return 0;
+  }
+
+  const auto matrix = LoadData(flags);
+  if (!matrix.ok()) {
+    std::fprintf(stderr, "loading data: %s\n",
+                 matrix.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("%s", data::StatsToString(
+                        data::ComputeStats(*matrix, "input")).c_str());
+
+  const auto problem = BuildProblem(flags, *matrix);
+  if (!problem.ok()) {
+    std::fprintf(stderr, "%s\n", problem.status().ToString().c_str());
+    return 2;
+  }
+
+  if (flags.Has("emit-lp")) {
+    const auto status = exact::IpModel::WriteLpFile(
+        *problem, flags.GetString("emit-lp", ""));
+    if (!status.ok()) {
+      std::fprintf(stderr, "emitting LP: %s\n", status.ToString().c_str());
+      return 1;
+    }
+    std::printf("wrote %s\n", flags.GetString("emit-lp", "").c_str());
+  }
+
+  common::Stopwatch stopwatch;
+  const auto result = RunChosen(flags, *problem);
+  if (!result.ok()) {
+    std::fprintf(stderr, "formation: %s\n",
+                 result.status().ToString().c_str());
+    return 1;
+  }
+  const double seconds = stopwatch.ElapsedSeconds();
+
+  std::printf("\n%s on %s\n", result->algorithm.c_str(),
+              problem->ToString().c_str());
+  std::printf("  objective:              %.3f\n", result->objective);
+  std::printf("  groups formed:          %d\n", result->num_groups());
+  const auto sizes = eval::GroupSizeSummary(*result);
+  std::printf("  group sizes:            min=%.0f median=%.0f max=%.0f\n",
+              sizes.min, sizes.median, sizes.max);
+  std::printf("  avg group satisfaction: %.3f\n",
+              eval::AvgGroupSatisfaction(*problem, *result));
+  std::printf("  mean user rating:       %.3f\n",
+              eval::MeanPerUserSatisfaction(*problem, *result));
+  std::printf("  mean user NDCG@%d:       %.3f\n", problem->k,
+              eval::MeanUserNdcg(*problem, *result));
+  std::printf("  fully satisfied users:  %.1f%%\n",
+              100.0 * eval::FullySatisfiedFraction(*problem, *result));
+  std::printf("  wall clock:             %.3f s\n", seconds);
+
+  if (flags.Has("output")) {
+    common::CsvWriter writer;
+    writer.AddRow({"group", "user"});
+    for (int g = 0; g < result->num_groups(); ++g) {
+      for (UserId u : result->groups[static_cast<std::size_t>(g)].members) {
+        writer.AddRow({common::StrFormat("%d", g),
+                       common::StrFormat("%d", u)});
+      }
+    }
+    const auto status = writer.WriteFile(flags.GetString("output", ""));
+    if (!status.ok()) {
+      std::fprintf(stderr, "writing output: %s\n",
+                   status.ToString().c_str());
+      return 1;
+    }
+    std::printf("wrote %s\n", flags.GetString("output", "").c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) { return RealMain(argc, argv); }
