@@ -19,7 +19,7 @@ int main() {
   const double scale = bench::BenchScale();
   bench::PrintHeader(
       "Ablation: residual candidate depth (GRD-LM-MIN)",
-      "design choice from DESIGN.md §4.2 (not a paper figure)",
+      "design choice from DESIGN.md §4.1 (not a paper figure)",
       "depth 0 = full catalogue; depth k = paper's literal policy");
 
   const auto matrix = data::GenerateLatentFactor(data::YahooMusicLikeConfig(

@@ -1,0 +1,20 @@
+# Provides GTest::gtest and GTest::gtest_main.
+#
+# Resolution order:
+#   1. A system-installed GoogleTest (Debian/Fedora package, vcpkg, ...),
+#      so offline builds work against the distro package.
+#   2. FetchContent from the upstream repository (needs network at
+#      configure time; only attempted when no system package is found).
+#
+# The explicit find_package-then-FetchContent dance (rather than
+# FetchContent's FIND_PACKAGE_ARGS) keeps this working on CMake 3.21-3.23.
+find_package(GTest QUIET)
+
+if(NOT GTest_FOUND)
+  include(FetchContent)
+  FetchContent_Declare(
+    googletest
+    GIT_REPOSITORY https://github.com/google/googletest.git
+    GIT_TAG v1.14.0)
+  FetchContent_MakeAvailable(googletest)
+endif()

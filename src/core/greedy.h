@@ -43,22 +43,25 @@ namespace groupform::core {
 /// O(nk + ell log n) bound.
 class GreedyFormer {
  public:
-  /// The problem's matrix must outlive the former.
+  /// The problem's matrix must outlive the former (§2.4 instance).
   explicit GreedyFormer(const FormationProblem& problem)
       : problem_(problem) {}
 
   /// Runs the greedy algorithm selected by the problem's semantics and
-  /// aggregation. Fails only on invalid problems.
+  /// aggregation: Algorithm 1 for LM (§4.1–§4.2, with the bucket-splitting
+  /// selection of DESIGN.md §4.1b that makes Theorems 2/3 hold), the §5
+  /// whole-bucket variant for AV. Fails only on invalid problems.
   common::StatusOr<FormationResult> Run() const;
 
-  /// "GRD-LM-MIN", "GRD-AV-SUM", ...
+  /// The paper's algorithm label for this semantics x aggregation pair
+  /// (§7 "Algorithms Compared"): "GRD-LM-MIN", "GRD-AV-SUM", ...
   static std::string AlgorithmName(const FormationProblem& problem);
 
  private:
   FormationProblem problem_;
 };
 
-/// Convenience wrapper: construct-and-run.
+/// Convenience wrapper: construct-and-run (§4's GRD entry point).
 common::StatusOr<FormationResult> RunGreedy(const FormationProblem& problem);
 
 }  // namespace groupform::core

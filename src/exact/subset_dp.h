@@ -10,10 +10,14 @@ namespace groupform::exact {
 /// subsets: f[j][mask] = best objective partitioning `mask` into at most j
 /// groups, with transitions over submasks containing mask's lowest bit.
 ///
-/// This is the library's optimal reference (the paper uses a CPLEX IP for
-/// the same calibration role). Group scores are always evaluated over the
-/// full catalogue, regardless of the problem's candidate_depth, so the
-/// returned objective is the true optimum of the stated objective.
+/// This is the library's optimal reference for the §2.4 objective — the
+/// role the paper's experiments give the Appendix-A integer program solved
+/// with CPLEX (§7.1 "optimal algorithm"): calibrating the greedy family's
+/// Theorem 2/3 error bounds on small instances (see DESIGN.md §4.1c and
+/// tests/core/error_bound_property_test.cc). Group scores are always
+/// evaluated over the full catalogue, regardless of the problem's
+/// candidate_depth, so the returned objective is the true optimum of the
+/// stated objective.
 ///
 /// Cost: O(2^n) group-score evaluations plus O(ell * 3^n / 2) DP
 /// transitions — practical to max_users (default 16).
@@ -30,7 +34,8 @@ class SubsetDpSolver {
   SubsetDpSolver(const core::FormationProblem& problem, Options options)
       : problem_(problem), options_(options) {}
 
-  /// Returns an optimal partition (groups in reconstruction order).
+  /// Returns an optimal partition of the §2.4 instance (groups in
+  /// reconstruction order); the objective is Obj(OPT) in Theorems 2/3.
   common::StatusOr<core::FormationResult> Run() const;
 
  private:

@@ -1,17 +1,14 @@
 // groupform_cli — run recommendation-aware group formation from the
 // command line.
 //
-//   groupform_cli --input ratings.csv --semantics lm --aggregation min \
-//                 --k 5 --groups 10 --algorithm greedy \
-//                 --output groups.csv
-//
-//   groupform_cli --synthetic yahoo --users 2000 --items 500 \
-//                 --algorithm localsearch --emit-lp model.lp
+//   groupform_cli --input ratings.csv --k 5 --groups 10 --output groups.csv
+//   groupform_cli --synthetic yahoo --users 2000 --algorithm localsearch
+//   groupform_cli --synthetic yahoo --emit-lp model.lp
 //
 // Flags:
 //   --input PATH        user,item,rating CSV (ids re-indexed densely)
 //   --movielens PATH    MovieLens ratings.dat ("user::item::rating::ts")
-//   --synthetic NAME    yahoo | movielens (requires --users / --items)
+//   --synthetic NAME    yahoo | movielens (shape via --users / --items)
 //   --users N --items M --seed S    synthetic shape (default 1000x500)
 //   --semantics lm|av   group recommendation semantics (default lm)
 //   --aggregation max|min|sum       list aggregation (default min)
