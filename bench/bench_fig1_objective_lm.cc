@@ -7,10 +7,12 @@
 // optimum unavailable at n = 200 (see DESIGN.md substitutions).
 #include <cstdio>
 #include <functional>
+#include <string>
 #include <vector>
 
 #include "bench/bench_util.h"
 #include "common/table_printer.h"
+#include "common/thread_pool.h"
 #include "core/formation.h"
 #include "data/synthetic.h"
 #include "eval/experiment.h"
@@ -43,23 +45,26 @@ double Run(AlgorithmKind kind, const core::FormationProblem& problem) {
   return outcome->mean_objective;
 }
 
+std::vector<std::string> Row(int x, const core::FormationProblem& problem) {
+  return {common::StrFormat("%d", x),
+          common::StrFormat("%.2f", Run(AlgorithmKind::kGreedy, problem)),
+          common::StrFormat("%.2f", Run(AlgorithmKind::kBaseline, problem)),
+          common::StrFormat("%.2f",
+                            Run(AlgorithmKind::kLocalSearch, problem))};
+}
+
 void Sweep(const char* label, const std::vector<int>& xs,
            const std::function<data::RatingMatrix(int)>& make_matrix,
            const std::function<int(int)>& ell_of,
            const std::function<int(int)>& k_of) {
   common::TablePrinter table(
       {label, "GRD-LM-MAX", "Baseline-LM-MAX", "OPT*-LM-MAX"});
-  for (int x : xs) {
+  // Quality measurements, no timing: rows run in parallel, in-order
+  // append (see FillTableParallel).
+  bench::FillTableParallel(table, xs, [&](int x) {
     const auto matrix = make_matrix(x);
-    const auto problem = Problem(matrix, ell_of(x), k_of(x));
-    table.AddRow({common::StrFormat("%d", x),
-                  common::StrFormat("%.2f",
-                                    Run(AlgorithmKind::kGreedy, problem)),
-                  common::StrFormat("%.2f",
-                                    Run(AlgorithmKind::kBaseline, problem)),
-                  common::StrFormat(
-                      "%.2f", Run(AlgorithmKind::kLocalSearch, problem))});
-  }
+    return Row(x, Problem(matrix, ell_of(x), k_of(x)));
+  });
   table.Print();
   std::printf("\n");
 }
@@ -89,19 +94,14 @@ int main() {
         [](int) { return 10; }, [](int) { return 5; });
 
   std::printf("(c) varying number of groups (n=200, m=100, k=5)\n");
+  // The matrix is shared across rows (read-only under the scorer), so
+  // this sweep references it directly instead of copying it per row.
   const auto fixed = yahoo(200, 100);
   common::TablePrinter table(
       {"groups", "GRD-LM-MAX", "Baseline-LM-MAX", "OPT*-LM-MAX"});
-  for (int ell : {10, 15, 20, 25, 30}) {
-    const auto problem = Problem(fixed, ell, 5);
-    table.AddRow({common::StrFormat("%d", ell),
-                  common::StrFormat("%.2f",
-                                    Run(AlgorithmKind::kGreedy, problem)),
-                  common::StrFormat("%.2f",
-                                    Run(AlgorithmKind::kBaseline, problem)),
-                  common::StrFormat(
-                      "%.2f", Run(AlgorithmKind::kLocalSearch, problem))});
-  }
+  bench::FillTableParallel(table, {10, 15, 20, 25, 30}, [&](int ell) {
+    return Row(ell, Problem(fixed, ell, 5));
+  });
   table.Print();
   return 0;
 }

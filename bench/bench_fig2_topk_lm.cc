@@ -4,9 +4,12 @@
 // bottom item only gets worse), Sum objective rises with diminishing
 // increments.
 #include <cstdio>
+#include <string>
+#include <vector>
 
 #include "bench/bench_util.h"
 #include "common/table_printer.h"
+#include "common/thread_pool.h"
 #include "core/formation.h"
 #include "data/synthetic.h"
 #include "eval/experiment.h"
@@ -28,21 +31,22 @@ void SweepK(const data::RatingMatrix& matrix,
       {"top-k", common::StrFormat("GRD-LM-%s", name),
        common::StrFormat("Baseline-LM-%s", name),
        common::StrFormat("OPT*-LM-%s", name)});
-  for (int k : {5, 10, 15, 20, 25}) {
+  // Per-k instances are independent quality measurements; see
+  // FillTableParallel for the parallel-rows discipline.
+  bench::FillTableParallel(table, {5, 10, 15, 20, 25}, [&](int k) {
     core::FormationProblem problem;
     problem.matrix = &matrix;
     problem.semantics = grouprec::Semantics::kLeastMisery;
     problem.aggregation = aggregation;
     problem.k = k;
     problem.max_groups = 10;
-    table.AddRow({common::StrFormat("%d", k),
-                  common::StrFormat("%.2f",
-                                    Run(AlgorithmKind::kGreedy, problem)),
-                  common::StrFormat("%.2f",
-                                    Run(AlgorithmKind::kBaseline, problem)),
-                  common::StrFormat(
-                      "%.2f", Run(AlgorithmKind::kLocalSearch, problem))});
-  }
+    return std::vector<std::string>{
+        common::StrFormat("%d", k),
+        common::StrFormat("%.2f", Run(AlgorithmKind::kGreedy, problem)),
+        common::StrFormat("%.2f", Run(AlgorithmKind::kBaseline, problem)),
+        common::StrFormat("%.2f",
+                          Run(AlgorithmKind::kLocalSearch, problem))};
+  });
   table.Print();
   std::printf("\n");
 }

@@ -5,9 +5,13 @@
 // the entire list stays high (near the 25-point ceiling for k=5 on a
 // 1..5 scale with 10 groups).
 #include <cstdio>
+#include <functional>
+#include <string>
+#include <vector>
 
 #include "bench/bench_util.h"
 #include "common/table_printer.h"
+#include "common/thread_pool.h"
 #include "core/formation.h"
 #include "data/synthetic.h"
 #include "eval/experiment.h"
@@ -48,14 +52,13 @@ double AvgSat(AlgorithmKind kind, const core::FormationProblem& problem) {
                                  : outcome->result.num_groups());
 }
 
-void Row(common::TablePrinter& table, int x,
-         const core::FormationProblem& problem) {
-  table.AddRow(
-      {common::StrFormat("%d", x),
-       common::StrFormat("%.2f", AvgSat(AlgorithmKind::kGreedy, problem)),
-       common::StrFormat("%.2f", AvgSat(AlgorithmKind::kBaseline, problem)),
-       common::StrFormat("%.2f",
-                         AvgSat(AlgorithmKind::kLocalSearch, problem))});
+std::vector<std::string> Row(int x, const core::FormationProblem& problem) {
+  return {common::StrFormat("%d", x),
+          common::StrFormat("%.2f", AvgSat(AlgorithmKind::kGreedy, problem)),
+          common::StrFormat("%.2f",
+                            AvgSat(AlgorithmKind::kBaseline, problem)),
+          common::StrFormat("%.2f",
+                            AvgSat(AlgorithmKind::kLocalSearch, problem))};
 }
 
 }  // namespace
@@ -75,10 +78,10 @@ int main() {
   {
     common::TablePrinter table(
         {"users", headers[0], headers[1], headers[2]});
-    for (int n : {200, 400, 600, 800, 1000}) {
+    bench::FillTableParallel(table, {200, 400, 600, 800, 1000}, [&](int n) {
       const auto matrix = movielens(n, 100);
-      Row(table, n, Problem(matrix, 10, 5));
-    }
+      return Row(n, Problem(matrix, 10, 5));
+    });
     table.Print();
   }
 
@@ -86,10 +89,10 @@ int main() {
   {
     common::TablePrinter table(
         {"items", headers[0], headers[1], headers[2]});
-    for (int m : {100, 200, 300, 400, 500}) {
+    bench::FillTableParallel(table, {100, 200, 300, 400, 500}, [&](int m) {
       const auto matrix = movielens(200, m);
-      Row(table, m, Problem(matrix, 10, 5));
-    }
+      return Row(m, Problem(matrix, 10, 5));
+    });
     table.Print();
   }
 
@@ -98,9 +101,9 @@ int main() {
     const auto matrix = movielens(200, 100);
     common::TablePrinter table(
         {"groups", headers[0], headers[1], headers[2]});
-    for (int ell : {10, 15, 20, 25, 30}) {
-      Row(table, ell, Problem(matrix, ell, 5));
-    }
+    bench::FillTableParallel(table, {10, 15, 20, 25, 30}, [&](int ell) {
+      return Row(ell, Problem(matrix, ell, 5));
+    });
     table.Print();
   }
 
@@ -109,9 +112,9 @@ int main() {
     const auto matrix = movielens(200, 100);
     common::TablePrinter table(
         {"top-k", headers[0], headers[1], headers[2]});
-    for (int k : {5, 10, 15, 20, 25}) {
-      Row(table, k, Problem(matrix, 10, k));
-    }
+    bench::FillTableParallel(table, {5, 10, 15, 20, 25}, [&](int k) {
+      return Row(k, Problem(matrix, 10, k));
+    });
     table.Print();
   }
   return 0;

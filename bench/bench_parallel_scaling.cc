@@ -1,0 +1,153 @@
+// Parallel-execution scaling — not a paper figure: measures how the two
+// thread-pooled hot paths scale with worker count on a MovieLens-like
+// instance, and checks the §8/DESIGN.md §10.3 determinism contract along
+// the way (parallel results must be byte-identical to serial).
+//
+//   (a) batch group scoring (core::ScoreGroups): the rescoring step of
+//       the clustering baselines and local search;
+//   (b) eval::RunRepeated: independent seeded repetitions of a solver.
+//
+// Reported speedups are relative to --threads 1 (the serial path). On a
+// single-core box every row is ~1x by construction; on >= 4 cores batch
+// scoring is expected to reach >= 2x at 4 threads. The final line is a
+// machine-readable JSON summary for the perf-trajectory tracker.
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/stopwatch.h"
+#include "common/table_printer.h"
+#include "common/thread_pool.h"
+#include "core/formation.h"
+#include "data/synthetic.h"
+#include "eval/experiment.h"
+#include "grouprec/semantics.h"
+
+namespace {
+
+using namespace groupform;
+
+core::FormationProblem Problem(const data::RatingMatrix& matrix) {
+  core::FormationProblem problem;
+  problem.matrix = &matrix;
+  problem.semantics = grouprec::Semantics::kLeastMisery;
+  problem.aggregation = grouprec::Aggregation::kMin;
+  problem.k = 5;
+  problem.max_groups = 10;
+  return problem;
+}
+
+/// Round-robin split of the population into `count` groups — a stand-in
+/// for the cluster partitions the baselines rescore.
+std::vector<std::vector<UserId>> MakeGroups(std::int32_t num_users,
+                                            int count) {
+  std::vector<std::vector<UserId>> groups(
+      static_cast<std::size_t>(count));
+  for (std::int32_t u = 0; u < num_users; ++u) {
+    groups[static_cast<std::size_t>(u % count)].push_back(u);
+  }
+  return groups;
+}
+
+double Checksum(const std::vector<core::GroupScore>& scores) {
+  double sum = 0.0;
+  for (const auto& score : scores) sum += score.satisfaction;
+  return sum;
+}
+
+}  // namespace
+
+int main() {
+  const double scale = bench::BenchScale();
+  const auto num_users =
+      static_cast<std::int32_t>(bench::Scaled(2000, scale));
+  const int num_groups = static_cast<int>(bench::Scaled(256, scale));
+  const int rounds = 3;
+  bench::PrintHeader(
+      "Parallel scaling: batch scoring and repeated runs vs threads",
+      "beyond the paper — DESIGN.md §10 execution engine",
+      common::StrFormat("MovieLens-like n=%d m=500, %d groups rescored "
+                        "x%d rounds; determinism checked per row",
+                        num_users, num_groups, rounds));
+
+  const auto matrix = data::GenerateLatentFactor(
+      data::MovieLensLikeConfig(num_users, 500, /*seed=*/42));
+  const auto problem = Problem(matrix);
+  const auto groups = MakeGroups(num_users, num_groups);
+  const auto scorer = problem.MakeScorer();
+
+  const std::vector<int> thread_counts = {1, 2, 4, 8};
+  double scoring_serial_seconds = 0.0;
+  double repeated_serial_seconds = 0.0;
+  double scoring_speedup_4t = 0.0;
+  double repeated_speedup_4t = 0.0;
+  double reference_checksum = 0.0;
+  double reference_mean = 0.0;
+  bool deterministic = true;
+
+  common::TablePrinter table({"threads", "batch-score s", "speedup",
+                              "RunRepeated s", "speedup", "identical"});
+  for (const int threads : thread_counts) {
+    common::ThreadPool::SetDefaultThreadCount(threads);
+
+    common::Stopwatch scoring_watch;
+    double checksum = 0.0;
+    for (int round = 0; round < rounds; ++round) {
+      checksum = Checksum(core::ScoreGroups(problem, scorer, groups));
+    }
+    const double scoring_seconds = scoring_watch.ElapsedSeconds();
+
+    common::Stopwatch repeated_watch;
+    const auto repeated =
+        eval::RunRepeated(eval::AlgorithmKind::kGreedy, problem, 8);
+    const double repeated_seconds = repeated_watch.ElapsedSeconds();
+    if (!repeated.ok()) {
+      // A broken workload must not masquerade as a green data point.
+      std::fprintf(stderr, "RunRepeated failed at %d threads: %s\n",
+                   threads, repeated.status().ToString().c_str());
+      return 1;
+    }
+    const double mean = repeated->mean_objective;
+
+    if (threads == 1) {
+      scoring_serial_seconds = scoring_seconds;
+      repeated_serial_seconds = repeated_seconds;
+      reference_checksum = checksum;
+      reference_mean = mean;
+    }
+    // Byte-identical contract: same bits at every thread count.
+    const bool identical =
+        checksum == reference_checksum && mean == reference_mean;
+    deterministic = deterministic && identical;
+
+    const double scoring_speedup =
+        scoring_seconds > 0.0 ? scoring_serial_seconds / scoring_seconds
+                              : 0.0;
+    const double repeated_speedup =
+        repeated_seconds > 0.0 ? repeated_serial_seconds / repeated_seconds
+                               : 0.0;
+    if (threads == 4) {
+      scoring_speedup_4t = scoring_speedup;
+      repeated_speedup_4t = repeated_speedup;
+    }
+    table.AddRow({common::StrFormat("%d", threads),
+                  common::StrFormat("%.3f", scoring_seconds),
+                  common::StrFormat("%.2fx", scoring_speedup),
+                  common::StrFormat("%.3f", repeated_seconds),
+                  common::StrFormat("%.2fx", repeated_speedup),
+                  identical ? "yes" : "NO"});
+  }
+  common::ThreadPool::SetDefaultThreadCount(0);  // restore env/hardware
+  table.Print();
+
+  const unsigned hardware = std::thread::hardware_concurrency();
+  std::printf(
+      "\n{\"bench\":\"parallel_scaling\",\"users\":%d,\"groups\":%d,"
+      "\"batch_scoring_speedup_4t\":%.3f,\"run_repeated_speedup_4t\":%.3f,"
+      "\"deterministic\":%s,\"hardware_threads\":%u}\n",
+      num_users, num_groups, scoring_speedup_4t, repeated_speedup_4t,
+      deterministic ? "true" : "false", hardware == 0 ? 1U : hardware);
+  return deterministic ? 0 : 1;
+}

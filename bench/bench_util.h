@@ -10,9 +10,13 @@
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
+#include <functional>
 #include <string>
+#include <vector>
 
 #include "common/strings.h"
+#include "common/table_printer.h"
+#include "common/thread_pool.h"
 #include "data/synthetic.h"
 
 namespace groupform::bench {
@@ -59,6 +63,25 @@ inline data::RatingMatrix QualityMatrix(std::int32_t num_users,
   config.cluster_spread = 0.2;
   config.always_rated_head = 10;
   return data::GenerateLatentFactor(config);
+}
+
+/// Runs `run_row` for every x in parallel on the shared pool and appends
+/// the produced rows to `table` in x order — the one audited home of the
+/// quality benches' per-instance parallelism (DESIGN.md §10.2/§10.3):
+/// each index writes only its own row slot, and the append loop is the
+/// serial in-order reduction. `run_row` must be self-contained per index
+/// (own its matrix/problem construction) and is only suitable for quality
+/// measurements — timing sweeps must stay serial.
+inline void FillTableParallel(
+    common::TablePrinter& table, const std::vector<int>& xs,
+    const std::function<std::vector<std::string>(int)>& run_row) {
+  std::vector<std::vector<std::string>> rows(xs.size());
+  common::ThreadPool::Shared().ParallelFor(
+      static_cast<std::int64_t>(xs.size()), [&](std::int64_t i) {
+        rows[static_cast<std::size_t>(i)] =
+            run_row(xs[static_cast<std::size_t>(i)]);
+      });
+  for (auto& row : rows) table.AddRow(std::move(row));
 }
 
 /// Prints the standard header for a figure/table binary.

@@ -1,0 +1,26 @@
+# Provides benchmark::benchmark (google-benchmark).
+#
+# Resolution order (mirrors GroupformGTest.cmake):
+#   1. A system-installed google-benchmark (Debian/Fedora package, vcpkg,
+#      ...), so offline builds work against the distro package.
+#   2. FetchContent from the upstream repository (needs network at
+#      configure time; only attempted when no system package is found).
+#
+# The explicit find_package-then-FetchContent dance (rather than
+# FetchContent's FIND_PACKAGE_ARGS) keeps this working on CMake 3.21-3.23.
+find_package(benchmark QUIET)
+
+if(NOT benchmark_FOUND)
+  include(FetchContent)
+  # Only the library: no upstream tests, and no requirement that GTest be
+  # resolvable from the benchmark build.
+  set(BENCHMARK_ENABLE_TESTING OFF CACHE BOOL "" FORCE)
+  set(BENCHMARK_ENABLE_GTEST_TESTS OFF CACHE BOOL "" FORCE)
+  set(BENCHMARK_ENABLE_INSTALL OFF CACHE BOOL "" FORCE)
+  set(BENCHMARK_ENABLE_WERROR OFF CACHE BOOL "" FORCE)
+  FetchContent_Declare(
+    googlebenchmark
+    GIT_REPOSITORY https://github.com/google/benchmark.git
+    GIT_TAG v1.8.3)
+  FetchContent_MakeAvailable(googlebenchmark)
+endif()

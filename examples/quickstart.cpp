@@ -1,16 +1,20 @@
 // Quickstart: run every greedy group-formation algorithm on the paper's
-// 6-user running example (Table 1) and compare with the provable optimum.
+// 6-user running example (Table 1), compare with the provable optimum,
+// then sweep every registered solver through the SolverRegistry.
 //
 // Build & run:
 //   cmake -B build -G Ninja && cmake --build build
 //   ./build/examples/quickstart
 #include <cstdio>
+#include <string>
 
 #include "core/formation.h"
 #include "core/greedy.h"
+#include "core/solver_registry.h"
 #include "data/paper_examples.h"
 #include "exact/subset_dp.h"
 #include "grouprec/semantics.h"
+#include "solvers/builtin.h"
 
 int main() {
   using namespace groupform;
@@ -49,6 +53,30 @@ int main() {
                   optimal->objective,
                   optimal->objective - greedy->objective);
     }
+  }
+
+  // Every solver family through the one registry the CLI and the
+  // experiment harness also dispatch through (DESIGN.md §10.1).
+  solvers::EnsureBuiltinSolversRegistered();
+  core::FormationProblem problem;
+  problem.matrix = &matrix;
+  problem.k = 2;
+  problem.max_groups = 3;
+  std::printf("== every registered solver on %s ==\n",
+              problem.ToString().c_str());
+  auto& registry = core::SolverRegistry::Global();
+  for (const std::string& name : registry.Names()) {
+    const auto solver = registry.Create(name, problem);
+    if (!solver.ok()) continue;
+    const auto result = (*solver)->Solve();
+    if (!result.ok()) {
+      std::printf("  %-12s %s\n", name.c_str(),
+                  result.status().ToString().c_str());
+      continue;
+    }
+    std::printf("  %-12s objective %.2f in %d groups  (%s)\n", name.c_str(),
+                result->objective, result->num_groups(),
+                result->algorithm.c_str());
   }
   return 0;
 }

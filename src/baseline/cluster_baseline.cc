@@ -62,23 +62,25 @@ StatusOr<FormationResult> BaselineFormer::Run() const {
   // Per-cluster recommendation and satisfaction. Clusters formed by rank
   // distance have unaligned member lists, so the group top-k must be
   // computed by the group recommender (the costly step the paper points
-  // out in its scalability discussion).
+  // out in its scalability discussion) — batched across clusters on the
+  // shared thread pool.
+  std::vector<std::vector<UserId>> clusters(static_cast<std::size_t>(ell));
+  for (std::int32_t u = 0; u < n; ++u) {
+    const std::int32_t c = clustering.assignment[static_cast<std::size_t>(u)];
+    clusters[static_cast<std::size_t>(c)].push_back(u);
+  }
   const grouprec::GroupScorer scorer = problem_.MakeScorer();
+  std::vector<core::GroupScore> scores =
+      core::ScoreGroups(problem_, scorer, clusters);
   FormationResult result;
   result.algorithm = AlgorithmName(problem_);
   for (std::int32_t c = 0; c < ell; ++c) {
+    auto& members = clusters[static_cast<std::size_t>(c)];
+    if (members.empty()) continue;
     FormedGroup group;
-    for (std::int32_t u = 0; u < n; ++u) {
-      if (clustering.assignment[static_cast<std::size_t>(u)] == c) {
-        group.members.push_back(u);
-      }
-    }
-    if (group.members.empty()) continue;
-    group.recommendation =
-        core::ComputeGroupList(problem_, scorer, group.members);
-    group.satisfaction = core::AggregateListSatisfaction(
-        problem_, static_cast<int>(group.members.size()),
-        group.recommendation);
+    group.members = std::move(members);
+    group.recommendation = std::move(scores[static_cast<std::size_t>(c)].list);
+    group.satisfaction = scores[static_cast<std::size_t>(c)].satisfaction;
     result.objective += group.satisfaction;
     result.groups.push_back(std::move(group));
   }

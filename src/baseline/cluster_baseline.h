@@ -8,6 +8,7 @@
 #include "baseline/kmedoids.h"
 #include "common/status.h"
 #include "core/formation.h"
+#include "core/solver.h"
 
 namespace groupform::baseline {
 
@@ -18,8 +19,12 @@ namespace groupform::baseline {
 /// cluster's top-k list and satisfaction under the LM or AV semantics.
 /// The clustering step is agnostic to the recommendation semantics, which
 /// is exactly the property the GRD algorithms are shown to beat.
-class BaselineFormer {
+class BaselineFormer : public core::FormationSolver {
  public:
+  static constexpr const char* kRegistryName = "baseline";
+  static constexpr const char* kSolverDescription =
+      "Baseline — Kendall-Tau distances + k-medoids clustering (§7)";
+
   struct Options {
     KendallTauOptions kendall;
     /// Passed through to KMedoids (num_clusters comes from the problem).
@@ -40,6 +45,18 @@ class BaselineFormer {
   /// Clusters, recommends, and scores. The result's algorithm label is
   /// "Baseline-<semantics>-<aggregation>".
   common::StatusOr<core::FormationResult> Run() const;
+
+  /// FormationSolver: `seed` replaces Options::seed for this run (it
+  /// drives the k-medoids initialisation).
+  common::StatusOr<core::FormationResult> Solve(
+      std::uint64_t seed) const override {
+    Options seeded = options_;
+    seeded.seed = seed;
+    return BaselineFormer(problem_, seeded).Run();
+  }
+  std::string name() const override { return kRegistryName; }
+  std::string description() const override { return kSolverDescription; }
+  using core::FormationSolver::Solve;
 
   static std::string AlgorithmName(const core::FormationProblem& problem);
 

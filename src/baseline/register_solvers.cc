@@ -1,0 +1,49 @@
+#include "baseline/register_solvers.h"
+
+#include <memory>
+
+#include "baseline/cluster_baseline.h"
+#include "baseline/vector_kmeans.h"
+#include "core/solver_registry.h"
+
+namespace groupform::baseline {
+
+using core::FormationProblem;
+using core::FormationSolver;
+using core::SolverOptions;
+using core::SolverRegistry;
+using SolverOr = common::StatusOr<std::unique_ptr<FormationSolver>>;
+
+void RegisterBaselineSolvers() {
+  SolverRegistry& registry = SolverRegistry::Global();
+
+  (void)registry.Register(
+      BaselineFormer::kRegistryName, BaselineFormer::kSolverDescription,
+      [](const FormationProblem& problem, const SolverOptions& options) {
+        BaselineFormer::Options opt;
+        opt.max_iterations = static_cast<int>(
+            options.GetInt("max_iterations", opt.max_iterations));
+        opt.medoid_candidates = static_cast<int>(
+            options.GetInt("medoid_candidates", opt.medoid_candidates));
+        opt.cache_pairwise_up_to = static_cast<std::int32_t>(options.GetInt(
+            "cache_pairwise_up_to", opt.cache_pairwise_up_to));
+        opt.kendall.truncate = static_cast<std::int32_t>(
+            options.GetInt("kendall_truncate", opt.kendall.truncate));
+        return SolverOr(std::make_unique<BaselineFormer>(problem, opt));
+      });
+
+  (void)registry.Register(
+      VectorKMeansFormer::kRegistryName,
+      VectorKMeansFormer::kSolverDescription,
+      [](const FormationProblem& problem, const SolverOptions& options) {
+        VectorKMeansFormer::Options opt;
+        opt.max_iterations = static_cast<int>(
+            options.GetInt("max_iterations", opt.max_iterations));
+        opt.top_items = static_cast<std::int32_t>(
+            options.GetInt("top_items", opt.top_items));
+        return SolverOr(
+            std::make_unique<VectorKMeansFormer>(problem, opt));
+      });
+}
+
+}  // namespace groupform::baseline

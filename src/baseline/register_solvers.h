@@ -1,0 +1,13 @@
+#ifndef GROUPFORM_BASELINE_REGISTER_SOLVERS_H_
+#define GROUPFORM_BASELINE_REGISTER_SOLVERS_H_
+
+namespace groupform::baseline {
+
+/// Registers the baseline layer's solvers — "baseline" (Kendall-Tau +
+/// k-medoids) and "veckmeans" — with core::SolverRegistry::Global().
+/// Idempotent-tolerant: duplicate names keep the first registration.
+void RegisterBaselineSolvers();
+
+}  // namespace groupform::baseline
+
+#endif  // GROUPFORM_BASELINE_REGISTER_SOLVERS_H_

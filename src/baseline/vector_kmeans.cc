@@ -144,25 +144,28 @@ StatusOr<FormationResult> VectorKMeansFormer::Run() const {
     }
   }
 
-  // Score the clusters under the problem semantics.
+  // Score the clusters under the problem semantics, batched across
+  // clusters on the shared thread pool.
+  std::vector<std::vector<UserId>> clusters(static_cast<std::size_t>(ell));
+  for (UserId u = 0; u < n; ++u) {
+    clusters[static_cast<std::size_t>(
+                 assignment[static_cast<std::size_t>(u)])]
+        .push_back(u);
+  }
   const grouprec::GroupScorer scorer = problem_.MakeScorer();
+  std::vector<core::GroupScore> scores =
+      core::ScoreGroups(problem_, scorer, clusters);
   FormationResult result;
   result.algorithm = common::StrFormat(
       "VecKMeans-%s-%s", grouprec::SemanticsToString(problem_.semantics),
       grouprec::AggregationToString(problem_.aggregation));
   for (std::int32_t c = 0; c < ell; ++c) {
+    auto& members = clusters[static_cast<std::size_t>(c)];
+    if (members.empty()) continue;
     FormedGroup group;
-    for (UserId u = 0; u < n; ++u) {
-      if (assignment[static_cast<std::size_t>(u)] == c) {
-        group.members.push_back(u);
-      }
-    }
-    if (group.members.empty()) continue;
-    group.recommendation =
-        core::ComputeGroupList(problem_, scorer, group.members);
-    group.satisfaction = core::AggregateListSatisfaction(
-        problem_, static_cast<int>(group.members.size()),
-        group.recommendation);
+    group.members = std::move(members);
+    group.recommendation = std::move(scores[static_cast<std::size_t>(c)].list);
+    group.satisfaction = scores[static_cast<std::size_t>(c)].satisfaction;
     result.objective += group.satisfaction;
     result.groups.push_back(std::move(group));
   }

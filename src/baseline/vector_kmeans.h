@@ -6,6 +6,7 @@
 
 #include "common/status.h"
 #include "core/formation.h"
+#include "core/solver.h"
 
 namespace groupform::baseline {
 
@@ -16,8 +17,12 @@ namespace groupform::baseline {
 /// baseline it is agnostic to the recommendation semantics; unlike it,
 /// it is cheap (O(n * m_eff * iters)) — so it serves as the "fast but
 /// semantics-blind" reference point in the baseline comparison bench.
-class VectorKMeansFormer {
+class VectorKMeansFormer : public core::FormationSolver {
  public:
+  static constexpr const char* kRegistryName = "veckmeans";
+  static constexpr const char* kSolverDescription =
+      "VecKMeans — preference-vector k-means ad-hoc formation";
+
   struct Options {
     int max_iterations = 100;
     /// Users' rating vectors are restricted to the `top_items` globally
@@ -34,6 +39,18 @@ class VectorKMeansFormer {
   /// Clusters, then recommends and scores each cluster under the problem
   /// semantics. Result label: "VecKMeans-<semantics>-<aggregation>".
   common::StatusOr<core::FormationResult> Run() const;
+
+  /// FormationSolver: `seed` replaces Options::seed for this run (it
+  /// drives the k-means++ initialisation).
+  common::StatusOr<core::FormationResult> Solve(
+      std::uint64_t seed) const override {
+    Options seeded = options_;
+    seeded.seed = seed;
+    return VectorKMeansFormer(problem_, seeded).Run();
+  }
+  std::string name() const override { return kRegistryName; }
+  std::string description() const override { return kSolverDescription; }
+  using core::FormationSolver::Solve;
 
  private:
   core::FormationProblem problem_;

@@ -1,0 +1,101 @@
+#ifndef GROUPFORM_COMMON_THREAD_POOL_H_
+#define GROUPFORM_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace groupform::common {
+
+/// A fixed pool of worker threads with a bulk-parallel loop primitive. This
+/// is the library's single execution engine: batch group scoring, repeated
+/// experiment runs, and bench instance loops all funnel through it (see
+/// DESIGN.md §10).
+///
+/// Determinism contract (DESIGN.md §10.3): ParallelFor assigns work by
+/// *index*, never by thread, so any per-index randomness must be seeded from
+/// the index. Call sites write each index's output into its own slot and
+/// reduce serially in index order afterwards; under that discipline results
+/// are byte-identical at every thread count, including the serial path.
+///
+/// A pool of one thread (or a nested ParallelFor issued from inside a worker)
+/// degenerates to a plain serial loop on the calling thread — "threads = 1"
+/// is exactly the pre-pool code path.
+class ThreadPool {
+ public:
+  /// Spawns `num_threads - 1` workers (the caller participates in every
+  /// ParallelFor, so n threads of compute need n - 1 workers). Values < 1
+  /// are clamped to 1.
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Degree of parallelism (callers + workers), >= 1.
+  int num_threads() const { return num_threads_; }
+
+  /// Runs body(i) for every i in [0, n), blocking until all complete.
+  /// Indices are claimed dynamically (one atomic fetch per index), so heavy
+  /// and light items mix freely; `body` must make each index's effects
+  /// independent of every other index for the determinism contract to hold.
+  ///
+  /// Exceptions: the first exception thrown by any invocation of `body` is
+  /// rethrown on the calling thread once the loop has drained; remaining
+  /// unstarted indices are skipped. The pool stays usable afterwards.
+  ///
+  /// Re-entrancy: calling ParallelFor from inside a body runs the inner
+  /// loop serially on the calling thread (no deadlock, same results).
+  /// Distinct external threads may call concurrently; their loops are
+  /// serialized one job at a time.
+  void ParallelFor(std::int64_t n,
+                   const std::function<void(std::int64_t)>& body);
+
+  /// The thread count new Shared() pools are built with: the last value
+  /// passed to SetDefaultThreadCount if positive, else the GF_THREADS
+  /// environment variable if set to a positive integer, else
+  /// hardware_concurrency.
+  static int DefaultThreadCount();
+
+  /// Overrides DefaultThreadCount (the CLI's --threads flag lands here);
+  /// count <= 0 clears the override, restoring GF_THREADS / hardware
+  /// detection. Takes effect on the next Shared() call.
+  static void SetDefaultThreadCount(int count);
+
+  /// The process-wide pool, sized to DefaultThreadCount(). When the default
+  /// changes, the next call transparently switches to a pool of the new
+  /// size (earlier pools stay alive so outstanding references never
+  /// dangle). Do not resize concurrently with in-flight ParallelFor calls.
+  static ThreadPool& Shared();
+
+ private:
+  /// One ParallelFor invocation. Heap-allocated and shared with workers so
+  /// a late-waking worker can observe an already-finished job safely.
+  struct Job;
+
+  void WorkerLoop();
+  /// Claims and runs indices of `job` until exhausted or failed.
+  void RunShard(Job& job);
+
+  const int num_threads_;
+  std::vector<std::thread> workers_;
+
+  /// Serializes concurrent top-level ParallelFor callers.
+  std::mutex submit_mu_;
+
+  /// Guards job_, job_seq_, stop_, and Job::error.
+  std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  std::shared_ptr<Job> job_;
+  std::uint64_t job_seq_ = 0;
+  bool stop_ = false;
+};
+
+}  // namespace groupform::common
+
+#endif  // GROUPFORM_COMMON_THREAD_POOL_H_

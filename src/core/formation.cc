@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/strings.h"
+#include "common/thread_pool.h"
 
 namespace groupform::core {
 
@@ -132,6 +133,23 @@ grouprec::GroupTopK ComputeGroupList(const FormationProblem& problem,
   return scorer.TopKUnionCandidates(members, problem.k, depth);
 }
 
+std::vector<GroupScore> ScoreGroups(
+    const FormationProblem& problem, const grouprec::GroupScorer& scorer,
+    std::span<const std::vector<UserId>> groups) {
+  std::vector<GroupScore> scores(groups.size());
+  common::ThreadPool::Shared().ParallelFor(
+      static_cast<std::int64_t>(groups.size()), [&](std::int64_t g) {
+        const std::vector<UserId>& members =
+            groups[static_cast<std::size_t>(g)];
+        if (members.empty()) return;  // slot keeps {empty list, 0.0}
+        GroupScore& out = scores[static_cast<std::size_t>(g)];
+        out.list = ComputeGroupList(problem, scorer, members);
+        out.satisfaction = AggregateListSatisfaction(
+            problem, static_cast<int>(members.size()), out.list);
+      });
+  return scores;
+}
+
 double MissingSlotScore(const FormationProblem& problem, int group_size) {
   const double r_min = problem.matrix->scale().min;
   switch (problem.missing) {
@@ -175,12 +193,19 @@ double AggregateListSatisfaction(const FormationProblem& problem,
 double RecomputeObjective(const FormationProblem& problem,
                           const FormationResult& result) {
   const grouprec::GroupScorer scorer = problem.MakeScorer();
+  // Per-group scores land in per-index slots; the serial sum below keeps
+  // the floating-point order fixed regardless of thread count.
+  std::vector<double> satisfactions(result.groups.size(), 0.0);
+  common::ThreadPool::Shared().ParallelFor(
+      static_cast<std::int64_t>(result.groups.size()), [&](std::int64_t g) {
+        const auto& group = result.groups[static_cast<std::size_t>(g)];
+        const auto list = scorer.TopKAllItems(group.members, problem.k);
+        satisfactions[static_cast<std::size_t>(g)] =
+            AggregateListSatisfaction(
+                problem, static_cast<int>(group.members.size()), list);
+      });
   double total = 0.0;
-  for (const auto& g : result.groups) {
-    const auto list = scorer.TopKAllItems(g.members, problem.k);
-    total += AggregateListSatisfaction(
-        problem, static_cast<int>(g.members.size()), list);
-  }
+  for (const double satisfaction : satisfactions) total += satisfaction;
   return total;
 }
 

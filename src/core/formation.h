@@ -86,6 +86,24 @@ grouprec::GroupTopK ComputeGroupList(const FormationProblem& problem,
                                      const grouprec::GroupScorer& scorer,
                                      std::span<const UserId> members);
 
+/// One group's recommendation and aggregated satisfaction, as produced by
+/// ScoreGroups.
+struct GroupScore {
+  grouprec::GroupTopK list;
+  double satisfaction = 0.0;
+};
+
+/// Batch top-k scoring: ComputeGroupList + AggregateListSatisfaction for
+/// every group in `groups`, in parallel on common::ThreadPool::Shared().
+/// This is the rescoring hot path shared by the clustering baselines,
+/// local search, and objective recomputation. Groups are independent and
+/// each writes its own output slot, so the result is identical at every
+/// thread count (DESIGN.md §10.3); empty groups score 0 with an empty
+/// list.
+std::vector<GroupScore> ScoreGroups(
+    const FormationProblem& problem, const grouprec::GroupScorer& scorer,
+    std::span<const std::vector<UserId>> groups);
+
 /// The score of a conceptual list slot no rated item can fill: the value an
 /// item unrated by every group member receives under the problem's missing
 /// policy and semantics.

@@ -5,6 +5,7 @@
 
 #include "common/status.h"
 #include "core/formation.h"
+#include "core/solver.h"
 
 namespace groupform::core {
 
@@ -41,8 +42,12 @@ namespace groupform::core {
 /// (O(sum_u d_u log k)), plus O(B log ell) selection over B <= n buckets
 /// and the residual group's recommendation — matching the paper's
 /// O(nk + ell log n) bound.
-class GreedyFormer {
+class GreedyFormer : public FormationSolver {
  public:
+  static constexpr const char* kRegistryName = "greedy";
+  static constexpr const char* kSolverDescription =
+      "GRD greedy bucket formation (§4–§5), the paper's contribution";
+
   /// The problem's matrix must outlive the former (§2.4 instance).
   explicit GreedyFormer(const FormationProblem& problem)
       : problem_(problem) {}
@@ -52,6 +57,14 @@ class GreedyFormer {
   /// selection of DESIGN.md §4.1b that makes Theorems 2/3 hold), the §5
   /// whole-bucket variant for AV. Fails only on invalid problems.
   common::StatusOr<FormationResult> Run() const;
+
+  /// FormationSolver: greedy is deterministic, the seed is ignored.
+  common::StatusOr<FormationResult> Solve(std::uint64_t) const override {
+    return Run();
+  }
+  std::string name() const override { return kRegistryName; }
+  std::string description() const override { return kSolverDescription; }
+  using FormationSolver::Solve;
 
   /// The paper's algorithm label for this semantics x aggregation pair
   /// (§7 "Algorithms Compared"): "GRD-LM-MIN", "GRD-AV-SUM", ...

@@ -1,0 +1,22 @@
+// Registers the core layer's solvers with the global SolverRegistry. The
+// exact and baseline layers each have their own register_solvers.cc; the
+// solvers umbrella library calls all of them exactly once.
+#include <memory>
+
+#include "core/greedy.h"
+#include "core/solver_registry.h"
+
+namespace groupform::core {
+
+void RegisterCoreSolvers() {
+  // Duplicate registration (e.g. a test calling this directly after the
+  // umbrella init already ran) is benign: the first registration wins.
+  (void)SolverRegistry::Global().Register(
+      GreedyFormer::kRegistryName, GreedyFormer::kSolverDescription,
+      [](const FormationProblem& problem, const SolverOptions&) {
+        return common::StatusOr<std::unique_ptr<FormationSolver>>(
+            std::make_unique<GreedyFormer>(problem));
+      });
+}
+
+}  // namespace groupform::core

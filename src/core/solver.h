@@ -1,0 +1,83 @@
+#ifndef GROUPFORM_CORE_SOLVER_H_
+#define GROUPFORM_CORE_SOLVER_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "common/status.h"
+#include "core/formation.h"
+
+namespace groupform::core {
+
+/// Untyped key/value option bag passed to solver factories (see
+/// SolverRegistry). Every solver family has its own Options struct with
+/// typed fields and defaults; the bag lets generic callers — the CLI, the
+/// experiment harness, config files — override individual fields by name
+/// without knowing the concrete solver type. Unknown keys are ignored by
+/// factories, so one bag can parameterize a whole sweep of solvers.
+class SolverOptions {
+ public:
+  SolverOptions() = default;
+
+  /// Sets or replaces one option.
+  SolverOptions& Set(const std::string& key, std::string value) {
+    entries_[key] = std::move(value);
+    return *this;
+  }
+
+  bool Has(const std::string& key) const {
+    return entries_.find(key) != entries_.end();
+  }
+
+  /// Typed getters: return `fallback` when the key is absent or the value
+  /// does not parse (factories treat malformed overrides as "keep the
+  /// solver default" rather than failing a whole experiment sweep).
+  std::string GetString(const std::string& key,
+                        const std::string& fallback) const;
+  long long GetInt(const std::string& key, long long fallback) const;
+  double GetDouble(const std::string& key, double fallback) const;
+  bool GetBool(const std::string& key, bool fallback) const;
+
+  const std::map<std::string, std::string>& entries() const {
+    return entries_;
+  }
+
+ private:
+  std::map<std::string, std::string> entries_;
+};
+
+/// The polymorphic face of every group-formation algorithm in the library
+/// (§7 "Algorithms Compared"): greedy, the exact solvers, the refiners, and
+/// the clustering baselines all implement this one interface, and the
+/// SolverRegistry hands them out by name. A solver is bound to one
+/// FormationProblem at construction (the problem's matrix must outlive it)
+/// and may be solved repeatedly with different seeds.
+class FormationSolver {
+ public:
+  /// The seed the evaluation harness has always used for single runs.
+  static constexpr std::uint64_t kDefaultSeed = 99;
+
+  virtual ~FormationSolver() = default;
+
+  /// Solves the bound problem. `seed` drives every random choice the
+  /// solver makes; deterministic solvers ignore it. Two calls with the
+  /// same seed return identical results.
+  virtual common::StatusOr<FormationResult> Solve(
+      std::uint64_t seed) const = 0;
+
+  /// The registry name this solver answers to, e.g. "greedy", "sa".
+  virtual std::string name() const = 0;
+
+  /// One-line human description, surfaced by the CLI's --help.
+  virtual std::string description() const = 0;
+
+  /// Solve with the library default seed.
+  common::StatusOr<FormationResult> Solve() const {
+    return Solve(kDefaultSeed);
+  }
+};
+
+}  // namespace groupform::core
+
+#endif  // GROUPFORM_CORE_SOLVER_H_

@@ -1,0 +1,112 @@
+#include "core/solver_registry.h"
+
+#include "common/strings.h"
+
+namespace groupform::core {
+
+long long SolverOptions::GetInt(const std::string& key,
+                                long long fallback) const {
+  const auto it = entries_.find(key);
+  if (it == entries_.end()) return fallback;
+  long long parsed = 0;
+  return common::ParseInt64(it->second, &parsed) ? parsed : fallback;
+}
+
+double SolverOptions::GetDouble(const std::string& key,
+                                double fallback) const {
+  const auto it = entries_.find(key);
+  if (it == entries_.end()) return fallback;
+  double parsed = 0.0;
+  return common::ParseDouble(it->second, &parsed) ? parsed : fallback;
+}
+
+bool SolverOptions::GetBool(const std::string& key, bool fallback) const {
+  const auto it = entries_.find(key);
+  if (it == entries_.end()) return fallback;
+  const std::string& value = it->second;
+  if (value == "true" || value == "1" || value.empty()) return true;
+  if (value == "false" || value == "0") return false;
+  return fallback;
+}
+
+std::string SolverOptions::GetString(const std::string& key,
+                                     const std::string& fallback) const {
+  const auto it = entries_.find(key);
+  return it == entries_.end() ? fallback : it->second;
+}
+
+SolverRegistry& SolverRegistry::Global() {
+  static SolverRegistry* registry = new SolverRegistry();
+  return *registry;
+}
+
+common::Status SolverRegistry::Register(const std::string& name,
+                                        const std::string& description,
+                                        Factory factory) {
+  if (name.empty()) {
+    return common::Status::InvalidArgument("solver name must be non-empty");
+  }
+  if (factory == nullptr) {
+    return common::Status::InvalidArgument(
+        "solver factory must be non-null for '" + name + "'");
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto [it, inserted] =
+      entries_.emplace(name, Entry{description, std::move(factory)});
+  (void)it;
+  if (!inserted) {
+    return common::Status::FailedPrecondition(
+        "solver '" + name + "' is already registered");
+  }
+  return common::Status::Ok();
+}
+
+bool SolverRegistry::Unregister(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.erase(name) > 0;
+}
+
+bool SolverRegistry::Contains(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.find(name) != entries_.end();
+}
+
+std::vector<std::string> SolverRegistry::Names() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> names;
+  names.reserve(entries_.size());
+  for (const auto& [name, entry] : entries_) names.push_back(name);
+  return names;  // std::map iteration is already sorted
+}
+
+std::string SolverRegistry::NamesJoined() const {
+  return common::Join(Names(), ", ");
+}
+
+common::StatusOr<std::string> SolverRegistry::Description(
+    const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = entries_.find(name);
+  if (it == entries_.end()) {
+    return common::Status::NotFound("no solver named '" + name + "'");
+  }
+  return it->second.description;
+}
+
+common::StatusOr<std::unique_ptr<FormationSolver>> SolverRegistry::Create(
+    const std::string& name, const FormationProblem& problem,
+    const SolverOptions& options) const {
+  Factory factory;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = entries_.find(name);
+    if (it != entries_.end()) factory = it->second.factory;
+  }
+  if (factory == nullptr) {
+    return common::Status::NotFound("no solver named '" + name +
+                                    "' (available: " + NamesJoined() + ")");
+  }
+  return factory(problem, options);
+}
+
+}  // namespace groupform::core

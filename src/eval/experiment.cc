@@ -1,8 +1,11 @@
 #include "eval/experiment.h"
 
+#include <utility>
+
 #include "common/stopwatch.h"
-#include "core/greedy.h"
-#include "exact/subset_dp.h"
+#include "common/thread_pool.h"
+#include "core/solver_registry.h"
+#include "solvers/builtin.h"
 
 namespace groupform::eval {
 
@@ -26,72 +29,84 @@ const char* AlgorithmKindToString(AlgorithmKind kind) {
   return "?";
 }
 
+const char* AlgorithmKindToRegistryName(AlgorithmKind kind) {
+  switch (kind) {
+    case AlgorithmKind::kGreedy:
+      return "greedy";
+    case AlgorithmKind::kBaseline:
+      return "baseline";
+    case AlgorithmKind::kExactDp:
+      return "exact";
+    case AlgorithmKind::kLocalSearch:
+      return "localsearch";
+    case AlgorithmKind::kSimulatedAnnealing:
+      return "sa";
+    case AlgorithmKind::kBranchAndBound:
+      return "bnb";
+    case AlgorithmKind::kVectorKMeans:
+      return "veckmeans";
+  }
+  return "?";
+}
+
+common::StatusOr<RunOutcome> RunAlgorithmByName(
+    const std::string& name, const core::FormationProblem& problem,
+    std::uint64_t seed, const core::SolverOptions& options) {
+  solvers::EnsureBuiltinSolversRegistered();
+  common::Stopwatch stopwatch;
+  GF_ASSIGN_OR_RETURN(
+      auto solver,
+      core::SolverRegistry::Global().Create(name, problem, options));
+  GF_ASSIGN_OR_RETURN(auto result, solver->Solve(seed));
+  RunOutcome outcome;
+  outcome.result = std::move(result);
+  outcome.seconds = stopwatch.ElapsedSeconds();
+  return outcome;
+}
+
 common::StatusOr<RunOutcome> RunAlgorithm(
     AlgorithmKind kind, const core::FormationProblem& problem,
     std::uint64_t seed) {
-  common::Stopwatch stopwatch;
-  common::StatusOr<core::FormationResult> result =
-      common::Status::Internal("unreachable");
-  switch (kind) {
-    case AlgorithmKind::kGreedy:
-      result = core::RunGreedy(problem);
-      break;
-    case AlgorithmKind::kBaseline: {
-      baseline::BaselineFormer::Options options;
-      options.seed = seed;
-      result = baseline::RunBaseline(problem, options);
-      break;
-    }
-    case AlgorithmKind::kExactDp:
-      result = exact::SubsetDpSolver(problem).Run();
-      break;
-    case AlgorithmKind::kLocalSearch: {
-      exact::LocalSearchSolver::Options options;
-      options.seed = seed;
-      result = exact::LocalSearchSolver(problem, options).Run();
-      break;
-    }
-    case AlgorithmKind::kSimulatedAnnealing: {
-      exact::SimulatedAnnealingSolver::Options options;
-      options.seed = seed;
-      result = exact::SimulatedAnnealingSolver(problem, options).Run();
-      break;
-    }
-    case AlgorithmKind::kBranchAndBound:
-      result = exact::BranchAndBoundSolver(problem).Run();
-      break;
-    case AlgorithmKind::kVectorKMeans: {
-      baseline::VectorKMeansFormer::Options options;
-      options.seed = seed;
-      result = baseline::VectorKMeansFormer(problem, options).Run();
-      break;
-    }
+  return RunAlgorithmByName(AlgorithmKindToRegistryName(kind), problem,
+                            seed);
+}
+
+common::StatusOr<RepeatedOutcome> RunRepeated(
+    const std::string& name, const core::FormationProblem& problem,
+    int repetitions, std::uint64_t seed_base,
+    const core::SolverOptions& options) {
+  // Each repetition's seed depends only on its index, and each writes its
+  // own slot; the serial reduction below then reads the slots in index
+  // order — the same floating-point operation order as the old serial
+  // loop, which is what makes the mean byte-identical at any thread count.
+  std::vector<common::StatusOr<RunOutcome>> outcomes(
+      static_cast<std::size_t>(repetitions < 0 ? 0 : repetitions),
+      common::Status::Internal("repetition not run"));
+  common::ThreadPool::Shared().ParallelFor(
+      repetitions, [&](std::int64_t rep) {
+        outcomes[static_cast<std::size_t>(rep)] = RunAlgorithmByName(
+            name, problem,
+            seed_base + static_cast<std::uint64_t>(rep) * 7919, options);
+      });
+  RepeatedOutcome out;
+  for (auto& outcome : outcomes) {
+    if (!outcome.ok()) return outcome.status();
+    out.mean_objective += outcome->result.objective;
+    out.mean_seconds += outcome->seconds;
   }
-  if (!result.ok()) return result.status();
-  RunOutcome outcome;
-  outcome.result = std::move(result).value();
-  outcome.seconds = stopwatch.ElapsedSeconds();
-  return outcome;
+  if (repetitions > 0) {
+    out.mean_objective /= repetitions;
+    out.mean_seconds /= repetitions;
+    out.last_result = std::move(outcomes.back()->result);
+  }
+  return out;
 }
 
 common::StatusOr<RepeatedOutcome> RunRepeated(
     AlgorithmKind kind, const core::FormationProblem& problem,
     int repetitions, std::uint64_t seed_base) {
-  RepeatedOutcome out;
-  for (int rep = 0; rep < repetitions; ++rep) {
-    GF_ASSIGN_OR_RETURN(
-        auto outcome,
-        RunAlgorithm(kind, problem,
-                     seed_base + static_cast<std::uint64_t>(rep) * 7919));
-    out.mean_objective += outcome.result.objective;
-    out.mean_seconds += outcome.seconds;
-    if (rep == repetitions - 1) out.last_result = std::move(outcome.result);
-  }
-  if (repetitions > 0) {
-    out.mean_objective /= repetitions;
-    out.mean_seconds /= repetitions;
-  }
-  return out;
+  return RunRepeated(AlgorithmKindToRegistryName(kind), problem,
+                     repetitions, seed_base);
 }
 
 }  // namespace groupform::eval

@@ -4,17 +4,17 @@
 #include <string>
 #include <vector>
 
-#include "baseline/cluster_baseline.h"
 #include "common/status.h"
 #include "core/formation.h"
-#include "baseline/vector_kmeans.h"
-#include "exact/branch_and_bound.h"
-#include "exact/local_search.h"
-#include "exact/simulated_annealing.h"
+#include "core/solver.h"
 
 namespace groupform::eval {
 
 /// The algorithm families the paper compares (§7 "Algorithms Compared").
+/// Dispatch goes through core::SolverRegistry — each kind maps to a
+/// registry name via AlgorithmKindToRegistryName, and RunAlgorithmByName
+/// accepts any registered solver, including ones this enum has never heard
+/// of. The enum survives as the paper-facing vocabulary for the benches.
 enum class AlgorithmKind {
   /// GRD-{LM,AV}-{MAX,MIN,SUM} — the paper's contribution.
   kGreedy,
@@ -32,7 +32,13 @@ enum class AlgorithmKind {
   kVectorKMeans,
 };
 
+/// The paper's display label: "GRD", "OPT", "OPT*", ...
 const char* AlgorithmKindToString(AlgorithmKind kind);
+
+/// The core::SolverRegistry name the kind dispatches to: "greedy",
+/// "exact", "localsearch", ... Tests pin that every kind resolves to a
+/// registered solver (no drift between the enum and the registry).
+const char* AlgorithmKindToRegistryName(AlgorithmKind kind);
 
 /// One algorithm execution: the solution plus its wall-clock cost.
 struct RunOutcome {
@@ -40,23 +46,48 @@ struct RunOutcome {
   double seconds = 0.0;
 };
 
-/// Runs `kind` on `problem`, timing the whole formation (group creation
-/// plus per-group top-k recommendation, as the paper measures).
+/// Runs the registry solver `name` on `problem`, timing the whole
+/// formation (group creation plus per-group top-k recommendation, as the
+/// paper measures). `options` overrides individual solver knobs by key.
+/// NOT_FOUND when no such solver is registered.
+common::StatusOr<RunOutcome> RunAlgorithmByName(
+    const std::string& name, const core::FormationProblem& problem,
+    std::uint64_t seed = core::FormationSolver::kDefaultSeed,
+    const core::SolverOptions& options = core::SolverOptions());
+
+/// Enum-keyed convenience over RunAlgorithmByName.
 common::StatusOr<RunOutcome> RunAlgorithm(
     AlgorithmKind kind, const core::FormationProblem& problem,
-    std::uint64_t seed = 99);
+    std::uint64_t seed = core::FormationSolver::kDefaultSeed);
 
-/// Averages `repetitions` runs of `kind` with distinct seeds (the paper
-/// reports every number as "the average of three runs").
+/// Averages `repetitions` runs with distinct seeds (the paper reports
+/// every number as "the average of three runs"). Repetitions are
+/// independent, so they run in parallel on common::ThreadPool::Shared();
+/// per-repetition seeds derive from the repetition index and aggregation
+/// happens serially in index order, so every *result* field
+/// (mean_objective, last_result) is identical at every thread count
+/// (DESIGN.md §10.3). mean_seconds is the exception: it is per-run wall
+/// clock, and at --threads > 1 concurrent repetitions contend for cores,
+/// inflating it — time algorithms at --threads 1 (as the serial
+/// fig4/5/6 timing benches do).
 struct RepeatedOutcome {
   double mean_objective = 0.0;
+  /// Mean per-repetition wall clock; contention-inflated when
+  /// repetitions run concurrently. Not covered by the determinism
+  /// contract.
   double mean_seconds = 0.0;
   /// The last run's full result (for inspection of groups).
   core::FormationResult last_result;
 };
 common::StatusOr<RepeatedOutcome> RunRepeated(
+    const std::string& name, const core::FormationProblem& problem,
+    int repetitions,
+    std::uint64_t seed_base = core::FormationSolver::kDefaultSeed,
+    const core::SolverOptions& options = core::SolverOptions());
+common::StatusOr<RepeatedOutcome> RunRepeated(
     AlgorithmKind kind, const core::FormationProblem& problem,
-    int repetitions, std::uint64_t seed_base = 99);
+    int repetitions,
+    std::uint64_t seed_base = core::FormationSolver::kDefaultSeed);
 
 }  // namespace groupform::eval
 

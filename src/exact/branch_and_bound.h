@@ -5,6 +5,7 @@
 
 #include "common/status.h"
 #include "core/formation.h"
+#include "core/solver.h"
 
 namespace groupform::exact {
 
@@ -31,8 +32,12 @@ namespace groupform::exact {
 ///
 /// Practical to ~18-22 users depending on structure; cross-validated
 /// against SubsetDpSolver in tests.
-class BranchAndBoundSolver {
+class BranchAndBoundSolver : public core::FormationSolver {
  public:
+  static constexpr const char* kRegistryName = "bnb";
+  static constexpr const char* kSolverDescription =
+      "BNB — exact branch and bound with greedy incumbent (small instances)";
+
   struct Options {
     int max_users = 22;
     /// Node expansion budget; 0 = unlimited.
@@ -46,6 +51,15 @@ class BranchAndBoundSolver {
       : problem_(problem), options_(options) {}
 
   common::StatusOr<core::FormationResult> Run() const;
+
+  /// FormationSolver: the search is deterministic, the seed is ignored.
+  common::StatusOr<core::FormationResult> Solve(
+      std::uint64_t) const override {
+    return Run();
+  }
+  std::string name() const override { return kRegistryName; }
+  std::string description() const override { return kSolverDescription; }
+  using core::FormationSolver::Solve;
 
  private:
   core::FormationProblem problem_;

@@ -61,9 +61,13 @@ common::StatusOr<FormationResult> LocalSearchSolver::Run() const {
       state.groups[i % static_cast<std::size_t>(ell)].push_back(order[i]);
     }
   }
+  // Batch-score the seed partition on the shared thread pool; the serial
+  // sum keeps the objective's floating-point order thread-count-invariant.
   state.satisfaction.resize(state.groups.size());
+  const std::vector<core::GroupScore> seed_scores =
+      core::ScoreGroups(problem_, scorer, state.groups);
   for (std::size_t g = 0; g < state.groups.size(); ++g) {
-    state.satisfaction[g] = Evaluate(problem_, scorer, state.groups[g]);
+    state.satisfaction[g] = seed_scores[g].satisfaction;
     state.objective += state.satisfaction[g];
   }
 
@@ -183,14 +187,17 @@ common::StatusOr<FormationResult> LocalSearchSolver::Run() const {
   }
 
   // ---- Package ----
+  // Final rescoring of all groups at once (the lists were not kept during
+  // the search; only satisfactions were cached).
+  std::vector<core::GroupScore> final_scores =
+      core::ScoreGroups(problem_, scorer, state.groups);
   FormationResult result;
   result.algorithm = "OPT*-LS";
   for (std::size_t g = 0; g < state.groups.size(); ++g) {
     if (state.groups[g].empty()) continue;
     FormedGroup group;
     group.members = state.groups[g];
-    group.recommendation =
-        core::ComputeGroupList(problem_, scorer, group.members);
+    group.recommendation = std::move(final_scores[g].list);
     group.satisfaction = state.satisfaction[g];
     result.objective += group.satisfaction;
     result.groups.push_back(std::move(group));

@@ -5,6 +5,7 @@
 
 #include "common/status.h"
 #include "core/formation.h"
+#include "core/solver.h"
 
 namespace groupform::exact {
 
@@ -19,8 +20,12 @@ namespace groupform::exact {
 /// on small instances and this local search as the strong reference at the
 /// paper's 200-user calibration scale (labelled OPT* in the benchmarks).
 /// Its objective is by construction >= the greedy seed's.
-class LocalSearchSolver {
+class LocalSearchSolver : public core::FormationSolver {
  public:
+  static constexpr const char* kRegistryName = "localsearch";
+  static constexpr const char* kSolverDescription =
+      "OPT* — greedy-seeded hill climbing, the scalable optimal reference";
+
   struct Options {
     /// Maximum full improvement passes over the population.
     int max_passes = 40;
@@ -42,6 +47,18 @@ class LocalSearchSolver {
       : problem_(problem), options_(options) {}
 
   common::StatusOr<core::FormationResult> Run() const;
+
+  /// FormationSolver: `seed` replaces Options::seed for this run (it
+  /// drives the shuffle order and swap sampling).
+  common::StatusOr<core::FormationResult> Solve(
+      std::uint64_t seed) const override {
+    Options seeded = options_;
+    seeded.seed = seed;
+    return LocalSearchSolver(problem_, seeded).Run();
+  }
+  std::string name() const override { return kRegistryName; }
+  std::string description() const override { return kSolverDescription; }
+  using core::FormationSolver::Solve;
 
  private:
   core::FormationProblem problem_;

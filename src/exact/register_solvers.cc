@@ -1,0 +1,87 @@
+#include "exact/register_solvers.h"
+
+#include <memory>
+
+#include "core/solver_registry.h"
+#include "exact/branch_and_bound.h"
+#include "exact/local_search.h"
+#include "exact/simulated_annealing.h"
+#include "exact/subset_dp.h"
+
+namespace groupform::exact {
+
+using core::FormationProblem;
+using core::FormationSolver;
+using core::SolverOptions;
+using core::SolverRegistry;
+using SolverOr = common::StatusOr<std::unique_ptr<FormationSolver>>;
+
+namespace {
+
+int AsInt(const SolverOptions& options, const char* key, int fallback) {
+  return static_cast<int>(options.GetInt(key, fallback));
+}
+
+}  // namespace
+
+void RegisterExactSolvers() {
+  SolverRegistry& registry = SolverRegistry::Global();
+
+  (void)registry.Register(
+      SubsetDpSolver::kRegistryName, SubsetDpSolver::kSolverDescription,
+      [](const FormationProblem& problem, const SolverOptions& options) {
+        SubsetDpSolver::Options opt;
+        opt.max_users = AsInt(options, "max_users", opt.max_users);
+        return SolverOr(std::make_unique<SubsetDpSolver>(problem, opt));
+      });
+
+  (void)registry.Register(
+      BruteForceSolver::kRegistryName, BruteForceSolver::kSolverDescription,
+      [](const FormationProblem& problem, const SolverOptions& options) {
+        BruteForceSolver::Options opt;
+        opt.max_users = AsInt(options, "max_users", opt.max_users);
+        return SolverOr(std::make_unique<BruteForceSolver>(problem, opt));
+      });
+
+  (void)registry.Register(
+      BranchAndBoundSolver::kRegistryName,
+      BranchAndBoundSolver::kSolverDescription,
+      [](const FormationProblem& problem, const SolverOptions& options) {
+        BranchAndBoundSolver::Options opt;
+        opt.max_users = AsInt(options, "max_users", opt.max_users);
+        opt.max_nodes = options.GetInt("max_nodes", opt.max_nodes);
+        return SolverOr(
+            std::make_unique<BranchAndBoundSolver>(problem, opt));
+      });
+
+  (void)registry.Register(
+      LocalSearchSolver::kRegistryName, LocalSearchSolver::kSolverDescription,
+      [](const FormationProblem& problem, const SolverOptions& options) {
+        LocalSearchSolver::Options opt;
+        opt.max_passes = AsInt(options, "max_passes", opt.max_passes);
+        opt.use_swaps = options.GetBool("use_swaps", opt.use_swaps);
+        opt.swap_samples = AsInt(options, "swap_samples", opt.swap_samples);
+        opt.init_with_greedy =
+            options.GetBool("init_with_greedy", opt.init_with_greedy);
+        return SolverOr(std::make_unique<LocalSearchSolver>(problem, opt));
+      });
+
+  (void)registry.Register(
+      SimulatedAnnealingSolver::kRegistryName,
+      SimulatedAnnealingSolver::kSolverDescription,
+      [](const FormationProblem& problem, const SolverOptions& options) {
+        SimulatedAnnealingSolver::Options opt;
+        opt.iterations = AsInt(options, "iterations", opt.iterations);
+        opt.cooling = options.GetDouble("cooling", opt.cooling);
+        opt.cooling_interval =
+            AsInt(options, "cooling_interval", opt.cooling_interval);
+        opt.swap_fraction =
+            options.GetDouble("swap_fraction", opt.swap_fraction);
+        opt.init_with_greedy =
+            options.GetBool("init_with_greedy", opt.init_with_greedy);
+        return SolverOr(
+            std::make_unique<SimulatedAnnealingSolver>(problem, opt));
+      });
+}
+
+}  // namespace groupform::exact

@@ -1,0 +1,15 @@
+#ifndef GROUPFORM_EXACT_REGISTER_SOLVERS_H_
+#define GROUPFORM_EXACT_REGISTER_SOLVERS_H_
+
+namespace groupform::exact {
+
+/// Registers the exact layer's solvers — "exact" (subset DP), "brute",
+/// "bnb", "localsearch", "sa" — with core::SolverRegistry::Global().
+/// Idempotent-tolerant: duplicate names keep the first registration. A new
+/// solver in this layer registers here once and is immediately reachable
+/// from the CLI, the experiment harness, and the benches.
+void RegisterExactSolvers();
+
+}  // namespace groupform::exact
+
+#endif  // GROUPFORM_EXACT_REGISTER_SOLVERS_H_

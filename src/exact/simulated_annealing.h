@@ -5,6 +5,7 @@
 
 #include "common/status.h"
 #include "core/formation.h"
+#include "core/solver.h"
 
 namespace groupform::exact {
 
@@ -19,8 +20,12 @@ namespace groupform::exact {
 /// Moves: relocate a random user to a random (possibly empty) group, or
 /// swap two random users from different groups. The best state ever seen
 /// is returned, so the result is never worse than the greedy seed.
-class SimulatedAnnealingSolver {
+class SimulatedAnnealingSolver : public core::FormationSolver {
  public:
+  static constexpr const char* kRegistryName = "sa";
+  static constexpr const char* kSolverDescription =
+      "SA — greedy-seeded simulated annealing (Metropolis search)";
+
   struct Options {
     /// Proposals evaluated in total.
     int iterations = 20000;
@@ -44,6 +49,18 @@ class SimulatedAnnealingSolver {
       : problem_(problem), options_(options) {}
 
   common::StatusOr<core::FormationResult> Run() const;
+
+  /// FormationSolver: `seed` replaces Options::seed for this run (it
+  /// drives move proposals and the Metropolis draws).
+  common::StatusOr<core::FormationResult> Solve(
+      std::uint64_t seed) const override {
+    Options seeded = options_;
+    seeded.seed = seed;
+    return SimulatedAnnealingSolver(problem_, seeded).Run();
+  }
+  std::string name() const override { return kRegistryName; }
+  std::string description() const override { return kSolverDescription; }
+  using core::FormationSolver::Solve;
 
  private:
   core::FormationProblem problem_;

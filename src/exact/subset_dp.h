@@ -3,6 +3,7 @@
 
 #include "common/status.h"
 #include "core/formation.h"
+#include "core/solver.h"
 
 namespace groupform::exact {
 
@@ -21,8 +22,12 @@ namespace groupform::exact {
 ///
 /// Cost: O(2^n) group-score evaluations plus O(ell * 3^n / 2) DP
 /// transitions — practical to max_users (default 16).
-class SubsetDpSolver {
+class SubsetDpSolver : public core::FormationSolver {
  public:
+  static constexpr const char* kRegistryName = "exact";
+  static constexpr const char* kSolverDescription =
+      "OPT — provably optimal subset DP (small instances only)";
+
   struct Options {
     /// Hard cap on population size; larger instances fail with
     /// RESOURCE_EXHAUSTED instead of silently running for hours.
@@ -38,6 +43,15 @@ class SubsetDpSolver {
   /// reconstruction order); the objective is Obj(OPT) in Theorems 2/3.
   common::StatusOr<core::FormationResult> Run() const;
 
+  /// FormationSolver: the DP is deterministic, the seed is ignored.
+  common::StatusOr<core::FormationResult> Solve(
+      std::uint64_t) const override {
+    return Run();
+  }
+  std::string name() const override { return kRegistryName; }
+  std::string description() const override { return kSolverDescription; }
+  using core::FormationSolver::Solve;
+
  private:
   core::FormationProblem problem_;
   Options options_;
@@ -46,8 +60,12 @@ class SubsetDpSolver {
 /// Exhaustive set-partition enumeration (restricted-growth strings),
 /// practical to ~10 users. Exists to cross-validate SubsetDpSolver in
 /// tests; prefer SubsetDpSolver everywhere else.
-class BruteForceSolver {
+class BruteForceSolver : public core::FormationSolver {
  public:
+  static constexpr const char* kRegistryName = "brute";
+  static constexpr const char* kSolverDescription =
+      "exhaustive set-partition enumeration (tiny instances; test oracle)";
+
   struct Options {
     int max_users = 10;
   };
@@ -58,6 +76,15 @@ class BruteForceSolver {
       : problem_(problem), options_(options) {}
 
   common::StatusOr<core::FormationResult> Run() const;
+
+  /// FormationSolver: enumeration is deterministic, the seed is ignored.
+  common::StatusOr<core::FormationResult> Solve(
+      std::uint64_t) const override {
+    return Run();
+  }
+  std::string name() const override { return kRegistryName; }
+  std::string description() const override { return kSolverDescription; }
+  using core::FormationSolver::Solve;
 
  private:
   core::FormationProblem problem_;

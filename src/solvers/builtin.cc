@@ -1,0 +1,20 @@
+#include "solvers/builtin.h"
+
+#include <mutex>
+
+#include "baseline/register_solvers.h"
+#include "core/solver_registry.h"
+#include "exact/register_solvers.h"
+
+namespace groupform::solvers {
+
+void EnsureBuiltinSolversRegistered() {
+  static std::once_flag once;
+  std::call_once(once, [] {
+    core::RegisterCoreSolvers();
+    exact::RegisterExactSolvers();
+    baseline::RegisterBaselineSolvers();
+  });
+}
+
+}  // namespace groupform::solvers

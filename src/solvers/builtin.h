@@ -1,0 +1,15 @@
+#ifndef GROUPFORM_SOLVERS_BUILTIN_H_
+#define GROUPFORM_SOLVERS_BUILTIN_H_
+
+namespace groupform::solvers {
+
+/// Registers every built-in solver family (core greedy, the exact solvers,
+/// the clustering baselines) with core::SolverRegistry::Global(). Safe to
+/// call from multiple threads and multiple times; the registrations run
+/// once per process. Every surface that resolves solvers by name — the
+/// CLI, eval::RunAlgorithm, benches, examples — calls this first.
+void EnsureBuiltinSolversRegistered();
+
+}  // namespace groupform::solvers
+
+#endif  // GROUPFORM_SOLVERS_BUILTIN_H_

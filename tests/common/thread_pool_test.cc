@@ -1,0 +1,141 @@
+// ThreadPool: every index runs exactly once, results are identical at
+// every thread count, exceptions propagate, and nested loops do not
+// deadlock.
+#include "common/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <cstdlib>
+#include <stdexcept>
+#include <vector>
+
+namespace groupform::common {
+namespace {
+
+/// A cheap but order-sensitive per-index computation.
+double WorkItem(std::int64_t i) {
+  double x = static_cast<double>(i) + 0.5;
+  for (int iter = 0; iter < 50; ++iter) {
+    x = x * 1.0000001 + static_cast<double>(i % 7);
+  }
+  return x;
+}
+
+std::vector<double> RunAtThreadCount(int threads, std::int64_t n) {
+  ThreadPool pool(threads);
+  std::vector<double> out(static_cast<std::size_t>(n), 0.0);
+  pool.ParallelFor(n, [&](std::int64_t i) {
+    out[static_cast<std::size_t>(i)] = WorkItem(i);
+  });
+  return out;
+}
+
+TEST(ThreadPool, RunsEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  constexpr std::int64_t kN = 1000;
+  std::vector<std::atomic<int>> counts(kN);
+  for (auto& count : counts) count.store(0);
+  pool.ParallelFor(kN, [&](std::int64_t i) {
+    counts[static_cast<std::size_t>(i)].fetch_add(1);
+  });
+  for (std::int64_t i = 0; i < kN; ++i) {
+    EXPECT_EQ(counts[static_cast<std::size_t>(i)].load(), 1) << i;
+  }
+}
+
+TEST(ThreadPool, ZeroAndNegativeCountsAreNoOps) {
+  ThreadPool pool(4);
+  int calls = 0;
+  pool.ParallelFor(0, [&](std::int64_t) { ++calls; });
+  pool.ParallelFor(-5, [&](std::int64_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+}
+
+TEST(ThreadPool, OneThreadEqualsInlineSerialLoop) {
+  constexpr std::int64_t kN = 257;
+  std::vector<double> serial(static_cast<std::size_t>(kN));
+  for (std::int64_t i = 0; i < kN; ++i) {
+    serial[static_cast<std::size_t>(i)] = WorkItem(i);
+  }
+  EXPECT_EQ(RunAtThreadCount(1, kN), serial);
+}
+
+TEST(ThreadPool, ResultsIdenticalAcrossThreadCounts) {
+  constexpr std::int64_t kN = 511;
+  const std::vector<double> at_one = RunAtThreadCount(1, kN);
+  EXPECT_EQ(RunAtThreadCount(2, kN), at_one);
+  EXPECT_EQ(RunAtThreadCount(8, kN), at_one);
+}
+
+TEST(ThreadPool, ExceptionPropagatesFromWorkerBody) {
+  ThreadPool pool(4);
+  const auto throwing_loop = [&] {
+    pool.ParallelFor(100, [&](std::int64_t i) {
+      if (i == 37) throw std::runtime_error("index 37 failed");
+    });
+  };
+  EXPECT_THROW(throwing_loop(), std::runtime_error);
+  // The pool survives a failed loop.
+  std::atomic<int> ran{0};
+  pool.ParallelFor(10, [&](std::int64_t) { ran.fetch_add(1); });
+  EXPECT_EQ(ran.load(), 10);
+}
+
+TEST(ThreadPool, ExceptionPropagatesOnSerialPathToo) {
+  ThreadPool pool(1);
+  EXPECT_THROW(pool.ParallelFor(
+                   5,
+                   [&](std::int64_t i) {
+                     if (i == 3) throw std::runtime_error("serial boom");
+                   }),
+               std::runtime_error);
+}
+
+TEST(ThreadPool, NestedParallelForRunsSeriallyWithoutDeadlock) {
+  ThreadPool pool(4);
+  constexpr std::int64_t kOuter = 16;
+  constexpr std::int64_t kInner = 16;
+  std::vector<std::int64_t> inner_sums(static_cast<std::size_t>(kOuter), 0);
+  pool.ParallelFor(kOuter, [&](std::int64_t outer) {
+    std::int64_t sum = 0;
+    // Same pool from inside a body: must degrade to a serial loop.
+    pool.ParallelFor(kInner, [&](std::int64_t inner) { sum += inner; });
+    inner_sums[static_cast<std::size_t>(outer)] = sum;
+  });
+  for (const std::int64_t sum : inner_sums) {
+    EXPECT_EQ(sum, kInner * (kInner - 1) / 2);
+  }
+}
+
+TEST(ThreadPool, DefaultThreadCountPrefersOverrideThenEnv) {
+  ThreadPool::SetDefaultThreadCount(3);
+  EXPECT_EQ(ThreadPool::DefaultThreadCount(), 3);
+  ::setenv("GF_THREADS", "5", /*overwrite=*/1);
+  EXPECT_EQ(ThreadPool::DefaultThreadCount(), 3);  // override wins
+  ThreadPool::SetDefaultThreadCount(0);            // clear override
+  EXPECT_EQ(ThreadPool::DefaultThreadCount(), 5);  // env wins
+  ::setenv("GF_THREADS", "not-a-number", 1);
+  EXPECT_GE(ThreadPool::DefaultThreadCount(), 1);  // hardware fallback
+  ::unsetenv("GF_THREADS");
+  EXPECT_GE(ThreadPool::DefaultThreadCount(), 1);
+}
+
+TEST(ThreadPool, SharedPoolTracksDefaultThreadCount) {
+  ThreadPool::SetDefaultThreadCount(2);
+  EXPECT_EQ(ThreadPool::Shared().num_threads(), 2);
+  ThreadPool::SetDefaultThreadCount(4);
+  EXPECT_EQ(ThreadPool::Shared().num_threads(), 4);
+  ThreadPool::SetDefaultThreadCount(0);
+}
+
+TEST(ThreadPool, ThreadCountsBelowOneClampToOne) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.num_threads(), 1);
+  ThreadPool negative(-3);
+  EXPECT_EQ(negative.num_threads(), 1);
+}
+
+}  // namespace
+}  // namespace groupform::common

@@ -1,0 +1,176 @@
+// SolverRegistry semantics: registration, lookup, duplicate rejection,
+// option-bag parsing, and end-to-end Solve through a registered stub.
+#include "core/solver_registry.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <string>
+
+#include "core/formation.h"
+#include "core/solver.h"
+#include "data/synthetic.h"
+
+namespace groupform::core {
+namespace {
+
+/// A minimal solver: one group holding every user, scored honestly via the
+/// problem's scorer — a valid partition for any instance with ell >= 1.
+class OneGroupSolver : public FormationSolver {
+ public:
+  OneGroupSolver(const FormationProblem& problem, double bonus)
+      : problem_(problem), bonus_(bonus) {}
+
+  common::StatusOr<FormationResult> Solve(std::uint64_t) const override {
+    GF_RETURN_IF_ERROR(problem_.Validate());
+    FormedGroup group;
+    for (UserId u = 0; u < problem_.matrix->num_users(); ++u) {
+      group.members.push_back(u);
+    }
+    const auto scorer = problem_.MakeScorer();
+    group.recommendation = ComputeGroupList(problem_, scorer, group.members);
+    group.satisfaction = AggregateListSatisfaction(
+        problem_, static_cast<int>(group.members.size()),
+        group.recommendation);
+    FormationResult result;
+    result.algorithm = name();
+    result.objective = group.satisfaction + bonus_;
+    result.groups.push_back(std::move(group));
+    return result;
+  }
+  std::string name() const override { return "one-group-stub"; }
+  std::string description() const override { return "everyone together"; }
+
+ private:
+  FormationProblem problem_;
+  double bonus_;
+};
+
+SolverRegistry::Factory StubFactory() {
+  return [](const FormationProblem& problem, const SolverOptions& options) {
+    return common::StatusOr<std::unique_ptr<FormationSolver>>(
+        std::make_unique<OneGroupSolver>(problem,
+                                         options.GetDouble("bonus", 0.0)));
+  };
+}
+
+FormationProblem SmallProblem(const data::RatingMatrix& matrix) {
+  FormationProblem problem;
+  problem.matrix = &matrix;
+  problem.k = 2;
+  problem.max_groups = 3;
+  return problem;
+}
+
+TEST(SolverRegistry, RegisterLookupCreateSolveUnregister) {
+  auto& registry = SolverRegistry::Global();
+  ASSERT_TRUE(
+      registry.Register("one-group-stub", "everyone together", StubFactory())
+          .ok());
+  EXPECT_TRUE(registry.Contains("one-group-stub"));
+  const auto description = registry.Description("one-group-stub");
+  ASSERT_TRUE(description.ok());
+  EXPECT_EQ(*description, "everyone together");
+
+  const auto matrix =
+      data::GenerateUniformDense(8, 5, data::RatingScale{1.0, 5.0}, 11);
+  const auto problem = SmallProblem(matrix);
+  const auto solver = registry.Create("one-group-stub", problem);
+  ASSERT_TRUE(solver.ok()) << solver.status();
+  EXPECT_EQ((*solver)->name(), "one-group-stub");
+  const auto result = (*solver)->Solve();
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_TRUE(ValidatePartition(problem, *result).ok());
+
+  EXPECT_TRUE(registry.Unregister("one-group-stub"));
+  EXPECT_FALSE(registry.Contains("one-group-stub"));
+  EXPECT_FALSE(registry.Unregister("one-group-stub"));
+}
+
+TEST(SolverRegistry, FactoryReceivesTheOptionBag) {
+  auto& registry = SolverRegistry::Global();
+  ASSERT_TRUE(registry.Register("bonus-stub", "stub", StubFactory()).ok());
+  const auto matrix =
+      data::GenerateUniformDense(6, 4, data::RatingScale{1.0, 5.0}, 13);
+  const auto problem = SmallProblem(matrix);
+
+  const auto plain = registry.Create("bonus-stub", problem);
+  ASSERT_TRUE(plain.ok());
+  const auto with_bonus = registry.Create(
+      "bonus-stub", problem, SolverOptions().Set("bonus", "2.5"));
+  ASSERT_TRUE(with_bonus.ok());
+  const auto base = (*plain)->Solve();
+  const auto boosted = (*with_bonus)->Solve();
+  ASSERT_TRUE(base.ok());
+  ASSERT_TRUE(boosted.ok());
+  EXPECT_DOUBLE_EQ(boosted->objective, base->objective + 2.5);
+  registry.Unregister("bonus-stub");
+}
+
+TEST(SolverRegistry, DuplicateNameIsRejectedFirstRegistrationWins) {
+  auto& registry = SolverRegistry::Global();
+  ASSERT_TRUE(registry.Register("dup-stub", "first", StubFactory()).ok());
+  const auto second = registry.Register("dup-stub", "second", StubFactory());
+  EXPECT_FALSE(second.ok());
+  EXPECT_EQ(second.code(), common::StatusCode::kFailedPrecondition);
+  const auto description = registry.Description("dup-stub");
+  ASSERT_TRUE(description.ok());
+  EXPECT_EQ(*description, "first");
+  registry.Unregister("dup-stub");
+}
+
+TEST(SolverRegistry, EmptyNameAndNullFactoryAreInvalid) {
+  auto& registry = SolverRegistry::Global();
+  EXPECT_EQ(registry.Register("", "x", StubFactory()).code(),
+            common::StatusCode::kInvalidArgument);
+  EXPECT_EQ(registry.Register("null-factory", "x", nullptr).code(),
+            common::StatusCode::kInvalidArgument);
+  EXPECT_FALSE(registry.Contains("null-factory"));
+}
+
+TEST(SolverRegistry, UnknownNameListsAvailableSolvers) {
+  auto& registry = SolverRegistry::Global();
+  ASSERT_TRUE(registry.Register("visible-stub", "x", StubFactory()).ok());
+  const auto matrix =
+      data::GenerateUniformDense(4, 3, data::RatingScale{1.0, 5.0}, 17);
+  const auto problem = SmallProblem(matrix);
+  const auto missing = registry.Create("no-such-solver", problem);
+  ASSERT_FALSE(missing.ok());
+  EXPECT_EQ(missing.status().code(), common::StatusCode::kNotFound);
+  EXPECT_NE(missing.status().message().find("visible-stub"),
+            std::string::npos);
+  registry.Unregister("visible-stub");
+}
+
+TEST(SolverRegistry, NamesAreSorted) {
+  auto& registry = SolverRegistry::Global();
+  ASSERT_TRUE(registry.Register("zz-stub", "z", StubFactory()).ok());
+  ASSERT_TRUE(registry.Register("aa-stub", "a", StubFactory()).ok());
+  const auto names = registry.Names();
+  EXPECT_TRUE(std::is_sorted(names.begin(), names.end()));
+  registry.Unregister("zz-stub");
+  registry.Unregister("aa-stub");
+}
+
+TEST(SolverOptions, TypedGettersFallBackOnMissingOrMalformed) {
+  SolverOptions options;
+  options.Set("int", "42").Set("dbl", "2.5").Set("flag", "true");
+  options.Set("bad", "zebra").Set("bare", "");
+  EXPECT_EQ(options.GetInt("int", 7), 42);
+  EXPECT_EQ(options.GetInt("missing", 7), 7);
+  EXPECT_EQ(options.GetInt("bad", 7), 7);
+  EXPECT_DOUBLE_EQ(options.GetDouble("dbl", 1.0), 2.5);
+  EXPECT_DOUBLE_EQ(options.GetDouble("missing", 1.0), 1.0);
+  EXPECT_TRUE(options.GetBool("flag", false));
+  EXPECT_TRUE(options.GetBool("bare", false));  // bare key = true
+  EXPECT_FALSE(options.GetBool("missing", false));
+  EXPECT_FALSE(options.GetBool("bad", false));
+  EXPECT_EQ(options.GetString("bad", "d"), "zebra");
+  EXPECT_EQ(options.GetString("missing", "d"), "d");
+  EXPECT_TRUE(options.Has("int"));
+  EXPECT_FALSE(options.Has("missing"));
+}
+
+}  // namespace
+}  // namespace groupform::core

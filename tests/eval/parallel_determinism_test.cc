@@ -1,0 +1,120 @@
+// The §8 / DESIGN.md §10.3 determinism contract: for a fixed problem and
+// seed, batch scoring and repeated runs produce identical results at
+// --threads 1, 2, and 8.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "core/formation.h"
+#include "data/synthetic.h"
+#include "eval/experiment.h"
+
+namespace groupform {
+namespace {
+
+using core::FormationProblem;
+using core::FormationResult;
+using eval::AlgorithmKind;
+
+FormationProblem Problem(const data::RatingMatrix& matrix) {
+  FormationProblem problem;
+  problem.matrix = &matrix;
+  problem.semantics = grouprec::Semantics::kLeastMisery;
+  problem.aggregation = grouprec::Aggregation::kMin;
+  problem.k = 3;
+  problem.max_groups = 4;
+  return problem;
+}
+
+/// Full structural equality: members, recommended lists (items and
+/// scores, bit-exact), satisfactions, and the objective.
+void ExpectIdenticalResults(const FormationResult& a,
+                            const FormationResult& b) {
+  EXPECT_EQ(a.algorithm, b.algorithm);
+  EXPECT_EQ(a.objective, b.objective);  // bitwise, not approximate
+  ASSERT_EQ(a.groups.size(), b.groups.size());
+  for (std::size_t g = 0; g < a.groups.size(); ++g) {
+    EXPECT_EQ(a.groups[g].members, b.groups[g].members) << "group " << g;
+    EXPECT_EQ(a.groups[g].satisfaction, b.groups[g].satisfaction);
+    EXPECT_EQ(a.groups[g].recommendation.items,
+              b.groups[g].recommendation.items);
+  }
+}
+
+class ParallelDeterminismTest : public ::testing::Test {
+ protected:
+  void TearDown() override {
+    common::ThreadPool::SetDefaultThreadCount(0);
+  }
+};
+
+TEST_F(ParallelDeterminismTest, BatchScoringIdenticalAcrossThreadCounts) {
+  const auto matrix = data::GenerateLatentFactor(
+      data::MovieLensLikeConfig(60, 40, /*seed=*/5));
+  const auto problem = Problem(matrix);
+  const auto scorer = problem.MakeScorer();
+  // An uneven partition, including an empty group.
+  std::vector<std::vector<UserId>> groups(9);
+  for (UserId u = 0; u < matrix.num_users(); ++u) {
+    groups[static_cast<std::size_t>(u % 8)].push_back(u);
+  }
+
+  common::ThreadPool::SetDefaultThreadCount(1);
+  const auto serial = core::ScoreGroups(problem, scorer, groups);
+  for (const int threads : {2, 8}) {
+    common::ThreadPool::SetDefaultThreadCount(threads);
+    const auto parallel = core::ScoreGroups(problem, scorer, groups);
+    ASSERT_EQ(parallel.size(), serial.size());
+    for (std::size_t g = 0; g < serial.size(); ++g) {
+      EXPECT_EQ(parallel[g].satisfaction, serial[g].satisfaction)
+          << "threads=" << threads << " group=" << g;
+      EXPECT_EQ(parallel[g].list.items, serial[g].list.items);
+    }
+  }
+}
+
+TEST_F(ParallelDeterminismTest, RunRepeatedIdenticalAcrossThreadCounts) {
+  const auto matrix = data::GenerateLatentFactor(
+      data::MovieLensLikeConfig(40, 30, /*seed=*/9));
+  const auto problem = Problem(matrix);
+  // One deterministic solver, one seeded refiner, one seeded baseline.
+  for (const auto kind :
+       {AlgorithmKind::kGreedy, AlgorithmKind::kLocalSearch,
+        AlgorithmKind::kVectorKMeans}) {
+    common::ThreadPool::SetDefaultThreadCount(1);
+    const auto serial = eval::RunRepeated(kind, problem, 4);
+    ASSERT_TRUE(serial.ok()) << serial.status();
+    for (const int threads : {2, 8}) {
+      common::ThreadPool::SetDefaultThreadCount(threads);
+      const auto parallel = eval::RunRepeated(kind, problem, 4);
+      ASSERT_TRUE(parallel.ok()) << parallel.status();
+      EXPECT_EQ(parallel->mean_objective, serial->mean_objective)
+          << eval::AlgorithmKindToString(kind) << " threads=" << threads;
+      ExpectIdenticalResults(parallel->last_result, serial->last_result);
+    }
+  }
+}
+
+TEST_F(ParallelDeterminismTest,
+       SingleRunIdenticalAcrossThreadCountsForSeededSolvers) {
+  // Solvers that internally batch-score (baseline clusters, local search)
+  // must not let the pool's thread count leak into their output.
+  const auto matrix = data::GenerateLatentFactor(
+      data::MovieLensLikeConfig(50, 30, /*seed=*/21));
+  const auto problem = Problem(matrix);
+  for (const auto kind :
+       {AlgorithmKind::kBaseline, AlgorithmKind::kLocalSearch,
+        AlgorithmKind::kSimulatedAnnealing}) {
+    common::ThreadPool::SetDefaultThreadCount(1);
+    const auto serial = eval::RunAlgorithm(kind, problem, /*seed=*/77);
+    ASSERT_TRUE(serial.ok()) << serial.status();
+    common::ThreadPool::SetDefaultThreadCount(8);
+    const auto parallel = eval::RunAlgorithm(kind, problem, /*seed=*/77);
+    ASSERT_TRUE(parallel.ok()) << parallel.status();
+    ExpectIdenticalResults(parallel->result, serial->result);
+  }
+}
+
+}  // namespace
+}  // namespace groupform

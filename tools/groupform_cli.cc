@@ -15,32 +15,35 @@
 //   --k N               list length (default 5)
 //   --groups N          max groups, the paper's ell (default 10)
 //   --missing rmin|zero|skip        missing-rating policy (default rmin)
-//   --algorithm greedy|baseline|veckmeans|localsearch|sa|bnb|exact
+//   --algorithm NAME    any registered solver; see --help for the list
+//                       (the choices come from core::SolverRegistry)
+//   --algo-seed S       seed for randomized solvers (default 99);
+//                       independent of --seed, which shapes synthetic data
+//   --solver-opt K=V    forward one option to the solver's factory
+//                       (repeatable via commas: "max_passes=10,use_swaps=0")
+//   --threads N         worker threads for parallel scoring/experiments
+//                       (default: GF_THREADS env, else hardware; 1 = serial)
 //   --candidate-depth D residual candidate truncation (0 = full catalogue)
 //   --output PATH       write "group,user" CSV of the partition
 //   --emit-lp PATH      also write the Appendix-A IP in LP format
 #include <cstdio>
 #include <string>
 
-#include "baseline/cluster_baseline.h"
-#include "baseline/vector_kmeans.h"
 #include "common/csv.h"
 #include "common/flags.h"
 #include "common/stopwatch.h"
 #include "common/strings.h"
+#include "common/thread_pool.h"
 #include "core/formation.h"
-#include "core/greedy.h"
+#include "core/solver_registry.h"
 #include "data/dataset_stats.h"
 #include "data/loaders.h"
 #include "data/synthetic.h"
 #include "eval/metrics.h"
 #include "eval/weighted_objective.h"
 #include "exact/ip_model.h"
-#include "exact/branch_and_bound.h"
-#include "exact/local_search.h"
-#include "exact/simulated_annealing.h"
-#include "exact/subset_dp.h"
 #include "grouprec/semantics.h"
+#include "solvers/builtin.h"
 
 namespace {
 
@@ -112,36 +115,78 @@ common::StatusOr<core::FormationProblem> BuildProblem(
   return problem;
 }
 
+/// Parses "--solver-opt k1=v1,k2=v2" into a SolverOptions bag.
+core::SolverOptions ParseSolverOptions(const common::FlagParser& flags) {
+  core::SolverOptions options;
+  for (const std::string& pair :
+       common::Split(flags.GetString("solver-opt", ""), ',')) {
+    if (pair.empty()) continue;
+    const std::size_t eq = pair.find('=');
+    if (eq == std::string::npos) {
+      options.Set(pair, "");  // bare key = boolean true
+    } else {
+      options.Set(pair.substr(0, eq), pair.substr(eq + 1));
+    }
+  }
+  return options;
+}
+
+/// The single algorithm dispatch: every registered solver is reachable,
+/// with no per-algorithm code here. New solvers appear automatically once
+/// they register (see solvers/builtin.cc).
 common::StatusOr<core::FormationResult> RunChosen(
     const common::FlagParser& flags,
     const core::FormationProblem& problem) {
   const std::string algorithm = flags.GetString("algorithm", "greedy");
-  if (algorithm == "greedy") return core::RunGreedy(problem);
-  if (algorithm == "baseline") return baseline::RunBaseline(problem);
-  if (algorithm == "veckmeans") {
-    return baseline::VectorKMeansFormer(problem).Run();
+  GF_ASSIGN_OR_RETURN(const auto solver,
+                      core::SolverRegistry::Global().Create(
+                          algorithm, problem, ParseSolverOptions(flags)));
+  // --algo-seed is deliberately separate from --seed (synthetic data
+  // shape): the dataset and the solver trajectory vary independently.
+  return solver->Solve(static_cast<std::uint64_t>(
+      flags.GetInt("algo-seed", core::FormationSolver::kDefaultSeed)));
+}
+
+void PrintHelp() {
+  std::printf(
+      "groupform_cli — recommendation-aware group formation "
+      "(RoyLL15, SIGMOD'15)\n\n"
+      "data:      --input ratings.csv | --movielens ratings.dat |\n"
+      "           --synthetic yahoo|movielens --users N --items M --seed S\n"
+      "problem:   --semantics lm|av --aggregation max|min|sum --k N\n"
+      "           --groups N --missing rmin|zero|skip --candidate-depth D\n"
+      "execution: --threads N (default GF_THREADS env, else hardware)\n"
+      "           --algo-seed S               solver seed (default 99)\n"
+      "           --solver-opt k=v[,k=v...]   solver-specific overrides\n"
+      "output:    --output groups.csv --emit-lp model.lp\n\n"
+      "--algorithm (from the solver registry):\n");
+  const auto& registry = core::SolverRegistry::Global();
+  for (const std::string& name : registry.Names()) {
+    const auto description = registry.Description(name);
+    std::printf("  %-12s %s\n", name.c_str(),
+                description.ok() ? description->c_str() : "");
   }
-  if (algorithm == "localsearch") {
-    return exact::LocalSearchSolver(problem).Run();
-  }
-  if (algorithm == "sa") {
-    return exact::SimulatedAnnealingSolver(problem).Run();
-  }
-  if (algorithm == "bnb") return exact::BranchAndBoundSolver(problem).Run();
-  if (algorithm == "exact") return exact::SubsetDpSolver(problem).Run();
-  return common::Status::InvalidArgument("unknown --algorithm: " +
-                                         algorithm);
 }
 
 int RealMain(int argc, char** argv) {
+  solvers::EnsureBuiltinSolversRegistered();
   common::FlagParser flags;
   if (const auto status = flags.Parse(argc, argv); !status.ok()) {
     std::fprintf(stderr, "%s\n", status.ToString().c_str());
     return 2;
   }
   if (flags.GetBool("help", false)) {
-    std::printf("see the header comment of tools/groupform_cli.cc\n");
+    PrintHelp();
     return 0;
+  }
+  if (flags.Has("threads")) {
+    const auto threads = flags.GetIntOr("threads");
+    if (!threads.ok() || *threads < 1) {
+      std::fprintf(stderr, "--threads must be a positive integer, got %s\n",
+                   flags.GetString("threads", "").c_str());
+      return 2;
+    }
+    common::ThreadPool::SetDefaultThreadCount(static_cast<int>(*threads));
   }
 
   const auto matrix = LoadData(flags);
