@@ -3,9 +3,12 @@
 // instance, and checks the §8/DESIGN.md §10.3 determinism contract along
 // the way (parallel results must be byte-identical to serial).
 //
-//   (a) batch group scoring (core::ScoreGroups): the rescoring step of
-//       the clustering baselines and local search;
-//   (b) eval::RunRepeated: independent seeded repetitions of a solver.
+//   (a) batch group scoring (core::ScoreGroups, within-group sharding
+//       enabled): the rescoring step of the clustering baselines and
+//       local search;
+//   (b) eval::RunRepeated: independent seeded repetitions of a solver;
+//   (c) OPT* localsearch passes: the plan-in-parallel/apply-serially
+//       move loop, reported as pass throughput (passes per second).
 //
 // Reported speedups are relative to --threads 1 (the serial path). On a
 // single-core box every row is ~1x by construction; on >= 4 cores batch
@@ -17,6 +20,7 @@
 #include <vector>
 
 #include "bench/bench_util.h"
+#include "common/hash.h"
 #include "common/stopwatch.h"
 #include "common/table_printer.h"
 #include "common/thread_pool.h"
@@ -57,6 +61,23 @@ double Checksum(const std::vector<core::GroupScore>& scores) {
   return sum;
 }
 
+/// Structural fingerprint of a solution — members, recommended items,
+/// and the objective's bits — so the identical-results column enforces
+/// the full byte-identical contract, not just an equal objective (two
+/// tie-equivalent partitions would pass an objective-only check).
+std::size_t ResultFingerprint(const core::FormationResult& result) {
+  std::size_t seed = common::HashVector(result.GroupSizes());
+  common::HashCombineValue(seed, result.objective);
+  for (const auto& group : result.groups) {
+    common::HashCombine(seed, common::HashVector(group.members));
+    for (const auto& item : group.recommendation.items) {
+      common::HashCombineValue(seed, item.item);
+      common::HashCombineValue(seed, item.score);
+    }
+  }
+  return seed;
+}
+
 }  // namespace
 
 int main() {
@@ -78,24 +99,52 @@ int main() {
   const auto groups = MakeGroups(num_users, num_groups);
   const auto scorer = problem.MakeScorer();
 
+  // A separate, smaller instance for the localsearch pass loop: each pass
+  // already costs n x ell full-group evaluations, so the 2000-user
+  // instance would dwarf the other two workloads.
+  const auto ls_users = static_cast<std::int32_t>(bench::Scaled(240, scale));
+  const int ls_passes = 3;
+  const auto ls_matrix = data::GenerateLatentFactor(
+      data::MovieLensLikeConfig(ls_users, 120, /*seed=*/43));
+  core::FormationProblem ls_problem = Problem(ls_matrix);
+  ls_problem.max_groups = 8;
+  // Random init + a fixed pass budget keeps every pass full of improving
+  // candidates, so all thread counts execute the same ls_passes passes.
+  const core::SolverOptions ls_options =
+      core::SolverOptions()
+          .Set("init_with_greedy", "false")
+          .Set("max_passes", std::to_string(ls_passes));
+
+  // Shard threshold below the 500-item catalogue so workload (a) actually
+  // measures the sharded path (the 4096 default would leave every group
+  // as a single task at this size).
+  core::ScoreGroupsOptions scoring_options;
+  scoring_options.shard_min_items = 64;
+
   const std::vector<int> thread_counts = {1, 2, 4, 8};
   double scoring_serial_seconds = 0.0;
   double repeated_serial_seconds = 0.0;
+  double ls_serial_seconds = 0.0;
   double scoring_speedup_4t = 0.0;
   double repeated_speedup_4t = 0.0;
+  double ls_speedup_4t = 0.0;
+  double ls_pass_per_second_8t = 0.0;
   double reference_checksum = 0.0;
   double reference_mean = 0.0;
+  std::size_t reference_ls_fingerprint = 0;
   bool deterministic = true;
 
   common::TablePrinter table({"threads", "batch-score s", "speedup",
-                              "RunRepeated s", "speedup", "identical"});
+                              "RunRepeated s", "speedup", "LS pass/s",
+                              "speedup", "identical"});
   for (const int threads : thread_counts) {
     common::ThreadPool::SetDefaultThreadCount(threads);
 
     common::Stopwatch scoring_watch;
     double checksum = 0.0;
     for (int round = 0; round < rounds; ++round) {
-      checksum = Checksum(core::ScoreGroups(problem, scorer, groups));
+      checksum = Checksum(
+          core::ScoreGroups(problem, scorer, groups, scoring_options));
     }
     const double scoring_seconds = scoring_watch.ElapsedSeconds();
 
@@ -111,15 +160,32 @@ int main() {
     }
     const double mean = repeated->mean_objective;
 
+    common::Stopwatch ls_watch;
+    const auto ls_outcome = eval::RunAlgorithmByName(
+        "localsearch", ls_problem, /*seed=*/7, ls_options);
+    const double ls_seconds = ls_watch.ElapsedSeconds();
+    if (!ls_outcome.ok()) {
+      std::fprintf(stderr, "localsearch failed at %d threads: %s\n",
+                   threads, ls_outcome.status().ToString().c_str());
+      return 1;
+    }
+    const std::size_t ls_fingerprint =
+        ResultFingerprint(ls_outcome->result);
+    const double ls_pass_per_second =
+        ls_seconds > 0.0 ? static_cast<double>(ls_passes) / ls_seconds : 0.0;
+
     if (threads == 1) {
       scoring_serial_seconds = scoring_seconds;
       repeated_serial_seconds = repeated_seconds;
+      ls_serial_seconds = ls_seconds;
       reference_checksum = checksum;
       reference_mean = mean;
+      reference_ls_fingerprint = ls_fingerprint;
     }
     // Byte-identical contract: same bits at every thread count.
-    const bool identical =
-        checksum == reference_checksum && mean == reference_mean;
+    const bool identical = checksum == reference_checksum &&
+                           mean == reference_mean &&
+                           ls_fingerprint == reference_ls_fingerprint;
     deterministic = deterministic && identical;
 
     const double scoring_speedup =
@@ -128,15 +194,21 @@ int main() {
     const double repeated_speedup =
         repeated_seconds > 0.0 ? repeated_serial_seconds / repeated_seconds
                                : 0.0;
+    const double ls_speedup =
+        ls_seconds > 0.0 ? ls_serial_seconds / ls_seconds : 0.0;
     if (threads == 4) {
       scoring_speedup_4t = scoring_speedup;
       repeated_speedup_4t = repeated_speedup;
+      ls_speedup_4t = ls_speedup;
     }
+    if (threads == 8) ls_pass_per_second_8t = ls_pass_per_second;
     table.AddRow({common::StrFormat("%d", threads),
                   common::StrFormat("%.3f", scoring_seconds),
                   common::StrFormat("%.2fx", scoring_speedup),
                   common::StrFormat("%.3f", repeated_seconds),
                   common::StrFormat("%.2fx", repeated_speedup),
+                  common::StrFormat("%.2f", ls_pass_per_second),
+                  common::StrFormat("%.2fx", ls_speedup),
                   identical ? "yes" : "NO"});
   }
   common::ThreadPool::SetDefaultThreadCount(0);  // restore env/hardware
@@ -146,8 +218,10 @@ int main() {
   std::printf(
       "\n{\"bench\":\"parallel_scaling\",\"users\":%d,\"groups\":%d,"
       "\"batch_scoring_speedup_4t\":%.3f,\"run_repeated_speedup_4t\":%.3f,"
+      "\"localsearch_speedup_4t\":%.3f,\"localsearch_pass_per_s_8t\":%.3f,"
       "\"deterministic\":%s,\"hardware_threads\":%u}\n",
       num_users, num_groups, scoring_speedup_4t, repeated_speedup_4t,
+      ls_speedup_4t, ls_pass_per_second_8t,
       deterministic ? "true" : "false", hardware == 0 ? 1U : hardware);
   return deterministic ? 0 : 1;
 }

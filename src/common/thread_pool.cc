@@ -1,5 +1,6 @@
 #include "common/thread_pool.h"
 
+#include <algorithm>
 #include <atomic>
 #include <cstdlib>
 #include <exception>
@@ -32,6 +33,8 @@ int EnvThreads() {
 
 struct ThreadPool::Job {
   std::int64_t n = 0;
+  /// Indices claimed per atomic fetch; >= 1.
+  std::int64_t chunk = 1;
   /// Points at the caller's std::function argument; only dereferenced for
   /// indices claimed before exhaustion, which the caller outlives.
   const std::function<void(std::int64_t)>* body = nullptr;
@@ -79,19 +82,22 @@ void ThreadPool::RunShard(Job& job) {
   const bool was_in_region = tls_in_parallel_region;
   tls_in_parallel_region = true;
   for (;;) {
-    const std::int64_t i = job.next.fetch_add(1);
-    if (i >= job.n) break;
-    if (!job.failed.load()) {
-      try {
-        (*job.body)(i);
-      } catch (...) {
-        std::lock_guard<std::mutex> lock(mu_);
-        if (job.error == nullptr) job.error = std::current_exception();
-        job.failed.store(true);
+    const std::int64_t begin = job.next.fetch_add(job.chunk);
+    if (begin >= job.n) break;
+    const std::int64_t end = std::min(begin + job.chunk, job.n);
+    for (std::int64_t i = begin; i < end; ++i) {
+      if (!job.failed.load()) {
+        try {
+          (*job.body)(i);
+        } catch (...) {
+          std::lock_guard<std::mutex> lock(mu_);
+          if (job.error == nullptr) job.error = std::current_exception();
+          job.failed.store(true);
+        }
       }
     }
-    if (job.done.fetch_add(1) + 1 == job.n) {
-      // Last index retired; wake the caller blocked in ParallelFor.
+    if (job.done.fetch_add(end - begin) + (end - begin) == job.n) {
+      // Last chunk retired; wake the caller blocked in ParallelFor.
       std::lock_guard<std::mutex> lock(mu_);
       done_cv_.notify_all();
     }
@@ -101,8 +107,19 @@ void ThreadPool::RunShard(Job& job) {
 
 void ThreadPool::ParallelFor(std::int64_t n,
                              const std::function<void(std::int64_t)>& body) {
+  ParallelFor(n, /*grain=*/1, body);
+}
+
+void ThreadPool::ParallelFor(std::int64_t n, std::int64_t grain,
+                             const std::function<void(std::int64_t)>& body) {
   if (n <= 0) return;
-  if (num_threads_ == 1 || n == 1 || tls_in_parallel_region) {
+  if (grain <= 0) {
+    // Automatic grain: several chunks per thread for dynamic balance, a
+    // bounded chunk so one straggler chunk cannot dominate the tail.
+    grain = std::min<std::int64_t>(
+        16, std::max<std::int64_t>(1, n / (4 * num_threads_)));
+  }
+  if (num_threads_ == 1 || n <= grain || tls_in_parallel_region) {
     // The serial reference path the determinism contract is defined
     // against; exceptions propagate directly.
     for (std::int64_t i = 0; i < n; ++i) body(i);
@@ -111,6 +128,7 @@ void ThreadPool::ParallelFor(std::int64_t n,
   std::lock_guard<std::mutex> submit_lock(submit_mu_);
   auto job = std::make_shared<Job>();
   job->n = n;
+  job->chunk = grain;
   job->body = &body;
   {
     std::lock_guard<std::mutex> lock(mu_);

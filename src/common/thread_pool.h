@@ -40,9 +40,9 @@ class ThreadPool {
   int num_threads() const { return num_threads_; }
 
   /// Runs body(i) for every i in [0, n), blocking until all complete.
-  /// Indices are claimed dynamically (one atomic fetch per index), so heavy
-  /// and light items mix freely; `body` must make each index's effects
-  /// independent of every other index for the determinism contract to hold.
+  /// Indices are claimed dynamically one at a time, so heavy and light
+  /// items mix freely; `body` must make each index's effects independent
+  /// of every other index for the determinism contract to hold.
   ///
   /// Exceptions: the first exception thrown by any invocation of `body` is
   /// rethrown on the calling thread once the loop has drained; remaining
@@ -53,6 +53,23 @@ class ThreadPool {
   /// Distinct external threads may call concurrently; their loops are
   /// serialized one job at a time.
   void ParallelFor(std::int64_t n,
+                   const std::function<void(std::int64_t)>& body);
+
+  /// ParallelFor with chunked index claiming: workers claim runs of
+  /// `grain` consecutive indices per atomic fetch and execute each run in
+  /// ascending order. Adjacent indices therefore land on the same worker,
+  /// which keeps per-index state that is contiguous in memory (rating
+  /// rows, shards of one group's candidate range) cache-local — the first
+  /// step toward NUMA-aware batching. grain <= 0 picks an automatic grain
+  /// from n and the pool size; grain == 1 is exactly the unchunked
+  /// overload.
+  ///
+  /// Chunking never changes results: work is still assigned by *index*
+  /// (DESIGN.md §10.3), chunk boundaries only decide which thread runs an
+  /// index, and the exception/nesting semantics of the unchunked overload
+  /// carry over (an exception skips the remaining indices of every chunk,
+  /// including the throwing chunk's own tail).
+  void ParallelFor(std::int64_t n, std::int64_t grain,
                    const std::function<void(std::int64_t)>& body);
 
   /// The thread count new Shared() pools are built with: the last value
@@ -78,7 +95,7 @@ class ThreadPool {
   struct Job;
 
   void WorkerLoop();
-  /// Claims and runs indices of `job` until exhausted or failed.
+  /// Claims and runs chunks of `job` until exhausted or failed.
   void RunShard(Job& job);
 
   const int num_threads_;

@@ -39,6 +39,21 @@ class SolverOptions {
   double GetDouble(const std::string& key, double fallback) const;
   bool GetBool(const std::string& key, bool fallback) const;
 
+  /// Strict integer getter for knobs where a bad override must fail the
+  /// registry lookup instead of silently keeping the default: absent key
+  /// → `fallback`; present but non-numeric, or parsed below `min_value`,
+  /// → INVALID_ARGUMENT naming the key and value. Factories surface the
+  /// error through SolverRegistry::Create.
+  common::StatusOr<long long> GetCheckedInt(const std::string& key,
+                                            long long fallback,
+                                            long long min_value) const;
+
+  /// Strict boolean getter, same contract as GetCheckedInt: absent key →
+  /// `fallback`; anything but true/1/false/0/empty (empty = bare key =
+  /// true) → INVALID_ARGUMENT.
+  common::StatusOr<bool> GetCheckedBool(const std::string& key,
+                                        bool fallback) const;
+
   const std::map<std::string, std::string>& entries() const {
     return entries_;
   }

@@ -3,6 +3,25 @@
 #include "common/strings.h"
 
 namespace groupform::core {
+namespace {
+
+/// One definition of the option-bag boolean literals, shared by the
+/// lenient and checked getters so their accept-sets cannot drift. An
+/// empty value (bare key) means true. Returns false when `value` is not
+/// a recognized literal.
+bool ParseBoolLiteral(const std::string& value, bool* out) {
+  if (value == "true" || value == "1" || value.empty()) {
+    *out = true;
+    return true;
+  }
+  if (value == "false" || value == "0") {
+    *out = false;
+    return true;
+  }
+  return false;
+}
+
+}  // namespace
 
 long long SolverOptions::GetInt(const std::string& key,
                                 long long fallback) const {
@@ -20,13 +39,42 @@ double SolverOptions::GetDouble(const std::string& key,
   return common::ParseDouble(it->second, &parsed) ? parsed : fallback;
 }
 
+common::StatusOr<long long> SolverOptions::GetCheckedInt(
+    const std::string& key, long long fallback, long long min_value) const {
+  const auto it = entries_.find(key);
+  if (it == entries_.end()) return fallback;
+  long long parsed = 0;
+  if (!common::ParseInt64(it->second, &parsed)) {
+    return common::Status::InvalidArgument(
+        "solver option '" + key + "' must be an integer, got '" +
+        it->second + "'");
+  }
+  if (parsed < min_value) {
+    return common::Status::InvalidArgument(common::StrFormat(
+        "solver option '%s' must be >= %lld, got %lld", key.c_str(),
+        min_value, parsed));
+  }
+  return parsed;
+}
+
 bool SolverOptions::GetBool(const std::string& key, bool fallback) const {
   const auto it = entries_.find(key);
   if (it == entries_.end()) return fallback;
-  const std::string& value = it->second;
-  if (value == "true" || value == "1" || value.empty()) return true;
-  if (value == "false" || value == "0") return false;
-  return fallback;
+  bool parsed = false;
+  return ParseBoolLiteral(it->second, &parsed) ? parsed : fallback;
+}
+
+common::StatusOr<bool> SolverOptions::GetCheckedBool(const std::string& key,
+                                                     bool fallback) const {
+  const auto it = entries_.find(key);
+  if (it == entries_.end()) return fallback;
+  bool parsed = false;
+  if (!ParseBoolLiteral(it->second, &parsed)) {
+    return common::Status::InvalidArgument(
+        "solver option '" + key +
+        "' must be a boolean (true/1/false/0), got '" + it->second + "'");
+  }
+  return parsed;
 }
 
 std::string SolverOptions::GetString(const std::string& key,

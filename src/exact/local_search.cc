@@ -5,6 +5,7 @@
 
 #include "common/logging.h"
 #include "common/random.h"
+#include "common/thread_pool.h"
 #include "core/greedy.h"
 
 namespace groupform::exact {
@@ -12,6 +13,7 @@ namespace {
 
 using core::FormationResult;
 using core::FormedGroup;
+using PlannedMove = LocalSearchSolver::PlannedMove;
 
 /// Mutable partition state with cached per-group satisfactions.
 struct State {
@@ -35,7 +37,133 @@ void RemoveUser(std::vector<UserId>& members, UserId user) {
   members.erase(it);
 }
 
+/// Plans one user's best move against the snapshot partition. Pure in
+/// (snapshot, pass_seed, u) — the ParallelFor body of PlanPassMoves —
+/// so the plan is identical at every thread count.
+PlannedMove PlanMoveForUser(const core::FormationProblem& problem,
+                            const grouprec::GroupScorer& scorer,
+                            std::span<const std::vector<UserId>> groups,
+                            std::span<const double> satisfaction,
+                            std::span<const int> group_of, UserId u,
+                            std::uint64_t pass_seed,
+                            const LocalSearchSolver::Options& options) {
+  PlannedMove move;
+  if (groups.size() <= 1) return move;  // no other group to move into
+  const int from = group_of[static_cast<std::size_t>(u)];
+
+  // Evaluate removing u from its group once.
+  std::vector<UserId> from_without =
+      groups[static_cast<std::size_t>(from)];
+  RemoveUser(from_without, u);
+  const double from_without_sat = Evaluate(problem, scorer, from_without);
+
+  // Best single-user relocation, targets in group-index order.
+  double best_gain = options.min_improvement;
+  int best_to = -1;
+  double best_to_sat = 0.0;
+  bool considered_empty = false;
+  for (std::size_t to = 0; to < groups.size(); ++to) {
+    if (static_cast<int>(to) == from) continue;
+    if (groups[to].empty()) {
+      // All empty slots are interchangeable; evaluate one per user.
+      if (considered_empty) continue;
+      considered_empty = true;
+    }
+    std::vector<UserId> to_with = groups[to];
+    to_with.push_back(u);
+    std::sort(to_with.begin(), to_with.end());
+    const double to_with_sat = Evaluate(problem, scorer, to_with);
+    const double gain =
+        (from_without_sat + to_with_sat) -
+        (satisfaction[static_cast<std::size_t>(from)] + satisfaction[to]);
+    if (gain > best_gain) {
+      best_gain = gain;
+      best_to = static_cast<int>(to);
+      best_to_sat = to_with_sat;
+    }
+  }
+  if (best_to >= 0) {
+    move.kind = PlannedMove::Kind::kRelocate;
+    move.to = best_to;
+    move.gain = best_gain;
+    move.from_sat = from_without_sat;
+    move.to_sat = best_to_sat;
+    return move;
+  }
+
+  // Sampled swaps: exchange u with a random member of another group,
+  // first improving sample wins. The draws come from the user's own
+  // (pass_seed, u) stream, never a shared one, so sampling does not
+  // depend on evaluation schedule.
+  if (!options.use_swaps) return move;
+  common::Rng rng = SwapRngForUser(pass_seed, u);
+  for (std::size_t to = 0; to < groups.size(); ++to) {
+    if (static_cast<int>(to) == from || groups[to].empty()) continue;
+    for (int s = 0; s < options.swap_samples; ++s) {
+      const auto& dst = groups[to];
+      const UserId v =
+          dst[static_cast<std::size_t>(rng.NextUint64(dst.size()))];
+      std::vector<UserId> from_swapped = from_without;
+      from_swapped.push_back(v);
+      std::sort(from_swapped.begin(), from_swapped.end());
+      std::vector<UserId> to_swapped = dst;
+      RemoveUser(to_swapped, v);
+      to_swapped.push_back(u);
+      std::sort(to_swapped.begin(), to_swapped.end());
+      const double from_sat = Evaluate(problem, scorer, from_swapped);
+      const double to_sat = Evaluate(problem, scorer, to_swapped);
+      const double gain =
+          (from_sat + to_sat) -
+          (satisfaction[static_cast<std::size_t>(from)] + satisfaction[to]);
+      if (gain > options.min_improvement) {
+        move.kind = PlannedMove::Kind::kSwap;
+        move.to = static_cast<int>(to);
+        move.partner = v;
+        move.gain = gain;
+        move.from_sat = from_sat;
+        move.to_sat = to_sat;
+        return move;
+      }
+    }
+  }
+  return move;
+}
+
 }  // namespace
+
+common::Rng SwapRngForUser(std::uint64_t pass_seed, UserId u) {
+  // Golden-ratio spread of the user id over the pass seed; Rng's
+  // SplitMix64 expansion decorrelates the nearby seeds of nearby users.
+  return common::Rng(pass_seed +
+                     0x9e3779b97f4a7c15ULL *
+                         (static_cast<std::uint64_t>(u) + 1));
+}
+
+std::vector<PlannedMove> PlanPassMoves(
+    const core::FormationProblem& problem,
+    const grouprec::GroupScorer& scorer,
+    std::span<const std::vector<UserId>> groups,
+    std::span<const double> satisfaction, std::span<const int> group_of,
+    std::span<const UserId> visit_order, std::uint64_t pass_seed,
+    const LocalSearchSolver::Options& options) {
+  std::vector<PlannedMove> moves(visit_order.size());
+  const auto plan_one = [&](std::int64_t i) {
+    moves[static_cast<std::size_t>(i)] = PlanMoveForUser(
+        problem, scorer, groups, satisfaction, group_of,
+        visit_order[static_cast<std::size_t>(i)], pass_seed, options);
+  };
+  if (options.parallel_moves) {
+    common::ThreadPool::Shared().ParallelFor(
+        static_cast<std::int64_t>(visit_order.size()), /*grain=*/0,
+        plan_one);
+  } else {
+    for (std::int64_t i = 0;
+         i < static_cast<std::int64_t>(visit_order.size()); ++i) {
+      plan_one(i);
+    }
+  }
+  return moves;
+}
 
 common::StatusOr<FormationResult> LocalSearchSolver::Run() const {
   GF_RETURN_IF_ERROR(problem_.Validate());
@@ -43,6 +171,8 @@ common::StatusOr<FormationResult> LocalSearchSolver::Run() const {
   const int ell = problem_.max_groups;
   const grouprec::GroupScorer scorer = problem_.MakeScorer();
   common::Rng rng(options_.seed);
+  core::ScoreGroupsOptions score_options;
+  score_options.shard_min_items = options_.shard_min_items;
 
   // ---- Initial partition ----
   State state;
@@ -65,123 +195,68 @@ common::StatusOr<FormationResult> LocalSearchSolver::Run() const {
   // sum keeps the objective's floating-point order thread-count-invariant.
   state.satisfaction.resize(state.groups.size());
   const std::vector<core::GroupScore> seed_scores =
-      core::ScoreGroups(problem_, scorer, state.groups);
+      core::ScoreGroups(problem_, scorer, state.groups, score_options);
   for (std::size_t g = 0; g < state.groups.size(); ++g) {
     state.satisfaction[g] = seed_scores[g].satisfaction;
     state.objective += state.satisfaction[g];
   }
 
-  // ---- Hill climbing ----
+  // ---- Hill climbing: plan in parallel, apply serially ----
   std::vector<UserId> visit_order(static_cast<std::size_t>(n));
   for (int u = 0; u < n; ++u) visit_order[static_cast<std::size_t>(u)] = u;
   std::vector<int> group_of(static_cast<std::size_t>(n), 0);
-  const auto rebuild_group_of = [&]() {
-    for (std::size_t g = 0; g < state.groups.size(); ++g) {
-      for (UserId u : state.groups[g]) {
-        group_of[static_cast<std::size_t>(u)] = static_cast<int>(g);
-      }
+  for (std::size_t g = 0; g < state.groups.size(); ++g) {
+    for (UserId u : state.groups[g]) {
+      group_of[static_cast<std::size_t>(u)] = static_cast<int>(g);
     }
-  };
-  rebuild_group_of();
+  }
+  std::vector<char> dirty(state.groups.size(), 0);
 
   for (int pass = 0; pass < options_.max_passes; ++pass) {
-    bool improved = false;
     rng.Shuffle(visit_order);
-    for (UserId u : visit_order) {
+    const std::uint64_t pass_seed = rng.NextUint64();
+    // Plan phase: every user's best move against the pass-start
+    // partition, batch-evaluated on the pool (DESIGN.md §10.3: each
+    // visit-order slot is written by exactly one index).
+    const std::vector<PlannedMove> moves =
+        PlanPassMoves(problem_, scorer, state.groups, state.satisfaction,
+                      group_of, visit_order, pass_seed, options_);
+
+    // Apply phase: serial, in visit order. A planned gain is exact as
+    // long as both involved groups still match the snapshot, so moves
+    // touching a group an earlier application modified are skipped (the
+    // next pass re-plans them). The first improving move in visit order
+    // always sees clean groups, so a pass applies at least one move
+    // whenever any user had an improving candidate.
+    std::fill(dirty.begin(), dirty.end(), 0);
+    bool improved = false;
+    for (std::size_t i = 0; i < visit_order.size(); ++i) {
+      const PlannedMove& move = moves[i];
+      if (move.kind == PlannedMove::Kind::kNone) continue;
+      const UserId u = visit_order[i];
       const int from = group_of[static_cast<std::size_t>(u)];
-      if (state.groups[static_cast<std::size_t>(from)].size() <= 1 &&
-          ell == 1) {
-        continue;
+      if (dirty[static_cast<std::size_t>(from)] ||
+          dirty[static_cast<std::size_t>(move.to)]) {
+        continue;  // stale against the snapshot
       }
-      // Evaluate removing u from its group once.
-      std::vector<UserId> from_without =
-          state.groups[static_cast<std::size_t>(from)];
-      RemoveUser(from_without, u);
-      const double from_without_sat =
-          Evaluate(problem_, scorer, from_without);
-
-      double best_gain = options_.min_improvement;
-      int best_to = -1;
-      double best_to_sat = 0.0;
-      bool considered_empty = false;
-      for (std::size_t to = 0; to < state.groups.size(); ++to) {
-        if (static_cast<int>(to) == from) continue;
-        if (state.groups[to].empty()) {
-          // All empty slots are interchangeable; evaluate one per user.
-          if (considered_empty) continue;
-          considered_empty = true;
-        }
-        std::vector<UserId> to_with = state.groups[to];
-        to_with.push_back(u);
-        std::sort(to_with.begin(), to_with.end());
-        const double to_with_sat = Evaluate(problem_, scorer, to_with);
-        const double gain = (from_without_sat + to_with_sat) -
-                            (state.satisfaction[static_cast<std::size_t>(
-                                 from)] +
-                             state.satisfaction[to]);
-        if (gain > best_gain) {
-          best_gain = gain;
-          best_to = static_cast<int>(to);
-          best_to_sat = to_with_sat;
-        }
+      auto& src = state.groups[static_cast<std::size_t>(from)];
+      auto& dst = state.groups[static_cast<std::size_t>(move.to)];
+      RemoveUser(src, u);
+      if (move.kind == PlannedMove::Kind::kSwap) {
+        RemoveUser(dst, move.partner);
+        src.push_back(move.partner);
+        std::sort(src.begin(), src.end());
+        group_of[static_cast<std::size_t>(move.partner)] = from;
       }
-      if (best_to >= 0) {
-        auto& src = state.groups[static_cast<std::size_t>(from)];
-        auto& dst = state.groups[static_cast<std::size_t>(best_to)];
-        RemoveUser(src, u);
-        dst.push_back(u);
-        std::sort(dst.begin(), dst.end());
-        state.objective +=
-            (from_without_sat + best_to_sat) -
-            (state.satisfaction[static_cast<std::size_t>(from)] +
-             state.satisfaction[static_cast<std::size_t>(best_to)]);
-        state.satisfaction[static_cast<std::size_t>(from)] =
-            from_without_sat;
-        state.satisfaction[static_cast<std::size_t>(best_to)] = best_to_sat;
-        group_of[static_cast<std::size_t>(u)] = best_to;
-        improved = true;
-        continue;
-      }
-
-      // Sampled swaps: exchange u with a random member of another group.
-      if (!options_.use_swaps) continue;
-      bool swapped = false;
-      for (std::size_t to = 0; to < state.groups.size() && !swapped; ++to) {
-        if (static_cast<int>(to) == from || state.groups[to].empty()) {
-          continue;
-        }
-        for (int s = 0; s < options_.swap_samples; ++s) {
-          const auto& dst = state.groups[to];
-          const UserId v = dst[static_cast<std::size_t>(
-              rng.NextUint64(dst.size()))];
-          std::vector<UserId> from_swapped = from_without;
-          from_swapped.push_back(v);
-          std::sort(from_swapped.begin(), from_swapped.end());
-          std::vector<UserId> to_swapped = dst;
-          RemoveUser(to_swapped, v);
-          to_swapped.push_back(u);
-          std::sort(to_swapped.begin(), to_swapped.end());
-          const double from_sat = Evaluate(problem_, scorer, from_swapped);
-          const double to_sat = Evaluate(problem_, scorer, to_swapped);
-          const double gain =
-              (from_sat + to_sat) -
-              (state.satisfaction[static_cast<std::size_t>(from)] +
-               state.satisfaction[to]);
-          if (gain > options_.min_improvement) {
-            state.objective += gain;
-            state.groups[static_cast<std::size_t>(from)] =
-                std::move(from_swapped);
-            state.groups[to] = std::move(to_swapped);
-            state.satisfaction[static_cast<std::size_t>(from)] = from_sat;
-            state.satisfaction[to] = to_sat;
-            group_of[static_cast<std::size_t>(u)] = static_cast<int>(to);
-            group_of[static_cast<std::size_t>(v)] = from;
-            improved = true;
-            swapped = true;
-            break;
-          }
-        }
-      }
+      dst.push_back(u);
+      std::sort(dst.begin(), dst.end());
+      group_of[static_cast<std::size_t>(u)] = move.to;
+      state.objective += move.gain;
+      state.satisfaction[static_cast<std::size_t>(from)] = move.from_sat;
+      state.satisfaction[static_cast<std::size_t>(move.to)] = move.to_sat;
+      dirty[static_cast<std::size_t>(from)] = 1;
+      dirty[static_cast<std::size_t>(move.to)] = 1;
+      improved = true;
     }
     if (!improved) break;
   }
@@ -190,7 +265,7 @@ common::StatusOr<FormationResult> LocalSearchSolver::Run() const {
   // Final rescoring of all groups at once (the lists were not kept during
   // the search; only satisfactions were cached).
   std::vector<core::GroupScore> final_scores =
-      core::ScoreGroups(problem_, scorer, state.groups);
+      core::ScoreGroups(problem_, scorer, state.groups, score_options);
   FormationResult result;
   result.algorithm = "OPT*-LS";
   for (std::size_t g = 0; g < state.groups.size(); ++g) {

@@ -2,7 +2,10 @@
 #define GROUPFORM_EXACT_LOCAL_SEARCH_H_
 
 #include <cstdint>
+#include <span>
+#include <vector>
 
+#include "common/random.h"
 #include "common/status.h"
 #include "core/formation.h"
 #include "core/solver.h"
@@ -10,9 +13,12 @@
 namespace groupform::exact {
 
 /// Hill-climbing refinement over full partitions: starting from the greedy
-/// solution (or a random ell-way split), repeatedly applies the best
-/// single-user relocation — and optionally sampled two-user swaps — until
-/// a full pass yields no improvement.
+/// solution (or a random ell-way split), each pass plans the best
+/// single-user relocation — or optionally a sampled two-user swap — for
+/// every user against the pass-start partition, batch-evaluating the
+/// candidates on common::ThreadPool::Shared(), then applies the planned
+/// moves serially in visit order (skipping moves whose groups an earlier
+/// application already touched). Passes repeat until none improves.
 ///
 /// Role: the paper calibrates its greedy algorithms against a CPLEX IP
 /// that "does not complete in a reasonable time beyond 200 users, 100
@@ -27,8 +33,13 @@ class LocalSearchSolver : public core::FormationSolver {
       "OPT* — greedy-seeded hill climbing, the scalable optimal reference";
 
   struct Options {
-    /// Maximum full improvement passes over the population.
-    int max_passes = 40;
+    /// Maximum improvement passes. A pass applies at most
+    /// floor(max_groups / 2) moves (each applied move retires its two
+    /// groups for the rest of the pass), so this budget is deliberately
+    /// larger than the serial first-improvement climber's old default of
+    /// 40: runs stop at the first pass with no improving candidate, so
+    /// the cap only binds while progress continues.
+    int max_passes = 200;
     /// Also try swapping each user with sampled members of other groups.
     bool use_swaps = true;
     /// Swap candidates sampled per (user, other-group) pair.
@@ -38,7 +49,31 @@ class LocalSearchSolver : public core::FormationSolver {
     bool init_with_greedy = true;
     /// Minimum objective gain for a move to be applied.
     double min_improvement = 1e-9;
+    /// Batch-evaluate each pass's candidate moves on the shared pool.
+    /// The plan/apply split makes results byte-identical either way
+    /// (DESIGN.md §10.3); false forces the planning loop serial.
+    bool parallel_moves = true;
+    /// Forwarded to core::ScoreGroupsOptions for the solver's batch
+    /// rescoring calls (<= 0 disables within-group sharding).
+    std::int64_t shard_min_items = core::ScoreGroupsOptions().shard_min_items;
     std::uint64_t seed = 17;
+  };
+
+  /// One user's planned move for a pass, evaluated against the pass-start
+  /// partition. kNone when no candidate clears min_improvement.
+  struct PlannedMove {
+    enum class Kind { kNone, kRelocate, kSwap };
+    Kind kind = Kind::kNone;
+    /// Target group (relocation destination / swap partner's group).
+    int to = -1;
+    /// The member of `to` exchanged with the user (kSwap only).
+    UserId partner = kInvalidUser;
+    /// Objective delta of applying the move to the pass-start partition.
+    double gain = 0.0;
+    /// Satisfaction of the user's source group after the move.
+    double from_sat = 0.0;
+    /// Satisfaction of group `to` after the move.
+    double to_sat = 0.0;
   };
 
   explicit LocalSearchSolver(const core::FormationProblem& problem)
@@ -64,6 +99,28 @@ class LocalSearchSolver : public core::FormationSolver {
   core::FormationProblem problem_;
   Options options_;
 };
+
+/// The RNG stream driving user `u`'s swap sampling within one pass.
+/// Derived from (pass_seed, u) only — never from which thread evaluates
+/// the candidate or in what order — so planning is schedule-independent.
+common::Rng SwapRngForUser(std::uint64_t pass_seed, UserId u);
+
+/// Plans the best move for every user of `visit_order` against the
+/// current partition snapshot (`groups`, the matching per-group
+/// `satisfaction`, and the matching user→group index `group_of`),
+/// batch-evaluating users on the shared pool when options.parallel_moves
+/// is set. Slot i of the result is the move for visit_order[i].
+/// Relocations are preferred over swaps (a swap is only planned when no
+/// relocation improves), matching the serial reference; exposed so tests
+/// can pin the parallel plan against an independent serial
+/// implementation (tests/exact/local_search_parallel_test.cc).
+std::vector<LocalSearchSolver::PlannedMove> PlanPassMoves(
+    const core::FormationProblem& problem,
+    const grouprec::GroupScorer& scorer,
+    std::span<const std::vector<UserId>> groups,
+    std::span<const double> satisfaction, std::span<const int> group_of,
+    std::span<const UserId> visit_order, std::uint64_t pass_seed,
+    const LocalSearchSolver::Options& options);
 
 }  // namespace groupform::exact
 

@@ -56,13 +56,23 @@ void RegisterExactSolvers() {
 
   (void)registry.Register(
       LocalSearchSolver::kRegistryName, LocalSearchSolver::kSolverDescription,
-      [](const FormationProblem& problem, const SolverOptions& options) {
+      [](const FormationProblem& problem,
+         const SolverOptions& options) -> SolverOr {
         LocalSearchSolver::Options opt;
         opt.max_passes = AsInt(options, "max_passes", opt.max_passes);
         opt.use_swaps = options.GetBool("use_swaps", opt.use_swaps);
         opt.swap_samples = AsInt(options, "swap_samples", opt.swap_samples);
         opt.init_with_greedy =
             options.GetBool("init_with_greedy", opt.init_with_greedy);
+        // Parallelism knobs are validated at registry-lookup time: a bad
+        // override must fail Create, not silently fall back.
+        GF_ASSIGN_OR_RETURN(
+            opt.parallel_moves,
+            options.GetCheckedBool("parallel_moves", opt.parallel_moves));
+        GF_ASSIGN_OR_RETURN(
+            opt.shard_min_items,
+            options.GetCheckedInt("shard_min_items", opt.shard_min_items,
+                                  /*min_value=*/0));
         return SolverOr(std::make_unique<LocalSearchSolver>(problem, opt));
       });
 

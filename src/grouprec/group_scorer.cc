@@ -16,43 +16,59 @@ struct Accum {
   double sum = 0.0;
 };
 
+/// Resolves one item's accumulated ratings into its group score under the
+/// semantics/missing policy. Shared by TopK and TopKItemRange so the two
+/// candidate enumerations can never drift apart.
+double ScoreFromAccum(const Accum& acc, int group_size,
+                      const GroupScorer::Options& options, double r_min) {
+  // A zero-size group (precondition violation upstream) must not count as
+  // "complete": acc.min would be the +inf sentinel and leak out.
+  const bool complete = acc.raters == group_size && group_size > 0;
+  switch (options.missing) {
+    case MissingRatingPolicy::kScaleMin:
+      if (options.semantics == Semantics::kLeastMisery) {
+        return complete ? acc.min : r_min;
+      }
+      return acc.sum +
+             static_cast<double>(group_size - acc.raters) * r_min;
+    case MissingRatingPolicy::kZero:
+      if (options.semantics == Semantics::kLeastMisery) {
+        // A missing member contributes 0, which caps the min whenever the
+        // item is incomplete (in-scale ratings can still be negative on
+        // exotic scales, hence the std::min).
+        if (acc.raters == 0) return 0.0;
+        return complete ? acc.min : std::min(acc.min, 0.0);
+      }
+      return acc.sum;
+    case MissingRatingPolicy::kSkipUser:
+      if (acc.raters == 0) return r_min;
+      return options.semantics == Semantics::kLeastMisery ? acc.min
+                                                          : acc.sum;
+  }
+  return r_min;
+}
+
 }  // namespace
 
 GroupScorer::GroupScorer(const data::RatingMatrix& matrix, Options options)
     : matrix_(&matrix), options_(options) {}
 
-double GroupScorer::ResolveRating(UserId user, ItemId item) const {
-  const auto rating = matrix_->GetRating(user, item);
-  if (rating.has_value()) return *rating;
-  switch (options_.missing) {
-    case MissingRatingPolicy::kScaleMin:
-      return matrix_->scale().min;
-    case MissingRatingPolicy::kZero:
-      return 0.0;
-    case MissingRatingPolicy::kSkipUser:
-      return kMissingRating;
-  }
-  return kMissingRating;
-}
-
 double GroupScorer::ItemScore(std::span<const UserId> group,
                               ItemId item) const {
   GF_DCHECK(!group.empty());
+  // Accumulate observed ratings only and let ScoreFromAccum resolve the
+  // missing policy — the same arithmetic as TopK/TopKItemRange, so all
+  // three entry points agree bit for bit.
   Accum acc;
   for (UserId u : group) {
-    const double r = ResolveRating(u, item);
-    if (r == kMissingRating) continue;  // kSkipUser
+    const auto rating = matrix_->GetRating(u, item);
+    if (!rating.has_value()) continue;
     ++acc.raters;
-    acc.min = std::min(acc.min, r);
-    acc.sum += r;
+    acc.min = std::min(acc.min, *rating);
+    acc.sum += *rating;
   }
-  // Mirror the policy resolution of TopK() so both entry points agree.
-  if (acc.raters == 0) {
-    return options_.missing == MissingRatingPolicy::kZero
-               ? 0.0
-               : matrix_->scale().min;
-  }
-  return options_.semantics == Semantics::kLeastMisery ? acc.min : acc.sum;
+  return ScoreFromAccum(acc, static_cast<int>(group.size()), options_,
+                        matrix_->scale().min);
 }
 
 GroupTopK GroupScorer::TopK(std::span<const UserId> group, int k,
@@ -83,52 +99,58 @@ GroupTopK GroupScorer::TopK(std::span<const UserId> group, int k,
   std::vector<ScoredItem> scored;
   scored.reserve(candidates.size());
   for (ItemId item : candidates) {
-    const Accum& acc = accums.at(item);
-    double score;
-    const bool complete = acc.raters == group_size;
-    switch (options_.missing) {
-      case MissingRatingPolicy::kScaleMin:
-        if (options_.semantics == Semantics::kLeastMisery) {
-          score = complete ? acc.min : r_min;
-        } else {
-          score = acc.sum + static_cast<double>(group_size - acc.raters) *
-                                r_min;
-        }
-        break;
-      case MissingRatingPolicy::kZero:
-        if (options_.semantics == Semantics::kLeastMisery) {
-          // A missing member contributes 0, which caps the min whenever the
-          // item is incomplete (in-scale ratings can still be negative on
-          // exotic scales, hence the std::min).
-          score = complete ? acc.min : std::min(acc.min, 0.0);
-          if (acc.raters == 0) score = 0.0;
-        } else {
-          score = acc.sum;
-        }
-        break;
-      case MissingRatingPolicy::kSkipUser:
-        if (acc.raters == 0) {
-          score = r_min;
-        } else {
-          score = options_.semantics == Semantics::kLeastMisery ? acc.min
-                                                                : acc.sum;
-        }
-        break;
-      default:
-        score = r_min;
-        break;
-    }
-    scored.push_back({item, score});
+    scored.push_back(
+        {item, ScoreFromAccum(accums.at(item), group_size, options_, r_min)});
   }
 
-  const auto better = [](const ScoredItem& a, const ScoredItem& b) {
-    if (a.score != b.score) return a.score > b.score;
-    return a.item < b.item;
-  };
   const std::size_t keep =
       std::min<std::size_t>(static_cast<std::size_t>(k), scored.size());
   std::partial_sort(scored.begin(), scored.begin() + keep, scored.end(),
-                    better);
+                    BetterScoredItem);
+  scored.resize(keep);
+  result.items = std::move(scored);
+  return result;
+}
+
+GroupTopK GroupScorer::TopKItemRange(std::span<const UserId> group, int k,
+                                     ItemId begin, ItemId end) const {
+  GF_CHECK_GT(k, 0);
+  GroupTopK result;
+  if (group.empty() || begin >= end) return result;
+
+  // Dense accumulators for the range, filled from each member's rating-row
+  // slice: rows are sorted by item, so one lower_bound per member finds
+  // the slice and the scan touches only in-range entries. Per item, the
+  // contributing users arrive in the same order as TopK's full-row scan,
+  // so the accumulated min/sum are bit-identical.
+  std::vector<Accum> accums(static_cast<std::size_t>(end - begin));
+  const int group_size = static_cast<int>(group.size());
+  for (UserId u : group) {
+    const auto row = matrix_->RatingsOf(u);
+    auto it = std::lower_bound(
+        row.begin(), row.end(), begin,
+        [](const data::RatingEntry& entry, ItemId item) {
+          return entry.item < item;
+        });
+    for (; it != row.end() && it->item < end; ++it) {
+      Accum& acc = accums[static_cast<std::size_t>(it->item - begin)];
+      ++acc.raters;
+      acc.min = std::min(acc.min, it->rating);
+      acc.sum += it->rating;
+    }
+  }
+
+  const double r_min = matrix_->scale().min;
+  std::vector<ScoredItem> scored;
+  scored.reserve(accums.size());
+  for (std::size_t i = 0; i < accums.size(); ++i) {
+    scored.push_back({static_cast<ItemId>(begin + static_cast<ItemId>(i)),
+                      ScoreFromAccum(accums[i], group_size, options_, r_min)});
+  }
+  const std::size_t keep =
+      std::min<std::size_t>(static_cast<std::size_t>(k), scored.size());
+  std::partial_sort(scored.begin(), scored.begin() + keep, scored.end(),
+                    BetterScoredItem);
   scored.resize(keep);
   result.items = std::move(scored);
   return result;

@@ -27,6 +27,16 @@ struct GroupTopK {
   int size() const { return static_cast<int>(items.size()); }
 };
 
+/// The library-wide scored-item ordering: score descending, ties broken
+/// by ascending item id. A strict total order over distinct items — the
+/// one definition shared by every top-k producer and by the sharded
+/// partial-top-k merge in core::ScoreGroups, so re-sorting merged
+/// partials always reproduces exactly the unsharded sequence.
+inline bool BetterScoredItem(const ScoredItem& a, const ScoredItem& b) {
+  if (a.score != b.score) return a.score > b.score;
+  return a.item < b.item;
+}
+
 /// Computes group scores and group top-k recommendations for arbitrary
 /// groups under a chosen semantics (§2.2). This is the "existing group
 /// recommender" the formation algorithms plug into: it serves the greedy
@@ -58,6 +68,16 @@ class GroupScorer {
   /// Top-k over the full catalogue [0, num_items).
   GroupTopK TopKAllItems(std::span<const UserId> group, int k) const;
 
+  /// Top-k over the contiguous item range [begin, end) — the within-group
+  /// sharding primitive of core::ScoreGroups. Equivalent to TopK over the
+  /// explicit candidate list {begin, ..., end - 1} (bit-identical scores
+  /// and ordering), but scans only the slice of each member's rating row
+  /// covering the range (one binary search per member), so sharding a
+  /// catalogue into R ranges costs O(R_g + C log C) total like the
+  /// unsharded scan — not R times the row-scan work.
+  GroupTopK TopKItemRange(std::span<const UserId> group, int k, ItemId begin,
+                          ItemId end) const;
+
   /// Top-k over the union of each member's `depth` personally-highest-rated
   /// items — the truncated candidate policy the paper describes for the
   /// greedy algorithms' final group ("sifts through the top-k items per
@@ -72,10 +92,6 @@ class GroupScorer {
                                       Aggregation aggregation);
 
  private:
-  /// Resolves sc(u, i) per the missing-rating policy; for kSkipUser returns
-  /// kMissingRating to signal "exclude this member".
-  double ResolveRating(UserId user, ItemId item) const;
-
   const data::RatingMatrix* matrix_;
   Options options_;
 };

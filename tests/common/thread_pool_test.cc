@@ -69,6 +69,98 @@ TEST(ThreadPool, ResultsIdenticalAcrossThreadCounts) {
   EXPECT_EQ(RunAtThreadCount(8, kN), at_one);
 }
 
+TEST(ThreadPool, ChunkedClaimingRunsEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  constexpr std::int64_t kN = 1003;  // not a multiple of any grain below
+  for (const std::int64_t grain : {1, 3, 16, 64, 5000, 0, -1}) {
+    std::vector<std::atomic<int>> counts(kN);
+    for (auto& count : counts) count.store(0);
+    pool.ParallelFor(kN, grain, [&](std::int64_t i) {
+      counts[static_cast<std::size_t>(i)].fetch_add(1);
+    });
+    for (std::int64_t i = 0; i < kN; ++i) {
+      ASSERT_EQ(counts[static_cast<std::size_t>(i)].load(), 1)
+          << "grain=" << grain << " i=" << i;
+    }
+  }
+}
+
+TEST(ThreadPool, ChunkedResultsIdenticalAcrossThreadCountsAndGrains) {
+  constexpr std::int64_t kN = 511;
+  const std::vector<double> reference = RunAtThreadCount(1, kN);
+  for (const int threads : {2, 8}) {
+    ThreadPool pool(threads);
+    for (const std::int64_t grain : {1, 7, 64, 0}) {
+      std::vector<double> out(static_cast<std::size_t>(kN), 0.0);
+      pool.ParallelFor(kN, grain, [&](std::int64_t i) {
+        out[static_cast<std::size_t>(i)] = WorkItem(i);
+      });
+      EXPECT_EQ(out, reference) << "threads=" << threads
+                                << " grain=" << grain;
+    }
+  }
+}
+
+TEST(ThreadPool, ExceptionInChunkIsRethrownAndSkipsTheChunkTail) {
+  ThreadPool pool(4);
+  constexpr std::int64_t kN = 4096;
+  std::vector<std::atomic<char>> ran_index(kN);
+  for (auto& flag : ran_index) flag.store(0);
+  const auto throwing_loop = [&] {
+    // Grain 16 puts the throwing index mid-chunk ([32, 48) holds 40).
+    pool.ParallelFor(kN, /*grain=*/16, [&](std::int64_t i) {
+      if (i == 40) throw std::runtime_error("index 40 failed");
+      ran_index[static_cast<std::size_t>(i)].store(1);
+    });
+  };
+  EXPECT_THROW(throwing_loop(), std::runtime_error);
+  // The rest of the throwing chunk is deterministically skipped: the
+  // same thread runs a chunk in ascending order and gates every index
+  // on the failure flag it has just set. (How many *other* chunks ran
+  // before observing the failure is schedule-dependent — not asserted.)
+  for (std::int64_t i = 41; i < 48; ++i) {
+    EXPECT_EQ(ran_index[static_cast<std::size_t>(i)].load(), 0) << i;
+  }
+  // The pool survives a failed chunked loop.
+  std::atomic<int> ran{0};
+  pool.ParallelFor(10, /*grain=*/4, [&](std::int64_t) { ran.fetch_add(1); });
+  EXPECT_EQ(ran.load(), 10);
+}
+
+TEST(ThreadPool, NestedChunkedParallelForRunsSeriallyWithoutDeadlock) {
+  ThreadPool pool(4);
+  constexpr std::int64_t kOuter = 24;
+  constexpr std::int64_t kInner = 100;
+  std::vector<std::int64_t> inner_sums(static_cast<std::size_t>(kOuter), 0);
+  pool.ParallelFor(kOuter, /*grain=*/4, [&](std::int64_t outer) {
+    std::int64_t sum = 0;
+    // Chunked loop from inside a chunked body: must degrade to serial.
+    pool.ParallelFor(kInner, /*grain=*/8,
+                     [&](std::int64_t inner) { sum += inner; });
+    inner_sums[static_cast<std::size_t>(outer)] = sum;
+  });
+  for (const std::int64_t sum : inner_sums) {
+    EXPECT_EQ(sum, kInner * (kInner - 1) / 2);
+  }
+}
+
+TEST(ThreadPool, GrainLargerThanRangeRunsInline) {
+  ThreadPool pool(4);
+  // n <= grain is one chunk: the loop runs serially on the caller with no
+  // job submission, and exceptions propagate directly.
+  std::vector<int> order;
+  pool.ParallelFor(8, /*grain=*/100, [&](std::int64_t i) {
+    order.push_back(static_cast<int>(i));  // safe: single-threaded path
+  });
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4, 5, 6, 7}));
+  EXPECT_THROW(pool.ParallelFor(
+                   5, /*grain=*/100,
+                   [&](std::int64_t i) {
+                     if (i == 3) throw std::runtime_error("inline boom");
+                   }),
+               std::runtime_error);
+}
+
 TEST(ThreadPool, ExceptionPropagatesFromWorkerBody) {
   ThreadPool pool(4);
   const auto throwing_loop = [&] {

@@ -1,0 +1,160 @@
+// Within-group sharding of core::ScoreGroups (DESIGN.md §10.3): chunk
+// boundaries are an execution detail — lists and satisfactions are
+// byte-identical to the unsharded path at every chunk size and thread
+// count, including degenerate chunking and empty groups.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "core/formation.h"
+#include "data/synthetic.h"
+#include "grouprec/semantics.h"
+
+namespace groupform {
+namespace {
+
+using core::FormationProblem;
+using core::GroupScore;
+using core::ScoreGroupsOptions;
+
+FormationProblem Problem(const data::RatingMatrix& matrix,
+                         grouprec::Semantics semantics,
+                         grouprec::Aggregation aggregation) {
+  FormationProblem problem;
+  problem.matrix = &matrix;
+  problem.semantics = semantics;
+  problem.aggregation = aggregation;
+  problem.k = 4;
+  problem.max_groups = 8;
+  return problem;
+}
+
+/// An uneven partition: one giant group, several small ones, one empty.
+std::vector<std::vector<UserId>> UnevenGroups(std::int32_t num_users) {
+  std::vector<std::vector<UserId>> groups(6);
+  for (UserId u = 0; u < num_users; ++u) {
+    // Two thirds of the population lands in group 0 (the "residual").
+    const std::size_t g =
+        u % 3 != 0 ? 0 : 1 + static_cast<std::size_t>(u % 4);
+    groups[g].push_back(u);
+  }
+  groups[5].clear();  // deliberately empty
+  return groups;
+}
+
+void ExpectIdenticalScores(const std::vector<GroupScore>& actual,
+                           const std::vector<GroupScore>& expected) {
+  ASSERT_EQ(actual.size(), expected.size());
+  for (std::size_t g = 0; g < expected.size(); ++g) {
+    EXPECT_EQ(actual[g].satisfaction, expected[g].satisfaction)
+        << "group " << g;  // bitwise
+    EXPECT_EQ(actual[g].list.items, expected[g].list.items) << "group " << g;
+  }
+}
+
+class ScoreGroupsShardTest : public ::testing::Test {
+ protected:
+  void TearDown() override {
+    common::ThreadPool::SetDefaultThreadCount(0);
+  }
+};
+
+TEST_F(ScoreGroupsShardTest, ShardedEqualsUnshardedAcrossChunkSizes) {
+  const auto matrix = data::GenerateLatentFactor(
+      data::MovieLensLikeConfig(45, 60, /*seed=*/7));
+  const auto groups = UnevenGroups(matrix.num_users());
+  for (const auto semantics : {grouprec::Semantics::kLeastMisery,
+                               grouprec::Semantics::kAggregateVoting}) {
+    for (const auto aggregation :
+         {grouprec::Aggregation::kMax, grouprec::Aggregation::kMin,
+          grouprec::Aggregation::kSum}) {
+      const auto problem = Problem(matrix, semantics, aggregation);
+      const auto scorer = problem.MakeScorer();
+      ScoreGroupsOptions unsharded;
+      unsharded.shard_min_items = 0;  // disabled: one task per group
+      const auto reference =
+          core::ScoreGroups(problem, scorer, groups, unsharded);
+      // Chunk sizes from one-item-per-shard up to chunk > catalogue.
+      for (const std::int64_t chunk : {1, 7, 59, 60, 61, 4096}) {
+        ScoreGroupsOptions options;
+        options.shard_min_items = chunk;
+        const auto sharded =
+            core::ScoreGroups(problem, scorer, groups, options);
+        SCOPED_TRACE(chunk);
+        ExpectIdenticalScores(sharded, reference);
+      }
+    }
+  }
+}
+
+TEST_F(ScoreGroupsShardTest, ShardedIdenticalAcrossThreadCounts) {
+  const auto matrix = data::GenerateLatentFactor(
+      data::MovieLensLikeConfig(40, 50, /*seed=*/11));
+  const auto problem = Problem(matrix, grouprec::Semantics::kLeastMisery,
+                               grouprec::Aggregation::kMin);
+  const auto scorer = problem.MakeScorer();
+  const auto groups = UnevenGroups(matrix.num_users());
+  ScoreGroupsOptions options;
+  options.shard_min_items = 8;  // force many shards per group
+  common::ThreadPool::SetDefaultThreadCount(1);
+  const auto serial = core::ScoreGroups(problem, scorer, groups, options);
+  for (const int threads : {2, 8}) {
+    common::ThreadPool::SetDefaultThreadCount(threads);
+    const auto parallel =
+        core::ScoreGroups(problem, scorer, groups, options);
+    SCOPED_TRACE(threads);
+    ExpectIdenticalScores(parallel, serial);
+  }
+}
+
+TEST_F(ScoreGroupsShardTest, UnionCandidatePathIsUnaffectedBySharding) {
+  const auto matrix = data::GenerateLatentFactor(
+      data::MovieLensLikeConfig(30, 40, /*seed=*/19));
+  auto problem = Problem(matrix, grouprec::Semantics::kAggregateVoting,
+                         grouprec::Aggregation::kSum);
+  problem.candidate_depth = 6;  // truncated policy: sharding not applied
+  const auto scorer = problem.MakeScorer();
+  const auto groups = UnevenGroups(matrix.num_users());
+  ScoreGroupsOptions unsharded;
+  unsharded.shard_min_items = 0;
+  const auto reference =
+      core::ScoreGroups(problem, scorer, groups, unsharded);
+  ScoreGroupsOptions options;
+  options.shard_min_items = 4;
+  const auto result = core::ScoreGroups(problem, scorer, groups, options);
+  ExpectIdenticalScores(result, reference);
+}
+
+TEST_F(ScoreGroupsShardTest, AllGroupsEmptyScoresZeroEverywhere) {
+  const auto matrix = data::GenerateLatentFactor(
+      data::MovieLensLikeConfig(10, 20, /*seed=*/23));
+  const auto problem = Problem(matrix, grouprec::Semantics::kLeastMisery,
+                               grouprec::Aggregation::kMin);
+  const auto scorer = problem.MakeScorer();
+  const std::vector<std::vector<UserId>> groups(4);  // all empty
+  ScoreGroupsOptions options;
+  options.shard_min_items = 1;
+  const auto scores = core::ScoreGroups(problem, scorer, groups, options);
+  ASSERT_EQ(scores.size(), groups.size());
+  for (const auto& score : scores) {
+    EXPECT_EQ(score.satisfaction, 0.0);
+    EXPECT_TRUE(score.list.empty());
+  }
+}
+
+TEST_F(ScoreGroupsShardTest, DefaultOptionsMatchExplicitDefaults) {
+  const auto matrix = data::GenerateLatentFactor(
+      data::MovieLensLikeConfig(25, 30, /*seed=*/29));
+  const auto problem = Problem(matrix, grouprec::Semantics::kLeastMisery,
+                               grouprec::Aggregation::kMin);
+  const auto scorer = problem.MakeScorer();
+  const auto groups = UnevenGroups(matrix.num_users());
+  const auto implicit = core::ScoreGroups(problem, scorer, groups);
+  const auto explicit_default =
+      core::ScoreGroups(problem, scorer, groups, ScoreGroupsOptions());
+  ExpectIdenticalScores(implicit, explicit_default);
+}
+
+}  // namespace
+}  // namespace groupform

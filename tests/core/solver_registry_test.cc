@@ -153,6 +153,101 @@ TEST(SolverRegistry, NamesAreSorted) {
   registry.Unregister("aa-stub");
 }
 
+/// A factory that validates its parallelism knob the way the built-in
+/// localsearch factory does: a malformed or negative shard_min_items
+/// must fail Create with INVALID_ARGUMENT, not silently keep the default.
+SolverRegistry::Factory CheckedFactory() {
+  return [](const FormationProblem& problem, const SolverOptions& options)
+             -> common::StatusOr<std::unique_ptr<FormationSolver>> {
+    GF_ASSIGN_OR_RETURN(
+        const long long shard_min_items,
+        options.GetCheckedInt("shard_min_items", 4096, /*min_value=*/0));
+    (void)shard_min_items;
+    return common::StatusOr<std::unique_ptr<FormationSolver>>(
+        std::make_unique<OneGroupSolver>(problem, 0.0));
+  };
+}
+
+TEST(SolverRegistry, BadKnobValuesFailAtLookupTimeUnknownNamesAreNotFound) {
+  auto& registry = SolverRegistry::Global();
+  ASSERT_TRUE(
+      registry.Register("checked-stub", "strict knobs", CheckedFactory())
+          .ok());
+  const auto matrix =
+      data::GenerateUniformDense(6, 4, data::RatingScale{1.0, 5.0}, 19);
+  const auto problem = SmallProblem(matrix);
+
+  // Unknown solver: NOT_FOUND, regardless of options.
+  const auto missing = registry.Create(
+      "no-such-solver", problem,
+      SolverOptions().Set("shard_min_items", "64"));
+  ASSERT_FALSE(missing.ok());
+  EXPECT_EQ(missing.status().code(), common::StatusCode::kNotFound);
+
+  // Known solver, malformed knob: INVALID_ARGUMENT naming the key.
+  const auto garbage = registry.Create(
+      "checked-stub", problem,
+      SolverOptions().Set("shard_min_items", "zebra"));
+  ASSERT_FALSE(garbage.ok());
+  EXPECT_EQ(garbage.status().code(), common::StatusCode::kInvalidArgument);
+  EXPECT_NE(garbage.status().message().find("shard_min_items"),
+            std::string::npos);
+
+  // Known solver, negative knob: INVALID_ARGUMENT.
+  const auto negative = registry.Create(
+      "checked-stub", problem,
+      SolverOptions().Set("shard_min_items", "-1"));
+  ASSERT_FALSE(negative.ok());
+  EXPECT_EQ(negative.status().code(), common::StatusCode::kInvalidArgument);
+
+  // Valid and absent values still construct.
+  EXPECT_TRUE(registry
+                  .Create("checked-stub", problem,
+                          SolverOptions().Set("shard_min_items", "512"))
+                  .ok());
+  EXPECT_TRUE(registry.Create("checked-stub", problem).ok());
+  registry.Unregister("checked-stub");
+}
+
+TEST(SolverOptions, GetCheckedIntValidatesPresentValues) {
+  SolverOptions options;
+  options.Set("good", "128").Set("bad", "zebra").Set("negative", "-7");
+  const auto absent = options.GetCheckedInt("missing", 42, 0);
+  ASSERT_TRUE(absent.ok());
+  EXPECT_EQ(*absent, 42);
+  const auto good = options.GetCheckedInt("good", 0, 0);
+  ASSERT_TRUE(good.ok());
+  EXPECT_EQ(*good, 128);
+  EXPECT_EQ(options.GetCheckedInt("bad", 0, 0).status().code(),
+            common::StatusCode::kInvalidArgument);
+  EXPECT_EQ(options.GetCheckedInt("negative", 0, 0).status().code(),
+            common::StatusCode::kInvalidArgument);
+  // min_value is the caller's floor, not hardcoded zero.
+  const auto negative_ok = options.GetCheckedInt("negative", 0, -10);
+  ASSERT_TRUE(negative_ok.ok());
+  EXPECT_EQ(*negative_ok, -7);
+}
+
+TEST(SolverOptions, GetCheckedBoolValidatesPresentValues) {
+  SolverOptions options;
+  options.Set("on", "true").Set("off", "0").Set("bare", "").Set("bad",
+                                                                "yes");
+  const auto absent = options.GetCheckedBool("missing", true);
+  ASSERT_TRUE(absent.ok());
+  EXPECT_TRUE(*absent);
+  const auto on = options.GetCheckedBool("on", false);
+  ASSERT_TRUE(on.ok());
+  EXPECT_TRUE(*on);
+  const auto off = options.GetCheckedBool("off", true);
+  ASSERT_TRUE(off.ok());
+  EXPECT_FALSE(*off);
+  const auto bare = options.GetCheckedBool("bare", false);
+  ASSERT_TRUE(bare.ok());
+  EXPECT_TRUE(*bare);  // bare key = true, like GetBool
+  EXPECT_EQ(options.GetCheckedBool("bad", false).status().code(),
+            common::StatusCode::kInvalidArgument);
+}
+
 TEST(SolverOptions, TypedGettersFallBackOnMissingOrMalformed) {
   SolverOptions options;
   options.Set("int", "42").Set("dbl", "2.5").Set("flag", "true");

@@ -1,14 +1,17 @@
 // The §8 / DESIGN.md §10.3 determinism contract: for a fixed problem and
-// seed, batch scoring and repeated runs produce identical results at
-// --threads 1, 2, and 8.
+// seed, batch scoring, repeated runs, and every registered solver produce
+// identical results at --threads 1, 2, and 8.
 #include <gtest/gtest.h>
 
+#include <string>
 #include <vector>
 
 #include "common/thread_pool.h"
 #include "core/formation.h"
+#include "core/solver_registry.h"
 #include "data/synthetic.h"
 #include "eval/experiment.h"
+#include "solvers/builtin.h"
 
 namespace groupform {
 namespace {
@@ -48,6 +51,37 @@ class ParallelDeterminismTest : public ::testing::Test {
     common::ThreadPool::SetDefaultThreadCount(0);
   }
 };
+
+// Table-driven matrix: 1/2/8 threads × every solver the registry knows.
+// New solvers are pinned automatically the moment they register —
+// nothing here names an algorithm. The instance stays tiny (9 users) so
+// even the exhaustive "brute" reference completes at every cell.
+TEST_F(ParallelDeterminismTest,
+       EveryRegisteredSolverIdenticalAcrossThreadCounts) {
+  solvers::EnsureBuiltinSolversRegistered();
+  const auto matrix = data::GenerateLatentFactor(
+      data::MovieLensLikeConfig(9, 8, /*seed=*/33));
+  auto problem = Problem(matrix);
+  problem.max_groups = 3;
+  problem.k = 2;
+
+  const std::vector<std::string> names =
+      core::SolverRegistry::Global().Names();
+  ASSERT_FALSE(names.empty());
+  for (const std::string& name : names) {
+    common::ThreadPool::SetDefaultThreadCount(1);
+    const auto serial = eval::RunAlgorithmByName(name, problem, /*seed=*/77);
+    ASSERT_TRUE(serial.ok()) << name << ": " << serial.status();
+    for (const int threads : {2, 8}) {
+      common::ThreadPool::SetDefaultThreadCount(threads);
+      const auto parallel =
+          eval::RunAlgorithmByName(name, problem, /*seed=*/77);
+      ASSERT_TRUE(parallel.ok()) << name << ": " << parallel.status();
+      SCOPED_TRACE(name + " at threads=" + std::to_string(threads));
+      ExpectIdenticalResults(parallel->result, serial->result);
+    }
+  }
+}
 
 TEST_F(ParallelDeterminismTest, BatchScoringIdenticalAcrossThreadCounts) {
   const auto matrix = data::GenerateLatentFactor(
