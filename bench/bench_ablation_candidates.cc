@@ -1,54 +1,13 @@
 // Ablation (not in the paper): how the residual group's candidate-set
 // truncation depth trades recommendation quality against time. depth = 0
 // scans the full catalogue; depth = k is the paper's literal "sifts
-// through the top-k items per user". Expected: the objective is almost
-// insensitive to depth (the residual group's score is dominated by
-// misery floors) while the time saving at scale is substantial.
-#include <cstdio>
+// through the top-k items per user" (DESIGN.md §4.1). Expected: the
+// objective is almost insensitive to depth while the time saving at scale
+// is substantial.
+//
+// Declarative sweep: the "ablation" suite in eval/paper_sweeps.cc (a
+// GRD-only series — this is an ablation of the greedy design choice, not
+// a solver comparison).
+#include "eval/paper_sweeps.h"
 
-#include "bench/bench_util.h"
-#include "common/stopwatch.h"
-#include "common/table_printer.h"
-#include "core/formation.h"
-#include "core/greedy.h"
-#include "data/synthetic.h"
-#include "grouprec/semantics.h"
-
-int main() {
-  using namespace groupform;
-  const double scale = bench::BenchScale();
-  bench::PrintHeader(
-      "Ablation: residual candidate depth (GRD-LM-MIN)",
-      "design choice from DESIGN.md §4.1 (not a paper figure)",
-      "depth 0 = full catalogue; depth k = paper's literal policy");
-
-  const auto matrix = data::GenerateLatentFactor(data::YahooMusicLikeConfig(
-      bench::Scaled(10000, scale), 5000, /*seed=*/42));
-
-  common::TablePrinter table(
-      {"depth", "objective", "residual list size", "seconds"});
-  for (int depth : {5, 10, 20, 50, 100, 0}) {
-    core::FormationProblem problem;
-    problem.matrix = &matrix;
-    problem.semantics = grouprec::Semantics::kLeastMisery;
-    problem.aggregation = grouprec::Aggregation::kMin;
-    problem.k = 5;
-    problem.max_groups = 10;
-    problem.candidate_depth = depth;
-    common::Stopwatch stopwatch;
-    const auto result = core::RunGreedy(problem);
-    const double seconds = stopwatch.ElapsedSeconds();
-    if (!result.ok()) {
-      std::fprintf(stderr, "%s\n", result.status().ToString().c_str());
-      return 1;
-    }
-    table.AddRow({depth == 0 ? std::string("full")
-                             : common::StrFormat("%d", depth),
-                  common::StrFormat("%.2f", result->objective),
-                  common::StrFormat(
-                      "%d", result->groups.back().recommendation.size()),
-                  common::StrFormat("%.3f", seconds)});
-  }
-  table.Print();
-  return 0;
-}
+int main() { return groupform::eval::RunPaperSuiteMain("ablation"); }

@@ -1,96 +1,11 @@
-// Baseline panorama (extension of the paper's §7 comparison): objective
-// and wall-clock of GRD against both ad-hoc formation families the paper's
-// introduction argues against — rank-distance clustering (the paper's
-// baseline, Kendall-Tau + k-medoids) and plain preference-vector k-means —
-// plus the OPT* local-search reference, across semantics.
-#include <cstdio>
+// Baseline panorama (extension of the paper's §7 comparison): objective,
+// whole-list satisfaction, and wall-clock of every registered formation
+// algorithm — GRD, the rank-distance clustering baseline, vector k-means,
+// the OPT*/SA refiners, and the exact references (DNF beyond their
+// budgets) — across semantics and aggregations on one quality instance.
+// A solver registered tomorrow appears here with zero edits.
+//
+// Declarative sweep: the "baseline" suite in eval/paper_sweeps.cc.
+#include "eval/paper_sweeps.h"
 
-#include "baseline/cluster_baseline.h"
-#include "baseline/vector_kmeans.h"
-#include "bench/bench_util.h"
-#include "common/stopwatch.h"
-#include "common/table_printer.h"
-#include "core/formation.h"
-#include "core/greedy.h"
-#include "eval/metrics.h"
-#include "exact/local_search.h"
-#include "exact/simulated_annealing.h"
-#include "grouprec/semantics.h"
-
-namespace {
-
-using namespace groupform;
-
-struct Entry {
-  std::string objective = "-";
-  std::string avg_sat = "-";
-  std::string seconds = "-";
-};
-
-template <typename Runner>
-Entry Measure(const core::FormationProblem& problem, Runner&& runner) {
-  common::Stopwatch stopwatch;
-  const auto result = runner();
-  if (!result.ok()) return Entry{};
-  Entry entry;
-  entry.seconds = common::StrFormat("%.3f", stopwatch.ElapsedSeconds());
-  entry.objective = common::StrFormat("%.1f", result->objective);
-  entry.avg_sat = common::StrFormat(
-      "%.1f", eval::AvgGroupSatisfaction(problem, *result));
-  return entry;
-}
-
-}  // namespace
-
-int main() {
-  bench::PrintHeader(
-      "Baseline panorama: GRD vs rank-clustering vs vector k-means vs OPT*",
-      "extends the paper's §7 comparison with the intro's similarity-based "
-      "formation",
-      "n=300 m=100 ell=10 k=5; objective | avg group satisfaction | "
-      "seconds");
-
-  const auto matrix = bench::QualityMatrix(300, 100, /*seed=*/2718);
-  for (const auto semantics : {grouprec::Semantics::kLeastMisery,
-                               grouprec::Semantics::kAggregateVoting}) {
-    for (const auto aggregation :
-         {grouprec::Aggregation::kMax, grouprec::Aggregation::kSum}) {
-      core::FormationProblem problem;
-      problem.matrix = &matrix;
-      problem.semantics = semantics;
-      problem.aggregation = aggregation;
-      problem.k = 5;
-      problem.max_groups = 10;
-
-      const Entry grd =
-          Measure(problem, [&] { return core::RunGreedy(problem); });
-      const Entry kt =
-          Measure(problem, [&] { return baseline::RunBaseline(problem); });
-      const Entry km = Measure(problem, [&] {
-        return baseline::VectorKMeansFormer(problem).Run();
-      });
-      const Entry ls = Measure(problem, [&] {
-        return exact::LocalSearchSolver(problem).Run();
-      });
-      const Entry sa = Measure(problem, [&] {
-        return exact::SimulatedAnnealingSolver(problem).Run();
-      });
-
-      std::printf("\n%s / %s\n", grouprec::SemanticsToString(semantics),
-                  grouprec::AggregationToString(aggregation));
-      common::TablePrinter table(
-          {"algorithm", "objective", "avg sat", "seconds"});
-      table.AddRow({"GRD", grd.objective, grd.avg_sat, grd.seconds});
-      table.AddRow(
-          {"Baseline (Kendall-Tau)", kt.objective, kt.avg_sat, kt.seconds});
-      table.AddRow(
-          {"Vector k-means", km.objective, km.avg_sat, km.seconds});
-      table.AddRow({"OPT* (local search)", ls.objective, ls.avg_sat,
-                    ls.seconds});
-      table.AddRow({"SA (simulated annealing)", sa.objective, sa.avg_sat,
-                    sa.seconds});
-      table.Print();
-    }
-  }
-  return 0;
-}
+int main() { return groupform::eval::RunPaperSuiteMain("baseline"); }

@@ -3,67 +3,10 @@
 // ell=10, Yahoo! Music. Expected shape: Min objective falls with k (the
 // bottom item only gets worse), Sum objective rises with diminishing
 // increments.
-#include <cstdio>
-#include <string>
-#include <vector>
+//
+// Declarative sweep: the "fig2" suite in eval/paper_sweeps.cc, columns
+// from core::SolverRegistry (GF_SOLVERS filters, GF_BENCH_JSON emits
+// BENCH_fig2.json).
+#include "eval/paper_sweeps.h"
 
-#include "bench/bench_util.h"
-#include "common/table_printer.h"
-#include "common/thread_pool.h"
-#include "core/formation.h"
-#include "data/synthetic.h"
-#include "eval/experiment.h"
-#include "grouprec/semantics.h"
-
-namespace {
-
-using namespace groupform;
-using eval::AlgorithmKind;
-
-double Run(AlgorithmKind kind, const core::FormationProblem& problem) {
-  const auto outcome = eval::RunRepeated(kind, problem, 3);
-  return outcome.ok() ? outcome->mean_objective : -1.0;
-}
-
-void SweepK(const data::RatingMatrix& matrix,
-            grouprec::Aggregation aggregation, const char* name) {
-  common::TablePrinter table(
-      {"top-k", common::StrFormat("GRD-LM-%s", name),
-       common::StrFormat("Baseline-LM-%s", name),
-       common::StrFormat("OPT*-LM-%s", name)});
-  // Per-k instances are independent quality measurements; see
-  // FillTableParallel for the parallel-rows discipline.
-  bench::FillTableParallel(table, {5, 10, 15, 20, 25}, [&](int k) {
-    core::FormationProblem problem;
-    problem.matrix = &matrix;
-    problem.semantics = grouprec::Semantics::kLeastMisery;
-    problem.aggregation = aggregation;
-    problem.k = k;
-    problem.max_groups = 10;
-    return std::vector<std::string>{
-        common::StrFormat("%d", k),
-        common::StrFormat("%.2f", Run(AlgorithmKind::kGreedy, problem)),
-        common::StrFormat("%.2f", Run(AlgorithmKind::kBaseline, problem)),
-        common::StrFormat("%.2f",
-                          Run(AlgorithmKind::kLocalSearch, problem))};
-  });
-  table.Print();
-  std::printf("\n");
-}
-
-}  // namespace
-
-int main() {
-  bench::PrintHeader(
-      "Figure 2: objective value vs top-k, LM semantics",
-      "paper Fig. 2(a) Min aggregation, 2(b) Sum aggregation; "
-      "n=200 m=100 ell=10",
-      "expected shape: (a) decreasing in k; (b) increasing, concave");
-  const auto matrix = bench::QualityMatrix(200, 100, /*seed=*/42);
-
-  std::printf("(a) Min aggregation\n");
-  SweepK(matrix, grouprec::Aggregation::kMin, "MIN");
-  std::printf("(b) Sum aggregation\n");
-  SweepK(matrix, grouprec::Aggregation::kSum, "SUM");
-  return 0;
-}
+int main() { return groupform::eval::RunPaperSuiteMain("fig2"); }

@@ -3,119 +3,11 @@
 // data, varying #users, #items, #groups, and k. The paper's point: even
 // though GRD-AV-MIN optimises only the bottom item, the satisfaction over
 // the entire list stays high (near the 25-point ceiling for k=5 on a
-// 1..5 scale with 10 groups).
-#include <cstdio>
-#include <functional>
-#include <string>
-#include <vector>
+// 1..5 scale with 10 groups). Scores are per-member normalised.
+//
+// Declarative sweep: the "fig3" suite in eval/paper_sweeps.cc, columns
+// from core::SolverRegistry (GF_SOLVERS filters, GF_BENCH_JSON emits
+// BENCH_fig3.json).
+#include "eval/paper_sweeps.h"
 
-#include "bench/bench_util.h"
-#include "common/table_printer.h"
-#include "common/thread_pool.h"
-#include "core/formation.h"
-#include "data/synthetic.h"
-#include "eval/experiment.h"
-#include "eval/metrics.h"
-#include "grouprec/semantics.h"
-
-namespace {
-
-using namespace groupform;
-using eval::AlgorithmKind;
-
-core::FormationProblem Problem(const data::RatingMatrix& matrix, int ell,
-                               int k) {
-  core::FormationProblem problem;
-  problem.matrix = &matrix;
-  problem.semantics = grouprec::Semantics::kAggregateVoting;
-  problem.aggregation = grouprec::Aggregation::kMin;
-  problem.k = k;
-  problem.max_groups = ell;
-  return problem;
-}
-
-/// Average per-group satisfaction over the top-k list, normalised per
-/// member so group size does not inflate the AV sums (the paper's 25-point
-/// ceiling discussion assumes per-member scores).
-double AvgSat(AlgorithmKind kind, const core::FormationProblem& problem) {
-  const auto outcome = eval::RunAlgorithm(kind, problem);
-  if (!outcome.ok()) return -1.0;
-  double total = 0.0;
-  for (const auto& g : outcome->result.groups) {
-    double sum = 0.0;
-    for (const auto& si : g.recommendation.items) sum += si.score;
-    total += sum / static_cast<double>(g.members.size());
-  }
-  return total /
-         static_cast<double>(outcome->result.groups.empty()
-                                 ? 1
-                                 : outcome->result.num_groups());
-}
-
-std::vector<std::string> Row(int x, const core::FormationProblem& problem) {
-  return {common::StrFormat("%d", x),
-          common::StrFormat("%.2f", AvgSat(AlgorithmKind::kGreedy, problem)),
-          common::StrFormat("%.2f",
-                            AvgSat(AlgorithmKind::kBaseline, problem)),
-          common::StrFormat("%.2f",
-                            AvgSat(AlgorithmKind::kLocalSearch, problem))};
-}
-
-}  // namespace
-
-int main() {
-  bench::PrintHeader(
-      "Figure 3: avg group satisfaction over the top-k list, AV/Min",
-      "paper Fig. 3(a-d); MovieLens; defaults n=200 m=100 ell=10 k=5",
-      "per-member normalised; ceiling is k * r_max = 25 for k=5");
-
-  const auto movielens = [&](int n, int m) {
-    return bench::QualityMatrix(n, m, /*seed=*/7, /*movielens_like=*/true);
-  };
-  const char* headers[] = {"GRD-AV-MIN", "Baseline-AV-MIN", "OPT*-AV-MIN"};
-
-  std::printf("(a) varying number of users (m=100, ell=10, k=5)\n");
-  {
-    common::TablePrinter table(
-        {"users", headers[0], headers[1], headers[2]});
-    bench::FillTableParallel(table, {200, 400, 600, 800, 1000}, [&](int n) {
-      const auto matrix = movielens(n, 100);
-      return Row(n, Problem(matrix, 10, 5));
-    });
-    table.Print();
-  }
-
-  std::printf("\n(b) varying number of items (n=200, ell=10, k=5)\n");
-  {
-    common::TablePrinter table(
-        {"items", headers[0], headers[1], headers[2]});
-    bench::FillTableParallel(table, {100, 200, 300, 400, 500}, [&](int m) {
-      const auto matrix = movielens(200, m);
-      return Row(m, Problem(matrix, 10, 5));
-    });
-    table.Print();
-  }
-
-  std::printf("\n(c) varying number of groups (n=200, m=100, k=5)\n");
-  {
-    const auto matrix = movielens(200, 100);
-    common::TablePrinter table(
-        {"groups", headers[0], headers[1], headers[2]});
-    bench::FillTableParallel(table, {10, 15, 20, 25, 30}, [&](int ell) {
-      return Row(ell, Problem(matrix, ell, 5));
-    });
-    table.Print();
-  }
-
-  std::printf("\n(d) varying top-k (n=200, m=100, ell=10)\n");
-  {
-    const auto matrix = movielens(200, 100);
-    common::TablePrinter table(
-        {"top-k", headers[0], headers[1], headers[2]});
-    bench::FillTableParallel(table, {5, 10, 15, 20, 25}, [&](int k) {
-      return Row(k, Problem(matrix, 10, k));
-    });
-    table.Print();
-  }
-  return 0;
-}
+int main() { return groupform::eval::RunPaperSuiteMain("fig3"); }

@@ -1,122 +1,15 @@
 // Figure 4(a,b,c) — scalability under LM / Min aggregation: wall-clock
 // time of group formation plus top-k recommendation while varying #users,
 // #items, #groups. Paper defaults: n=100,000, m=10,000, ell=10, k=5,
-// Yahoo! Music, times in minutes. Ours default to a laptop-friendly scale
-// (GF_BENCH_SCALE multiplies the axes) and report seconds; the shapes to
-// reproduce are: GRD linear in n and ell, flat in m; Baseline non-linear
-// in n and sensitive to m. The Baseline column stops at the size where a
-// run would exceed the bench budget — mirroring how the paper handles its
-// own OPT ("do not terminate ... and are thus omitted").
-#include <cstdio>
-#include <string>
+// Yahoo! Music, times in minutes; ours scale with GF_BENCH_SCALE and
+// report seconds. Shapes to reproduce: GRD linear in n and ell, flat in
+// m; Baseline non-linear in n and sensitive to m.
+//
+// Declarative timing sweep: the "fig4" suite in eval/paper_sweeps.cc.
+// GRD runs uncapped; the baseline stops at GF_BASELINE_CAP users /
+// 100 groups (truncated Kendall profiles); every other registered solver
+// is budgeted at GF_SCAL_CAP users — over-budget cells report DNF,
+// mirroring how the paper omits runs that "do not terminate".
+#include "eval/paper_sweeps.h"
 
-#include "bench/bench_util.h"
-#include "baseline/cluster_baseline.h"
-#include "common/stopwatch.h"
-#include "common/table_printer.h"
-#include "core/formation.h"
-#include "data/synthetic.h"
-#include "eval/experiment.h"
-#include "grouprec/semantics.h"
-
-namespace {
-
-using namespace groupform;
-using eval::AlgorithmKind;
-
-core::FormationProblem Problem(const data::RatingMatrix& matrix, int ell,
-                               grouprec::Semantics semantics) {
-  core::FormationProblem problem;
-  problem.matrix = &matrix;
-  problem.semantics = semantics;
-  problem.aggregation = grouprec::Aggregation::kMin;
-  problem.k = 5;
-  problem.max_groups = ell;
-  problem.candidate_depth = 5;  // the paper's residual policy at scale
-  return problem;
-}
-
-std::string TimeGreedy(const core::FormationProblem& problem) {
-  const auto outcome = eval::RunAlgorithm(AlgorithmKind::kGreedy, problem);
-  if (!outcome.ok()) return "err";
-  return common::StrFormat("%.3f", outcome->seconds);
-}
-
-std::string TimeBaseline(const core::FormationProblem& problem,
-                         std::int32_t baseline_cap) {
-  // Like the paper's OPT beyond 200 users: runs that cannot finish within
-  // the bench budget are reported as DNF rather than extrapolated.
-  if (problem.matrix->num_users() > baseline_cap ||
-      problem.max_groups > 100) {
-    return "DNF";
-  }
-  baseline::BaselineFormer::Options options;
-  options.kendall.truncate = 20;   // profile depth for tractable distances
-  options.max_iterations = 20;
-  options.medoid_candidates = 16;
-  options.cache_pairwise_up_to = 0;  // never materialise O(n^2) distances
-  common::Stopwatch stopwatch;
-  const auto result = baseline::RunBaseline(problem, options);
-  if (!result.ok()) return "err";
-  return common::StrFormat("%.3f", stopwatch.ElapsedSeconds());
-}
-
-}  // namespace
-
-int main() {
-  const double scale = bench::BenchScale();
-  const auto baseline_cap =
-      static_cast<std::int32_t>(bench::EnvScale("GF_BASELINE_CAP", 5000));
-  bench::PrintHeader(
-      "Figure 4: scalability, LM semantics, Min aggregation (seconds)",
-      "paper Fig. 4(a,b,c); paper scale n=100k m=10k ell=10 k=5",
-      common::StrFormat("GF_BENCH_SCALE=%.2f, baseline capped at %d users "
-                        "(truncated Kendall profiles, 20 k-medoids iters)",
-                        scale, baseline_cap));
-
-  std::printf("(a) varying number of users (m=2000, ell=10, k=5)\n");
-  {
-    common::TablePrinter table({"users", "GRD-LM-MIN", "Baseline-LM-MIN"});
-    for (int n : {1000, 2000, 5000, 10000, 20000, 50000}) {
-      const int scaled_n = bench::Scaled(n, scale);
-      const auto matrix = data::GenerateLatentFactor(
-          data::YahooMusicLikeConfig(scaled_n, 2000, /*seed=*/42));
-      const auto problem =
-          Problem(matrix, 10, grouprec::Semantics::kLeastMisery);
-      table.AddRow({common::StrFormat("%d", scaled_n), TimeGreedy(problem),
-                    TimeBaseline(problem, baseline_cap)});
-    }
-    table.Print();
-  }
-
-  std::printf("\n(b) varying number of items (n=5000, ell=10, k=5)\n");
-  {
-    common::TablePrinter table({"items", "GRD-LM-MIN", "Baseline-LM-MIN"});
-    for (int m : {1000, 2500, 5000, 10000}) {
-      const int scaled_m = bench::Scaled(m, scale);
-      const auto matrix = data::GenerateLatentFactor(
-          data::YahooMusicLikeConfig(5000, scaled_m, /*seed=*/42));
-      const auto problem =
-          Problem(matrix, 10, grouprec::Semantics::kLeastMisery);
-      table.AddRow({common::StrFormat("%d", scaled_m), TimeGreedy(problem),
-                    TimeBaseline(problem, baseline_cap)});
-    }
-    table.Print();
-  }
-
-  std::printf("\n(c) varying number of groups (n=5000, m=2000, k=5)\n");
-  {
-    const auto matrix = data::GenerateLatentFactor(data::YahooMusicLikeConfig(
-        bench::Scaled(5000, scale), 2000, /*seed=*/42));
-    common::TablePrinter table({"groups", "GRD-LM-MIN",
-                                "Baseline-LM-MIN"});
-    for (int ell : {10, 100, 1000, 10000}) {
-      const auto problem =
-          Problem(matrix, ell, grouprec::Semantics::kLeastMisery);
-      table.AddRow({common::StrFormat("%d", ell), TimeGreedy(problem),
-                    TimeBaseline(problem, baseline_cap)});
-    }
-    table.Print();
-  }
-  return 0;
-}
+int main() { return groupform::eval::RunPaperSuiteMain("fig4"); }

@@ -1,84 +1,12 @@
 // Figure 5(a-d) — running time while varying top-k in {5, 25, 125, 625}:
-// (a) GRD/Baseline LM-Min, (b) LM-Sum, (c) AV-Min, (d) AV-Sum. Expected
-// shapes: GRD only mildly sensitive to k (only the residual group's list
-// depends on it); Baseline times dominated by clustering, similar across
-// semantics.
-#include <cstdio>
-#include <string>
+// (a) LM-Min, (b) LM-Sum, (c) AV-Min, (d) AV-Sum. Expected shapes: GRD
+// only mildly sensitive to k (only the residual group's list depends on
+// it); Baseline times dominated by clustering, similar across semantics.
+//
+// Declarative timing sweep: the "fig5" suite in eval/paper_sweeps.cc
+// (candidate depth follows k; baseline uses the lighter 10-iteration
+// clustering budget; other registered solvers budgeted at GF_SCAL_CAP
+// users, DNF beyond).
+#include "eval/paper_sweeps.h"
 
-#include "bench/bench_util.h"
-#include "baseline/cluster_baseline.h"
-#include "common/stopwatch.h"
-#include "common/table_printer.h"
-#include "core/formation.h"
-#include "data/synthetic.h"
-#include "eval/experiment.h"
-#include "grouprec/semantics.h"
-
-namespace {
-
-using namespace groupform;
-using eval::AlgorithmKind;
-
-std::string TimeGreedy(const core::FormationProblem& problem) {
-  const auto outcome = eval::RunAlgorithm(AlgorithmKind::kGreedy, problem);
-  return outcome.ok() ? common::StrFormat("%.3f", outcome->seconds) : "err";
-}
-
-std::string TimeBaseline(const core::FormationProblem& problem) {
-  baseline::BaselineFormer::Options options;
-  options.kendall.truncate = 20;
-  options.max_iterations = 10;
-  options.medoid_candidates = 16;
-  options.cache_pairwise_up_to = 0;
-  common::Stopwatch stopwatch;
-  const auto result = baseline::RunBaseline(problem, options);
-  return result.ok() ? common::StrFormat("%.3f", stopwatch.ElapsedSeconds())
-                     : "err";
-}
-
-void Panel(const data::RatingMatrix& matrix, grouprec::Semantics semantics,
-           grouprec::Aggregation aggregation, const char* tag) {
-  std::printf("%s\n", tag);
-  const char* sem = grouprec::SemanticsToString(semantics);
-  const char* agg = grouprec::AggregationToString(aggregation);
-  common::TablePrinter table(
-      {"top-k", common::StrFormat("GRD-%s-%s", sem, agg),
-       common::StrFormat("Baseline-%s-%s", sem, agg)});
-  for (int k : {5, 25, 125, 625}) {
-    core::FormationProblem problem;
-    problem.matrix = &matrix;
-    problem.semantics = semantics;
-    problem.aggregation = aggregation;
-    problem.k = k;
-    problem.max_groups = 10;
-    problem.candidate_depth = k;
-    table.AddRow({common::StrFormat("%d", k), TimeGreedy(problem),
-                  TimeBaseline(problem)});
-  }
-  table.Print();
-  std::printf("\n");
-}
-
-}  // namespace
-
-int main() {
-  const double scale = bench::BenchScale();
-  bench::PrintHeader(
-      "Figure 5: running time vs top-k (seconds)",
-      "paper Fig. 5(a-d); paper scale n=100k m=10k ell=10",
-      common::StrFormat("n=%d, m=2000, ell=10 at GF_BENCH_SCALE=%.2f",
-                        bench::Scaled(4000, scale), scale));
-  const auto matrix = data::GenerateLatentFactor(data::YahooMusicLikeConfig(
-      bench::Scaled(4000, scale), 2000, /*seed=*/42));
-
-  Panel(matrix, grouprec::Semantics::kLeastMisery,
-        grouprec::Aggregation::kMin, "(a) LM, Min aggregation");
-  Panel(matrix, grouprec::Semantics::kLeastMisery,
-        grouprec::Aggregation::kSum, "(b) LM, Sum aggregation");
-  Panel(matrix, grouprec::Semantics::kAggregateVoting,
-        grouprec::Aggregation::kMin, "(c) AV, Min aggregation");
-  Panel(matrix, grouprec::Semantics::kAggregateVoting,
-        grouprec::Aggregation::kSum, "(d) AV, Sum aggregation");
-  return 0;
-}
+int main() { return groupform::eval::RunPaperSuiteMain("fig5"); }

@@ -3,108 +3,9 @@
 // GRD-LM (per-group score aggregation over all members), still linear in
 // n and ell and flat in m; Baseline identical to Figure 4's baseline
 // because the clustering ignores the semantics.
-#include <cstdio>
-#include <string>
+//
+// Declarative timing sweep: the "fig6" suite in eval/paper_sweeps.cc
+// (same budget policy as fig4).
+#include "eval/paper_sweeps.h"
 
-#include "bench/bench_util.h"
-#include "baseline/cluster_baseline.h"
-#include "common/stopwatch.h"
-#include "common/table_printer.h"
-#include "core/formation.h"
-#include "data/synthetic.h"
-#include "eval/experiment.h"
-#include "grouprec/semantics.h"
-
-namespace {
-
-using namespace groupform;
-using eval::AlgorithmKind;
-
-core::FormationProblem Problem(const data::RatingMatrix& matrix, int ell) {
-  core::FormationProblem problem;
-  problem.matrix = &matrix;
-  problem.semantics = grouprec::Semantics::kAggregateVoting;
-  problem.aggregation = grouprec::Aggregation::kMin;
-  problem.k = 5;
-  problem.max_groups = ell;
-  problem.candidate_depth = 5;
-  return problem;
-}
-
-std::string TimeGreedy(const core::FormationProblem& problem) {
-  const auto outcome = eval::RunAlgorithm(AlgorithmKind::kGreedy, problem);
-  return outcome.ok() ? common::StrFormat("%.3f", outcome->seconds) : "err";
-}
-
-std::string TimeBaseline(const core::FormationProblem& problem,
-                         std::int32_t baseline_cap) {
-  if (problem.matrix->num_users() > baseline_cap ||
-      problem.max_groups > 100) {
-    return "DNF";
-  }
-  baseline::BaselineFormer::Options options;
-  options.kendall.truncate = 20;
-  options.max_iterations = 20;
-  options.medoid_candidates = 16;
-  options.cache_pairwise_up_to = 0;
-  common::Stopwatch stopwatch;
-  const auto result = baseline::RunBaseline(problem, options);
-  return result.ok() ? common::StrFormat("%.3f", stopwatch.ElapsedSeconds())
-                     : "err";
-}
-
-}  // namespace
-
-int main() {
-  const double scale = bench::BenchScale();
-  const auto baseline_cap =
-      static_cast<std::int32_t>(bench::EnvScale("GF_BASELINE_CAP", 5000));
-  bench::PrintHeader(
-      "Figure 6: scalability, AV semantics, Min aggregation (seconds)",
-      "paper Fig. 6(a,b,c); paper scale n=100k m=10k ell=10 k=5",
-      common::StrFormat("GF_BENCH_SCALE=%.2f, baseline capped at %d users",
-                        scale, baseline_cap));
-
-  std::printf("(a) varying number of users (m=2000, ell=10, k=5)\n");
-  {
-    common::TablePrinter table({"users", "GRD-AV-MIN", "Baseline-AV-MIN"});
-    for (int n : {1000, 2000, 5000, 10000, 20000, 50000}) {
-      const int scaled_n = bench::Scaled(n, scale);
-      const auto matrix = data::GenerateLatentFactor(
-          data::YahooMusicLikeConfig(scaled_n, 2000, /*seed=*/42));
-      const auto problem = Problem(matrix, 10);
-      table.AddRow({common::StrFormat("%d", scaled_n), TimeGreedy(problem),
-                    TimeBaseline(problem, baseline_cap)});
-    }
-    table.Print();
-  }
-
-  std::printf("\n(b) varying number of items (n=5000, ell=10, k=5)\n");
-  {
-    common::TablePrinter table({"items", "GRD-AV-MIN", "Baseline-AV-MIN"});
-    for (int m : {1000, 2500, 5000, 10000}) {
-      const int scaled_m = bench::Scaled(m, scale);
-      const auto matrix = data::GenerateLatentFactor(
-          data::YahooMusicLikeConfig(5000, scaled_m, /*seed=*/42));
-      const auto problem = Problem(matrix, 10);
-      table.AddRow({common::StrFormat("%d", scaled_m), TimeGreedy(problem),
-                    TimeBaseline(problem, baseline_cap)});
-    }
-    table.Print();
-  }
-
-  std::printf("\n(c) varying number of groups (n=5000, m=2000, k=5)\n");
-  {
-    const auto matrix = data::GenerateLatentFactor(data::YahooMusicLikeConfig(
-        bench::Scaled(5000, scale), 2000, /*seed=*/42));
-    common::TablePrinter table({"groups", "GRD-AV-MIN",
-                                "Baseline-AV-MIN"});
-    for (int ell : {10, 100, 1000, 10000}) {
-      const auto problem = Problem(matrix, ell);
-      table.AddRow({common::StrFormat("%d", ell), TimeGreedy(problem),
-                    TimeBaseline(problem, baseline_cap)});
-    }
-    table.Print();
-  }
-  return 0;
-}
+int main() { return groupform::eval::RunPaperSuiteMain("fig6"); }

@@ -5,10 +5,15 @@
 // groupings. Expected shapes: GRD satisfaction >= Baseline everywhere,
 // the gap widest for dissimilar populations, and ~80% of raters prefer
 // GRD (paper: 80% Min, 83.3% Sum).
+//
+// Not a solver sweep — the numbers come from the AMT simulator, not
+// eval::RunSweep — but it emits the same machine-readable document:
+// GF_BENCH_JSON=<dir> writes BENCH_fig7.json.
 #include <cstdio>
 
 #include "bench/bench_util.h"
 #include "common/table_printer.h"
+#include "eval/sweep_json.h"
 #include "grouprec/semantics.h"
 #include "userstudy/amt_simulator.h"
 
@@ -30,6 +35,13 @@ int main() {
     return 1;
   }
 
+  eval::JsonWriter json;
+  json.BeginObject();
+  eval::AppendBenchEnvelope(json, "fig7");
+  json.Key("study_seed").Int(static_cast<long long>(options.seed));
+  json.Key("prefer_grd_min_pct").Number(study->prefer_grd_min_pct);
+  json.Key("prefer_grd_sum_pct").Number(study->prefer_grd_sum_pct);
+
   std::printf("(a) %% of raters preferring each method\n");
   {
     common::TablePrinter table({"method", "% users prefer"});
@@ -46,6 +58,7 @@ int main() {
     table.Print();
   }
 
+  json.Key("hits").BeginArray();
   for (const auto aggregation :
        {grouprec::Aggregation::kMin, grouprec::Aggregation::kSum}) {
     std::printf("\n(%c) average user satisfaction, %s aggregation "
@@ -62,8 +75,22 @@ int main() {
            common::StrFormat("%.2f +/- %.2f",
                              hit.avg_satisfaction_baseline,
                              hit.stderr_baseline)});
+      json.BeginObject();
+      json.Key("aggregation")
+          .String(grouprec::AggregationToString(aggregation));
+      json.Key("sample").String(
+          userstudy::AmtSimulator::SampleKindToString(hit.sample));
+      json.Key("avg_satisfaction_grd").Number(hit.avg_satisfaction_grd);
+      json.Key("stderr_grd").Number(hit.stderr_grd);
+      json.Key("avg_satisfaction_baseline")
+          .Number(hit.avg_satisfaction_baseline);
+      json.Key("stderr_baseline").Number(hit.stderr_baseline);
+      json.EndObject();
     }
     table.Print();
   }
-  return 0;
+  json.EndArray();
+  json.EndObject();
+
+  return eval::EmitBenchJson("fig7", json.str());
 }

@@ -5,10 +5,13 @@
 // with full vs truncated profiles, and the exact subset-DP growth.
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+
 #include "baseline/kendall_tau.h"
 #include "core/formation.h"
 #include "core/greedy.h"
 #include "data/synthetic.h"
+#include "eval/sweep_json.h"
 #include "exact/subset_dp.h"
 #include "grouprec/group_scorer.h"
 #include "recsys/preference_lists.h"
@@ -129,4 +132,22 @@ BENCHMARK(BM_SubsetDpExact)->Arg(8)->Arg(10)->Arg(12)->Arg(14);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// BENCHMARK_MAIN, plus the repo-standard BENCH_*.json emission: the
+// per-benchmark numbers belong to google-benchmark's own reporters
+// (--benchmark_format=json), so the GF_BENCH_JSON document carries just
+// the envelope (git describe, scale, registry) and a pointer to them.
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+
+  groupform::eval::JsonWriter json;
+  json.BeginObject();
+  groupform::eval::AppendBenchEnvelope(json, "micro_core");
+  json.Key("note").String(
+      "google-benchmark micro-suite; rerun with --benchmark_format=json "
+      "for per-benchmark timings");
+  json.EndObject();
+  return groupform::eval::EmitBenchJson("micro_core", json.str());
+}

@@ -27,6 +27,7 @@
 #include "core/formation.h"
 #include "data/synthetic.h"
 #include "eval/experiment.h"
+#include "eval/sweep_json.h"
 #include "grouprec/semantics.h"
 
 namespace {
@@ -149,8 +150,7 @@ int main() {
     const double scoring_seconds = scoring_watch.ElapsedSeconds();
 
     common::Stopwatch repeated_watch;
-    const auto repeated =
-        eval::RunRepeated(eval::AlgorithmKind::kGreedy, problem, 8);
+    const auto repeated = eval::RunRepeated("greedy", problem, 8);
     const double repeated_seconds = repeated_watch.ElapsedSeconds();
     if (!repeated.ok()) {
       // A broken workload must not masquerade as a green data point.
@@ -223,5 +223,21 @@ int main() {
       num_users, num_groups, scoring_speedup_4t, repeated_speedup_4t,
       ls_speedup_4t, ls_pass_per_second_8t,
       deterministic ? "true" : "false", hardware == 0 ? 1U : hardware);
+
+  // The same summary as a BENCH_*.json document for the perf-trajectory
+  // tracker (GF_BENCH_JSON=<dir>), with the standard envelope.
+  eval::JsonWriter json;
+  json.BeginObject();
+  eval::AppendBenchEnvelope(json, "parallel_scaling");
+  json.Key("users").Int(num_users);
+  json.Key("groups").Int(num_groups);
+  json.Key("batch_scoring_speedup_4t").Number(scoring_speedup_4t);
+  json.Key("run_repeated_speedup_4t").Number(repeated_speedup_4t);
+  json.Key("localsearch_speedup_4t").Number(ls_speedup_4t);
+  json.Key("localsearch_pass_per_s_8t").Number(ls_pass_per_second_8t);
+  json.Key("deterministic").Bool(deterministic);
+  json.Key("hardware_threads").Int(hardware == 0 ? 1 : hardware);
+  json.EndObject();
+  if (eval::EmitBenchJson("parallel_scaling", json.str()) != 0) return 1;
   return deterministic ? 0 : 1;
 }

@@ -2,13 +2,14 @@
 // users / 136,736 songs) and MovieLens (71,567 users / 10,681 movies);
 // this binary generates the synthetic stand-ins at a configurable scale
 // and prints their statistics, so every other bench's data provenance is
-// reproducible.
+// reproducible. GF_BENCH_JSON=<dir> writes BENCH_table3.json.
 #include <cstdio>
 
 #include "bench/bench_util.h"
 #include "common/table_printer.h"
 #include "data/dataset_stats.h"
 #include "data/synthetic.h"
+#include "eval/sweep_json.h"
 
 int main() {
   using namespace groupform;
@@ -28,6 +29,10 @@ int main() {
 
   common::TablePrinter table({"dataset", "# users", "# items", "# ratings",
                               "density", "mean rating"});
+  eval::JsonWriter json;
+  json.BeginObject();
+  eval::AppendBenchEnvelope(json, "table3");
+  json.Key("datasets").BeginArray();
   for (const auto& [name, config] :
        {std::pair{"Yahoo! Music (synthetic)", yahoo_config},
         std::pair{"MovieLens (synthetic)", movielens_config}}) {
@@ -41,7 +46,18 @@ int main() {
                   common::StrFormat("%.5f", stats.density),
                   common::StrFormat("%.2f", stats.mean_rating)});
     std::printf("%s\n", data::StatsToString(stats).c_str());
+    json.BeginObject();
+    json.Key("name").String(name);
+    json.Key("users").Int(stats.num_users);
+    json.Key("items").Int(stats.num_items);
+    json.Key("ratings").Int(static_cast<long long>(stats.num_ratings));
+    json.Key("density").Number(stats.density);
+    json.Key("mean_rating").Number(stats.mean_rating);
+    json.EndObject();
   }
+  json.EndArray();
+  json.EndObject();
   table.Print();
-  return 0;
+
+  return eval::EmitBenchJson("table3", json.str());
 }

@@ -3,85 +3,10 @@
 // on 3 random samples of 200 users x 100 items with ell = 10, k = 5,
 // averaged across samples. Paper expectations: generally balanced groups;
 // MAX keys coarser than SUM keys, AV groups larger and more even than LM.
-#include <cstdio>
-#include <vector>
+//
+// Declarative sweep: the "table4" suite in eval/paper_sweeps.cc — the
+// samples are the sweep's repetitions, the MAX/SUM keys its series, the
+// quantiles its metrics.
+#include "eval/paper_sweeps.h"
 
-#include "bench/bench_util.h"
-#include "common/table_printer.h"
-#include "core/greedy.h"
-#include "data/dataset_stats.h"
-#include "data/synthetic.h"
-#include "eval/metrics.h"
-#include "grouprec/semantics.h"
-
-namespace {
-
-using namespace groupform;
-
-data::FivePointSummary AverageSummary(grouprec::Semantics semantics,
-                                      grouprec::Aggregation aggregation) {
-  data::FivePointSummary mean;
-  const int kSamples = 3;
-  for (int sample = 0; sample < kSamples; ++sample) {
-    const auto matrix = bench::QualityMatrix(
-        200, 100, /*seed=*/1000 + static_cast<std::uint64_t>(sample));
-    core::FormationProblem problem;
-    problem.matrix = &matrix;
-    problem.semantics = semantics;
-    problem.aggregation = aggregation;
-    problem.k = 5;
-    problem.max_groups = 10;
-    const auto result = core::RunGreedy(problem);
-    if (!result.ok()) {
-      std::fprintf(stderr, "greedy failed: %s\n",
-                   result.status().ToString().c_str());
-      continue;
-    }
-    const auto summary = eval::GroupSizeSummary(*result);
-    mean.min += summary.min / kSamples;
-    mean.q1 += summary.q1 / kSamples;
-    mean.median += summary.median / kSamples;
-    mean.q3 += summary.q3 / kSamples;
-    mean.max += summary.max / kSamples;
-  }
-  return mean;
-}
-
-}  // namespace
-
-int main() {
-  bench::PrintHeader(
-      "Table 4: distribution of average group size",
-      "paper Table 4; 3 samples of n=200 m=100 ell=10 k=5, Yahoo-like",
-      "expected shape: AV sizes larger/more even than LM; MAX coarser "
-      "keys than SUM");
-
-  common::TablePrinter table({"semantics", "quantile", "GRD-*-MAX",
-                              "GRD-*-SUM"});
-  for (const auto semantics : {grouprec::Semantics::kLeastMisery,
-                               grouprec::Semantics::kAggregateVoting}) {
-    const auto max_summary =
-        AverageSummary(semantics, grouprec::Aggregation::kMax);
-    const auto sum_summary =
-        AverageSummary(semantics, grouprec::Aggregation::kSum);
-    const char* name = grouprec::SemanticsToString(semantics);
-    const struct {
-      const char* label;
-      double max_value;
-      double sum_value;
-    } rows[] = {
-        {"Minimum", max_summary.min, sum_summary.min},
-        {"Q1", max_summary.q1, sum_summary.q1},
-        {"Median", max_summary.median, sum_summary.median},
-        {"Q3", max_summary.q3, sum_summary.q3},
-        {"Maximum", max_summary.max, sum_summary.max},
-    };
-    for (const auto& row : rows) {
-      table.AddRow({name, row.label,
-                    common::StrFormat("%.2f", row.max_value),
-                    common::StrFormat("%.2f", row.sum_value)});
-    }
-  }
-  table.Print();
-  return 0;
-}
+int main() { return groupform::eval::RunPaperSuiteMain("table4"); }

@@ -1,98 +1,29 @@
 #ifndef GROUPFORM_BENCH_BENCH_UTIL_H_
 #define GROUPFORM_BENCH_BENCH_UTIL_H_
 
-// Shared helpers for the figure/table reproduction binaries. Each binary
-// regenerates one table or figure of the paper; sizes default to
-// laptop-friendly values and scale with the GF_BENCH_SCALE environment
-// variable (1 = defaults; the paper's full sizes need roughly 8).
-
-#include <algorithm>
-#include <cstdint>
-#include <cstdio>
-#include <cstdlib>
-#include <functional>
-#include <string>
-#include <vector>
+// Shared helpers for the few bench binaries that are not figure sweeps
+// (Table 3's dataset statistics, the simulated user study, the
+// parallel-scaling bench, the micro benches). The figure/table
+// reproductions themselves are declarative SweepSpecs in
+// eval/paper_sweeps.{h,cc}, executed by eval::RunSweep — this header only
+// re-exports the environment/scale helpers that moved there so the
+// remaining binaries keep reading naturally as bench::BenchScale() etc.
 
 #include "common/strings.h"
-#include "common/table_printer.h"
-#include "common/thread_pool.h"
-#include "data/synthetic.h"
+#include "eval/paper_sweeps.h"
 
 namespace groupform::bench {
 
-/// Reads a positive double from the environment, with a default.
-inline double EnvScale(const char* name, double fallback) {
-  const char* value = std::getenv(name);
-  if (value == nullptr) return fallback;
-  double parsed = 0.0;
-  if (!common::ParseDouble(value, &parsed) || parsed <= 0.0) {
-    return fallback;
-  }
-  return parsed;
-}
-
-/// Global size multiplier for the scalability benches.
-inline double BenchScale() { return EnvScale("GF_BENCH_SCALE", 1.0); }
-
-/// n scaled, with a floor.
-inline std::int32_t Scaled(std::int32_t base, double scale,
-                           std::int32_t floor = 1) {
-  const auto scaled = static_cast<std::int32_t>(base * scale);
-  return scaled < floor ? floor : scaled;
-}
-
-/// Data for the paper's *quality* experiments (Figures 1-3, Table 4):
-/// n users over an m-item subset of a much larger catalogue. Because the
-/// paper samples 100 items out of 136k (Yahoo!) / 10.7k (MovieLens), each
-/// user rates only a small fraction of the subset — and that sparsity is
-/// what makes users collide on short top-k prefixes and form non-trivial
-/// greedy buckets, as the paper's Table 4 group sizes show.
-inline data::RatingMatrix QualityMatrix(std::int32_t num_users,
-                                        std::int32_t num_items,
-                                        std::uint64_t seed,
-                                        bool movielens_like = false) {
-  auto config = movielens_like
-                    ? data::MovieLensLikeConfig(num_users, num_items, seed)
-                    : data::YahooMusicLikeConfig(num_users, num_items, seed);
-  config.min_ratings_per_user = std::max(5, num_items / 8);
-  config.max_ratings_per_user = std::max(10, num_items / 3);
-  config.popularity_skew = 1.3;
-  config.noise_stddev = 0.3;
-  config.num_taste_clusters = std::max(2, num_users / 25);
-  config.cluster_spread = 0.2;
-  config.always_rated_head = 10;
-  return data::GenerateLatentFactor(config);
-}
-
-/// Runs `run_row` for every x in parallel on the shared pool and appends
-/// the produced rows to `table` in x order — the one audited home of the
-/// quality benches' per-instance parallelism (DESIGN.md §10.2/§10.3):
-/// each index writes only its own row slot, and the append loop is the
-/// serial in-order reduction. `run_row` must be self-contained per index
-/// (own its matrix/problem construction) and is only suitable for quality
-/// measurements — timing sweeps must stay serial.
-inline void FillTableParallel(
-    common::TablePrinter& table, const std::vector<int>& xs,
-    const std::function<std::vector<std::string>(int)>& run_row) {
-  std::vector<std::vector<std::string>> rows(xs.size());
-  common::ThreadPool::Shared().ParallelFor(
-      static_cast<std::int64_t>(xs.size()), [&](std::int64_t i) {
-        rows[static_cast<std::size_t>(i)] =
-            run_row(xs[static_cast<std::size_t>(i)]);
-      });
-  for (auto& row : rows) table.AddRow(std::move(row));
-}
+using eval::BenchScale;
+using eval::EnvScale;
+using eval::QualityMatrix;
+using eval::Scaled;
 
 /// Prints the standard header for a figure/table binary.
 inline void PrintHeader(const std::string& experiment,
                         const std::string& paper_ref,
                         const std::string& notes) {
-  std::string banner(72, '=');
-  std::printf("%s\n%s — %s\n", banner.c_str(), experiment.c_str(),
-              paper_ref.c_str());
-  if (!notes.empty()) std::printf("%s\n", notes.c_str());
-  std::printf("%s\n", banner.c_str());
+  eval::PrintBenchHeader(experiment, paper_ref, notes);
 }
 
 }  // namespace groupform::bench

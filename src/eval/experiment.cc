@@ -1,5 +1,7 @@
 #include "eval/experiment.h"
 
+#include <algorithm>
+#include <map>
 #include <utility>
 
 #include "common/stopwatch.h"
@@ -49,6 +51,46 @@ const char* AlgorithmKindToRegistryName(AlgorithmKind kind) {
   return "?";
 }
 
+std::string SolverDisplayLabel(const std::string& registry_name) {
+  // The inverse of AlgorithmKindToRegistryName over the enum's range,
+  // plus the registered-but-unlabelled "brute"; pinned against the enum by
+  // the registry-drift test so the two shims cannot diverge.
+  static const std::map<std::string, std::string> kLabels = {
+      {"greedy", "GRD"},       {"baseline", "Baseline"},
+      {"exact", "OPT"},        {"localsearch", "OPT*"},
+      {"sa", "SA"},            {"bnb", "BNB"},
+      {"veckmeans", "VecKMeans"}, {"brute", "Brute"},
+  };
+  const auto it = kLabels.find(registry_name);
+  return it == kLabels.end() ? registry_name : it->second;
+}
+
+std::vector<std::string> OrderSolversForDisplay(
+    std::vector<std::string> names) {
+  // The paper's column order (contribution, baselines, optimal
+  // references), then everything the paper never heard of alphabetically.
+  static const char* const kPaperOrder[] = {
+      "greedy", "baseline", "veckmeans", "localsearch",
+      "sa",     "exact",    "bnb",       "brute"};
+  std::vector<std::string> ordered;
+  ordered.reserve(names.size());
+  for (const char* known : kPaperOrder) {
+    for (const auto& name : names) {
+      if (name == known) ordered.push_back(name);
+    }
+  }
+  std::vector<std::string> rest;
+  for (const auto& name : names) {
+    if (std::find(std::begin(kPaperOrder), std::end(kPaperOrder), name) ==
+        std::end(kPaperOrder)) {
+      rest.push_back(name);
+    }
+  }
+  std::sort(rest.begin(), rest.end());
+  ordered.insert(ordered.end(), rest.begin(), rest.end());
+  return ordered;
+}
+
 common::StatusOr<RunOutcome> RunAlgorithmByName(
     const std::string& name, const core::FormationProblem& problem,
     std::uint64_t seed, const core::SolverOptions& options) {
@@ -62,13 +104,6 @@ common::StatusOr<RunOutcome> RunAlgorithmByName(
   outcome.result = std::move(result);
   outcome.seconds = stopwatch.ElapsedSeconds();
   return outcome;
-}
-
-common::StatusOr<RunOutcome> RunAlgorithm(
-    AlgorithmKind kind, const core::FormationProblem& problem,
-    std::uint64_t seed) {
-  return RunAlgorithmByName(AlgorithmKindToRegistryName(kind), problem,
-                            seed);
 }
 
 common::StatusOr<RepeatedOutcome> RunRepeated(
@@ -100,13 +135,6 @@ common::StatusOr<RepeatedOutcome> RunRepeated(
     out.last_result = std::move(outcomes.back()->result);
   }
   return out;
-}
-
-common::StatusOr<RepeatedOutcome> RunRepeated(
-    AlgorithmKind kind, const core::FormationProblem& problem,
-    int repetitions, std::uint64_t seed_base) {
-  return RunRepeated(AlgorithmKindToRegistryName(kind), problem,
-                     repetitions, seed_base);
 }
 
 }  // namespace groupform::eval

@@ -11,10 +11,12 @@
 namespace groupform::eval {
 
 /// The algorithm families the paper compares (§7 "Algorithms Compared").
-/// Dispatch goes through core::SolverRegistry — each kind maps to a
-/// registry name via AlgorithmKindToRegistryName, and RunAlgorithmByName
-/// accepts any registered solver, including ones this enum has never heard
-/// of. The enum survives as the paper-facing vocabulary for the benches.
+/// This enum is a paper-label shim ONLY: it exists so documentation, error
+/// messages, and the registry-drift tests can speak the paper's vocabulary
+/// ("GRD", "OPT*"). Nothing dispatches on it — eval, bench, tools, and
+/// tests all run solvers by registry name (RunAlgorithmByName /
+/// eval::RunSweep), so a newly registered solver is reachable everywhere
+/// without this enum ever learning about it.
 enum class AlgorithmKind {
   /// GRD-{LM,AV}-{MAX,MIN,SUM} — the paper's contribution.
   kGreedy,
@@ -35,10 +37,23 @@ enum class AlgorithmKind {
 /// The paper's display label: "GRD", "OPT", "OPT*", ...
 const char* AlgorithmKindToString(AlgorithmKind kind);
 
-/// The core::SolverRegistry name the kind dispatches to: "greedy",
-/// "exact", "localsearch", ... Tests pin that every kind resolves to a
-/// registered solver (no drift between the enum and the registry).
+/// The core::SolverRegistry name the kind labels: "greedy", "exact",
+/// "localsearch", ... Tests pin that every kind resolves to a registered
+/// solver (no drift between the enum and the registry).
 const char* AlgorithmKindToRegistryName(AlgorithmKind kind);
+
+/// The paper display label for a registry name ("greedy" -> "GRD",
+/// "localsearch" -> "OPT*"); names the paper never printed (including
+/// runtime-registered solvers) display as themselves. Inverse of
+/// AlgorithmKindToRegistryName over the enum's range, pinned by the
+/// registry-drift test.
+std::string SolverDisplayLabel(const std::string& registry_name);
+
+/// Canonical column order for sweeps and reports: the paper's families
+/// first (greedy, baseline, veckmeans, localsearch, sa, exact, bnb,
+/// brute), then any other names alphabetically. Duplicates are kept.
+std::vector<std::string> OrderSolversForDisplay(
+    std::vector<std::string> names);
 
 /// One algorithm execution: the solution plus its wall-clock cost.
 struct RunOutcome {
@@ -54,11 +69,6 @@ common::StatusOr<RunOutcome> RunAlgorithmByName(
     const std::string& name, const core::FormationProblem& problem,
     std::uint64_t seed = core::FormationSolver::kDefaultSeed,
     const core::SolverOptions& options = core::SolverOptions());
-
-/// Enum-keyed convenience over RunAlgorithmByName.
-common::StatusOr<RunOutcome> RunAlgorithm(
-    AlgorithmKind kind, const core::FormationProblem& problem,
-    std::uint64_t seed = core::FormationSolver::kDefaultSeed);
 
 /// Averages `repetitions` runs with distinct seeds (the paper reports
 /// every number as "the average of three runs"). Repetitions are
@@ -84,10 +94,6 @@ common::StatusOr<RepeatedOutcome> RunRepeated(
     int repetitions,
     std::uint64_t seed_base = core::FormationSolver::kDefaultSeed,
     const core::SolverOptions& options = core::SolverOptions());
-common::StatusOr<RepeatedOutcome> RunRepeated(
-    AlgorithmKind kind, const core::FormationProblem& problem,
-    int repetitions,
-    std::uint64_t seed_base = core::FormationSolver::kDefaultSeed);
 
 }  // namespace groupform::eval
 

@@ -1,12 +1,15 @@
-// Experiment dispatcher: every algorithm kind runs, is timed, and repeats
-// deterministically — and dispatch is pure registry lookup, so a solver
-// registered at runtime is reachable without touching eval/ or tools/.
+// Experiment dispatcher: every registered solver runs, is timed, and
+// repeats deterministically — dispatch is pure registry lookup (by name,
+// never by enum), so a solver registered at runtime is reachable without
+// touching eval/ or tools/. AlgorithmKind survives only as the
+// paper-label shim, pinned against the registry by the drift tests.
 #include <gtest/gtest.h>
 
 #include <algorithm>
 #include <memory>
 #include <set>
 #include <string>
+#include <vector>
 
 #include "core/solver_registry.h"
 #include "data/synthetic.h"
@@ -35,30 +38,31 @@ FormationProblem SmallProblem(const data::RatingMatrix& matrix) {
   return problem;
 }
 
-TEST(RunAlgorithm, EveryKindRunsOnASmallInstance) {
+TEST(RunAlgorithmByName, EveryRegisteredSolverRunsOnASmallInstance) {
+  // Registry-driven, not enum-driven: a solver registered tomorrow is
+  // covered here (and in every sweep) automatically.
+  solvers::EnsureBuiltinSolversRegistered();
   const auto matrix = data::GenerateUniformDense(
       10, 6, data::RatingScale{1.0, 5.0}, 31);
   const auto problem = SmallProblem(matrix);
-  for (const auto kind :
-       {AlgorithmKind::kGreedy, AlgorithmKind::kBaseline,
-        AlgorithmKind::kExactDp, AlgorithmKind::kLocalSearch,
-        AlgorithmKind::kSimulatedAnnealing, AlgorithmKind::kBranchAndBound,
-        AlgorithmKind::kVectorKMeans}) {
-    const auto outcome = eval::RunAlgorithm(kind, problem);
-    ASSERT_TRUE(outcome.ok()) << eval::AlgorithmKindToString(kind) << ": "
-                              << outcome.status();
+  const auto names = core::SolverRegistry::Global().Names();
+  ASSERT_FALSE(names.empty());
+  for (const auto& name : names) {
+    const auto outcome = eval::RunAlgorithmByName(name, problem);
+    ASSERT_TRUE(outcome.ok()) << name << ": " << outcome.status();
     EXPECT_GE(outcome->seconds, 0.0);
-    EXPECT_TRUE(core::ValidatePartition(problem, outcome->result).ok());
+    EXPECT_TRUE(core::ValidatePartition(problem, outcome->result).ok())
+        << name;
   }
 }
 
-TEST(RunAlgorithm, OptimalDominatesGreedyAndLocalSearch) {
+TEST(RunAlgorithmByName, OptimalDominatesGreedyAndLocalSearch) {
   const auto matrix = data::GenerateUniformDense(
       9, 5, data::RatingScale{1.0, 5.0}, 37);
   const auto problem = SmallProblem(matrix);
-  const auto grd = eval::RunAlgorithm(AlgorithmKind::kGreedy, problem);
-  const auto ls = eval::RunAlgorithm(AlgorithmKind::kLocalSearch, problem);
-  const auto opt = eval::RunAlgorithm(AlgorithmKind::kExactDp, problem);
+  const auto grd = eval::RunAlgorithmByName("greedy", problem);
+  const auto ls = eval::RunAlgorithmByName("localsearch", problem);
+  const auto opt = eval::RunAlgorithmByName("exact", problem);
   ASSERT_TRUE(grd.ok());
   ASSERT_TRUE(ls.ok());
   ASSERT_TRUE(opt.ok());
@@ -71,11 +75,10 @@ TEST(RunRepeated, AveragesOverRepetitions) {
   const auto matrix = data::GenerateUniformDense(
       12, 6, data::RatingScale{1.0, 5.0}, 41);
   const auto problem = SmallProblem(matrix);
-  const auto repeated =
-      eval::RunRepeated(AlgorithmKind::kGreedy, problem, 3);
+  const auto repeated = eval::RunRepeated("greedy", problem, 3);
   ASSERT_TRUE(repeated.ok());
   // Greedy is deterministic, so the mean equals any single run.
-  const auto single = eval::RunAlgorithm(AlgorithmKind::kGreedy, problem);
+  const auto single = eval::RunAlgorithmByName("greedy", problem);
   ASSERT_TRUE(single.ok());
   EXPECT_DOUBLE_EQ(repeated->mean_objective, single->result.objective);
   EXPECT_GT(repeated->mean_seconds, 0.0);
@@ -100,7 +103,7 @@ TEST(AlgorithmKindToString, Names) {
 
 TEST(SolverRegistryCoverage, EveryAlgorithmKindResolvesToARegisteredSolver) {
   // Pins the enum and the registry together: a kind whose registry name is
-  // missing would silently drift the CLI and the harness apart.
+  // missing would silently drift the paper labels from the solver set.
   solvers::EnsureBuiltinSolversRegistered();
   const auto& registry = core::SolverRegistry::Global();
   for (const auto kind : kAllKinds) {
@@ -109,6 +112,27 @@ TEST(SolverRegistryCoverage, EveryAlgorithmKindResolvesToARegisteredSolver) {
         << eval::AlgorithmKindToString(kind) << " maps to unregistered '"
         << name << "'";
   }
+}
+
+TEST(SolverRegistryCoverage, DisplayLabelsMatchThePaperVocabulary) {
+  // SolverDisplayLabel is the inverse of AlgorithmKindToRegistryName over
+  // the enum's range: the sweep columns must read exactly like the paper.
+  for (const auto kind : kAllKinds) {
+    EXPECT_EQ(
+        eval::SolverDisplayLabel(eval::AlgorithmKindToRegistryName(kind)),
+        eval::AlgorithmKindToString(kind))
+        << eval::AlgorithmKindToString(kind);
+  }
+  // Unknown names display as themselves (runtime-registered solvers).
+  EXPECT_EQ(eval::SolverDisplayLabel("my-new-solver"), "my-new-solver");
+}
+
+TEST(SolverRegistryCoverage, DisplayOrderIsPaperFirstThenAlphabetical) {
+  const auto ordered = eval::OrderSolversForDisplay(
+      {"zeta-solver", "localsearch", "greedy", "alpha-solver", "baseline"});
+  const std::vector<std::string> expected = {
+      "greedy", "baseline", "localsearch", "alpha-solver", "zeta-solver"};
+  EXPECT_EQ(ordered, expected);
 }
 
 TEST(SolverRegistryCoverage, RegistryNamesAreUniquePerKind) {
@@ -218,22 +242,22 @@ TEST(RunAlgorithmByName, SolverOptionsReachTheFactory) {
             common::StatusCode::kResourceExhausted);
 }
 
-TEST(RunAlgorithm, SolverLadderOrdersAsExpected) {
+TEST(RunAlgorithmByName, SolverLadderOrdersAsExpected) {
   // On a small instance the quality ladder must hold: exact solvers at the
   // top, refiners at least at the greedy seed.
   const auto matrix = data::GenerateUniformDense(
       10, 5, data::RatingScale{1.0, 5.0}, 43);
   const auto problem = SmallProblem(matrix);
-  const auto value = [&](AlgorithmKind kind) {
-    const auto outcome = eval::RunAlgorithm(kind, problem);
-    EXPECT_TRUE(outcome.ok()) << eval::AlgorithmKindToString(kind);
+  const auto value = [&](const std::string& name) {
+    const auto outcome = eval::RunAlgorithmByName(name, problem);
+    EXPECT_TRUE(outcome.ok()) << name;
     return outcome.ok() ? outcome->result.objective : -1.0;
   };
-  const double grd = value(AlgorithmKind::kGreedy);
-  const double opt = value(AlgorithmKind::kExactDp);
-  const double bnb = value(AlgorithmKind::kBranchAndBound);
-  const double ls = value(AlgorithmKind::kLocalSearch);
-  const double sa = value(AlgorithmKind::kSimulatedAnnealing);
+  const double grd = value("greedy");
+  const double opt = value("exact");
+  const double bnb = value("bnb");
+  const double ls = value("localsearch");
+  const double sa = value("sa");
   EXPECT_NEAR(bnb, opt, 1e-9);
   EXPECT_GE(ls, grd - 1e-9);
   EXPECT_GE(sa, grd - 1e-9);

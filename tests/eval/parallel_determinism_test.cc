@@ -18,7 +18,6 @@ namespace {
 
 using core::FormationProblem;
 using core::FormationResult;
-using eval::AlgorithmKind;
 
 FormationProblem Problem(const data::RatingMatrix& matrix) {
   FormationProblem problem;
@@ -112,19 +111,18 @@ TEST_F(ParallelDeterminismTest, RunRepeatedIdenticalAcrossThreadCounts) {
   const auto matrix = data::GenerateLatentFactor(
       data::MovieLensLikeConfig(40, 30, /*seed=*/9));
   const auto problem = Problem(matrix);
-  // One deterministic solver, one seeded refiner, one seeded baseline.
-  for (const auto kind :
-       {AlgorithmKind::kGreedy, AlgorithmKind::kLocalSearch,
-        AlgorithmKind::kVectorKMeans}) {
+  // One deterministic solver, one seeded refiner, one seeded baseline —
+  // dispatched by registry name, like every production surface.
+  for (const std::string name : {"greedy", "localsearch", "veckmeans"}) {
     common::ThreadPool::SetDefaultThreadCount(1);
-    const auto serial = eval::RunRepeated(kind, problem, 4);
+    const auto serial = eval::RunRepeated(name, problem, 4);
     ASSERT_TRUE(serial.ok()) << serial.status();
     for (const int threads : {2, 8}) {
       common::ThreadPool::SetDefaultThreadCount(threads);
-      const auto parallel = eval::RunRepeated(kind, problem, 4);
+      const auto parallel = eval::RunRepeated(name, problem, 4);
       ASSERT_TRUE(parallel.ok()) << parallel.status();
       EXPECT_EQ(parallel->mean_objective, serial->mean_objective)
-          << eval::AlgorithmKindToString(kind) << " threads=" << threads;
+          << name << " threads=" << threads;
       ExpectIdenticalResults(parallel->last_result, serial->last_result);
     }
   }
@@ -137,14 +135,13 @@ TEST_F(ParallelDeterminismTest,
   const auto matrix = data::GenerateLatentFactor(
       data::MovieLensLikeConfig(50, 30, /*seed=*/21));
   const auto problem = Problem(matrix);
-  for (const auto kind :
-       {AlgorithmKind::kBaseline, AlgorithmKind::kLocalSearch,
-        AlgorithmKind::kSimulatedAnnealing}) {
+  for (const std::string name : {"baseline", "localsearch", "sa"}) {
     common::ThreadPool::SetDefaultThreadCount(1);
-    const auto serial = eval::RunAlgorithm(kind, problem, /*seed=*/77);
+    const auto serial = eval::RunAlgorithmByName(name, problem, /*seed=*/77);
     ASSERT_TRUE(serial.ok()) << serial.status();
     common::ThreadPool::SetDefaultThreadCount(8);
-    const auto parallel = eval::RunAlgorithm(kind, problem, /*seed=*/77);
+    const auto parallel =
+        eval::RunAlgorithmByName(name, problem, /*seed=*/77);
     ASSERT_TRUE(parallel.ok()) << parallel.status();
     ExpectIdenticalResults(parallel->result, serial->result);
   }

@@ -4,6 +4,15 @@
 //   groupform_cli --input ratings.csv --k 5 --groups 10 --output groups.csv
 //   groupform_cli --synthetic yahoo --users 2000 --algorithm localsearch
 //   groupform_cli --synthetic yahoo --emit-lp model.lp
+//   groupform_cli sweep fig1 --solvers greedy,localsearch --json-dir out/
+//
+// Subcommands:
+//   sweep [SUITE|all]   run the paper's evaluation sweeps (the same
+//                       eval::SweepSpecs the bench binaries execute);
+//                       no SUITE lists the available suites.
+//       --solvers A,B   restrict registry-driven sweeps to these solvers
+//                       (same effect as GF_SOLVERS)
+//       --json-dir DIR  write BENCH_<suite>.json there (sets GF_BENCH_JSON)
 //
 // Flags:
 //   --input PATH        user,item,rating CSV (ids re-indexed densely)
@@ -26,8 +35,12 @@
 //   --candidate-depth D residual candidate truncation (0 = full catalogue)
 //   --output PATH       write "group,user" CSV of the partition
 //   --emit-lp PATH      also write the Appendix-A IP in LP format
+#include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "common/csv.h"
 #include "common/flags.h"
@@ -40,6 +53,8 @@
 #include "data/loaders.h"
 #include "data/synthetic.h"
 #include "eval/metrics.h"
+#include "eval/paper_sweeps.h"
+#include "eval/sweep.h"
 #include "eval/weighted_objective.h"
 #include "exact/ip_model.h"
 #include "grouprec/semantics.h"
@@ -147,10 +162,56 @@ common::StatusOr<core::FormationResult> RunChosen(
       flags.GetInt("algo-seed", core::FormationSolver::kDefaultSeed)));
 }
 
+/// The `sweep` subcommand: run the shared paper sweep suites
+/// (eval/paper_sweeps.h) from the CLI — identical specs, tables, JSON,
+/// and exit-code discipline as the bench binaries.
+int RunSweepCommand(const common::FlagParser& flags) {
+  if (flags.Has("solvers")) {
+    std::vector<std::string> names;
+    for (const auto& piece :
+         common::Split(flags.GetString("solvers", ""), ',')) {
+      const auto trimmed = common::Trim(piece);
+      if (!trimmed.empty()) names.emplace_back(trimmed);
+    }
+    eval::SetSweepSolverFilter(std::move(names));
+  }
+  if (flags.Has("json-dir")) {
+    setenv("GF_BENCH_JSON", flags.GetString("json-dir", "").c_str(),
+           /*overwrite=*/1);
+  }
+  const auto& positional = flags.positional();
+  if (positional.size() < 2) {
+    // Listing the suites is the documented behavior of a bare `sweep`,
+    // not a usage error.
+    std::printf(
+        "usage: groupform_cli sweep SUITE|all [--solvers A,B] "
+        "[--json-dir DIR]\n\navailable suites:\n");
+    for (const auto& name : eval::PaperSuiteNames()) {
+      const auto suite = eval::MakePaperSuite(name);
+      std::printf("  %-10s %s\n", name.c_str(),
+                  suite.ok() ? suite->title.c_str() : "");
+    }
+    return 0;
+  }
+  const std::string& choice = positional[1];
+  if (choice == "all") {
+    int exit_code = 0;
+    for (const auto& name : eval::PaperSuiteNames()) {
+      exit_code = std::max(exit_code, eval::RunPaperSuiteMain(name));
+      std::printf("\n");
+    }
+    return exit_code;
+  }
+  return eval::RunPaperSuiteMain(choice);
+}
+
 void PrintHelp() {
   std::printf(
       "groupform_cli — recommendation-aware group formation "
       "(RoyLL15, SIGMOD'15)\n\n"
+      "subcommand: sweep SUITE|all     reproduce the paper's evaluation\n"
+      "            (--solvers A,B --json-dir DIR; `sweep` alone lists "
+      "suites)\n\n"
       "data:      --input ratings.csv | --movielens ratings.dat |\n"
       "           --synthetic yahoo|movielens --users N --items M --seed S\n"
       "problem:   --semantics lm|av --aggregation max|min|sum --k N\n"
@@ -187,6 +248,9 @@ int RealMain(int argc, char** argv) {
       return 2;
     }
     common::ThreadPool::SetDefaultThreadCount(static_cast<int>(*threads));
+  }
+  if (!flags.positional().empty() && flags.positional()[0] == "sweep") {
+    return RunSweepCommand(flags);
   }
 
   const auto matrix = LoadData(flags);

@@ -1,0 +1,113 @@
+#!/usr/bin/env python3
+"""Validates the BENCH_*.json documents the benches emit (DESIGN.md §11.3).
+
+Usage: validate_bench_json.py DIR [--require-solvers NAME,NAME,...]
+
+Checks, for every BENCH_*.json in DIR:
+  * the document parses as JSON and carries the groupform.bench/1 schema;
+  * the envelope's "registry" lists at least the required solver set
+    (default: the eight built-ins), i.e. the build under test can still
+    run every paper algorithm;
+  * each "sweeps" entry (when present) has series and cells, every cell
+    state is OK/DNF/ERR, and no sweep reports ERR cells while the
+    document claims all_ok.
+
+Exit code 0 when every file validates, 1 otherwise. CI smoke-runs one
+tiny sweep per bench category and gates on this script.
+"""
+
+import argparse
+import json
+import pathlib
+import sys
+
+BUILTIN_SOLVERS = [
+    "baseline",
+    "bnb",
+    "brute",
+    "exact",
+    "greedy",
+    "localsearch",
+    "sa",
+    "veckmeans",
+]
+
+
+def fail(path, message):
+    print(f"FAIL {path}: {message}")
+    return False
+
+
+def validate_sweep(path, sweep):
+    ok = True
+    name = sweep.get("sweep", "<unnamed>")
+    if sweep.get("schema") != "groupform.sweep/1":
+        ok = fail(path, f"sweep {name}: bad schema {sweep.get('schema')!r}")
+    if not sweep.get("series"):
+        ok = fail(path, f"sweep {name}: no series")
+    if not sweep.get("cells"):
+        ok = fail(path, f"sweep {name}: no cells")
+    expected = len(sweep.get("series", [])) * len(sweep.get("xs", []))
+    if expected and len(sweep.get("cells", [])) != expected:
+        ok = fail(
+            path,
+            f"sweep {name}: {len(sweep['cells'])} cells, expected {expected}",
+        )
+    for cell in sweep.get("cells", []):
+        state = cell.get("state")
+        if state not in ("OK", "DNF", "ERR"):
+            ok = fail(path, f"sweep {name}: bad cell state {state!r}")
+        if state == "OK" and "objective" not in cell:
+            ok = fail(path, f"sweep {name}: OK cell without objective")
+    return ok
+
+
+def validate_file(path, required_solvers):
+    try:
+        doc = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError) as error:
+        return fail(path, f"does not parse: {error}")
+    ok = True
+    if doc.get("schema") != "groupform.bench/1":
+        ok = fail(path, f"bad schema {doc.get('schema')!r}")
+    registry = doc.get("registry", [])
+    missing = sorted(set(required_solvers) - set(registry))
+    if missing:
+        ok = fail(path, f"registry is missing solvers: {', '.join(missing)}")
+    sweeps = doc.get("sweeps", [])
+    for sweep in sweeps:
+        ok = validate_sweep(path, sweep) and ok
+    if sweeps and doc.get("all_ok") and any(
+        cell.get("state") == "ERR"
+        for sweep in sweeps
+        for cell in sweep.get("cells", [])
+    ):
+        ok = fail(path, "all_ok is true but ERR cells exist")
+    if ok:
+        kind = f"{len(sweeps)} sweeps" if sweeps else "envelope"
+        print(f"ok   {path} ({kind}, registry of {len(registry)})")
+    return ok
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("directory", type=pathlib.Path)
+    parser.add_argument(
+        "--require-solvers",
+        default=",".join(BUILTIN_SOLVERS),
+        help="comma-separated solver names the registry must contain",
+    )
+    args = parser.parse_args()
+    required = [s for s in args.require_solvers.split(",") if s]
+    files = sorted(args.directory.glob("BENCH_*.json"))
+    if not files:
+        print(f"FAIL {args.directory}: no BENCH_*.json files found")
+        return 1
+    ok = True
+    for path in files:
+        ok = validate_file(path, required) and ok
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())
