@@ -65,17 +65,63 @@ void ThreadPool::WorkerLoop() {
   std::uint64_t last_seq = 0;
   for (;;) {
     std::shared_ptr<Job> job;
+    std::packaged_task<void()> task;
     {
       std::unique_lock<std::mutex> lock(mu_);
       work_cv_.wait(lock, [&] {
-        return stop_ || (job_ != nullptr && job_seq_ != last_seq);
+        return stop_ || !tasks_.empty() ||
+               (job_ != nullptr && job_seq_ != last_seq);
       });
-      if (stop_) return;
-      job = job_;
-      last_seq = job_seq_;
+      // ParallelFor shards before queued jobs: a blocked ParallelFor
+      // caller is latency-sensitive, a Submit caller holds a future.
+      if (job_ != nullptr && job_seq_ != last_seq) {
+        job = job_;
+        last_seq = job_seq_;
+      } else if (!tasks_.empty()) {
+        task = std::move(tasks_.front());
+        tasks_.pop_front();
+      } else {
+        // stop_ set and no queued work left (jobs queued before
+        // destruction have all drained).
+        return;
+      }
     }
-    RunShard(*job);
+    if (job != nullptr) {
+      RunShard(*job);
+    } else {
+      RunTask(task);
+    }
   }
+}
+
+void ThreadPool::RunTask(std::packaged_task<void()>& task) {
+  // A job is a leaf of the parallel region: nested ParallelFor runs
+  // serially and nested Submit runs inline, so one job can never block on
+  // the pool it occupies.
+  const bool was_in_region = tls_in_parallel_region;
+  tls_in_parallel_region = true;
+  task();  // packaged_task routes exceptions into the future
+  tls_in_parallel_region = was_in_region;
+}
+
+std::future<void> ThreadPool::Submit(std::function<void()> job) {
+  std::packaged_task<void()> task(std::move(job));
+  std::future<void> future = task.get_future();
+  bool inline_run = num_threads_ == 1 || tls_in_parallel_region;
+  if (!inline_run) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stop_) {
+      inline_run = true;  // destruction has begun; degrade gracefully
+    } else {
+      tasks_.push_back(std::move(task));
+    }
+  }
+  if (inline_run) {
+    RunTask(task);
+  } else {
+    work_cv_.notify_one();
+  }
+  return future;
 }
 
 void ThreadPool::RunShard(Job& job) {

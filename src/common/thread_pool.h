@@ -3,7 +3,9 @@
 
 #include <condition_variable>
 #include <cstdint>
+#include <deque>
 #include <functional>
+#include <future>
 #include <memory>
 #include <mutex>
 #include <thread>
@@ -72,6 +74,27 @@ class ThreadPool {
   void ParallelFor(std::int64_t n, std::int64_t grain,
                    const std::function<void(std::int64_t)>& body);
 
+  /// Enqueues one independent job — the serving front-end's unit of work —
+  /// and returns immediately; the future resolves when the job has run (it
+  /// rethrows anything the job threw). Jobs run FIFO on the pool's workers,
+  /// interleaved with ParallelFor shards; a ParallelFor issued while jobs
+  /// are queued simply finds fewer idle workers and contributes more from
+  /// the calling thread.
+  ///
+  /// Serial degeneration, mirroring ParallelFor: a pool of one thread has
+  /// no workers, so Submit runs the job inline on the calling thread before
+  /// returning — "threads = 1" stays the plain sequential path. Likewise a
+  /// Submit issued from inside a pool thread (a job or a ParallelFor body)
+  /// runs inline, so jobs that submit jobs cannot deadlock on their own
+  /// pool. Inside a job, nested ParallelFor degrades to serial exactly as
+  /// it does inside a ParallelFor body: one job's work never fans out over
+  /// the pool, concurrency comes from running many jobs at once.
+  ///
+  /// Destruction drains the queue: workers finish every job accepted
+  /// before ~ThreadPool began (do not Submit concurrently with
+  /// destruction).
+  std::future<void> Submit(std::function<void()> job);
+
   /// The thread count new Shared() pools are built with: the last value
   /// passed to SetDefaultThreadCount if positive, else the GF_THREADS
   /// environment variable if set to a positive integer, else
@@ -97,6 +120,8 @@ class ThreadPool {
   void WorkerLoop();
   /// Claims and runs chunks of `job` until exhausted or failed.
   void RunShard(Job& job);
+  /// Runs one Submit job with the nested-parallelism guard set.
+  void RunTask(std::packaged_task<void()>& task);
 
   const int num_threads_;
   std::vector<std::thread> workers_;
@@ -104,12 +129,14 @@ class ThreadPool {
   /// Serializes concurrent top-level ParallelFor callers.
   std::mutex submit_mu_;
 
-  /// Guards job_, job_seq_, stop_, and Job::error.
+  /// Guards job_, job_seq_, tasks_, stop_, and Job::error.
   std::mutex mu_;
   std::condition_variable work_cv_;
   std::condition_variable done_cv_;
   std::shared_ptr<Job> job_;
   std::uint64_t job_seq_ = 0;
+  /// FIFO queue of Submit jobs awaiting a worker.
+  std::deque<std::packaged_task<void()>> tasks_;
   bool stop_ = false;
 };
 

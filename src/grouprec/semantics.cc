@@ -24,4 +24,30 @@ const char* AggregationToString(Aggregation aggregation) {
   return "?";
 }
 
+common::StatusOr<Semantics> SemanticsFromToken(const std::string& token) {
+  if (token == "lm") return Semantics::kLeastMisery;
+  if (token == "av") return Semantics::kAggregateVoting;
+  return common::Status::InvalidArgument(
+      "unknown semantics \"" + token + "\" (expected lm or av)");
+}
+
+common::StatusOr<Aggregation> AggregationFromToken(
+    const std::string& token) {
+  if (token == "max") return Aggregation::kMax;
+  if (token == "min") return Aggregation::kMin;
+  if (token == "sum") return Aggregation::kSum;
+  return common::Status::InvalidArgument(
+      "unknown aggregation \"" + token + "\" (expected max, min, or sum)");
+}
+
+common::StatusOr<MissingRatingPolicy> MissingPolicyFromToken(
+    const std::string& token) {
+  if (token == "rmin") return MissingRatingPolicy::kScaleMin;
+  if (token == "zero") return MissingRatingPolicy::kZero;
+  if (token == "skip") return MissingRatingPolicy::kSkipUser;
+  return common::Status::InvalidArgument(
+      "unknown missing-rating policy \"" + token +
+      "\" (expected rmin, zero, or skip)");
+}
+
 }  // namespace groupform::grouprec

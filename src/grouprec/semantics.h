@@ -1,6 +1,10 @@
 #ifndef GROUPFORM_GROUPREC_SEMANTICS_H_
 #define GROUPFORM_GROUPREC_SEMANTICS_H_
 
+#include <string>
+
+#include "common/status.h"
+
 namespace groupform::grouprec {
 
 /// Group recommendation semantics (§2.2): how a single item's group score
@@ -39,6 +43,17 @@ enum class MissingRatingPolicy {
 
 const char* SemanticsToString(Semantics semantics);
 const char* AggregationToString(Aggregation aggregation);
+
+/// The user-facing token vocabulary shared by the CLI flags
+/// (--semantics/--aggregation/--missing) and the wire protocol's
+/// "problem" object (docs/PROTOCOL.md) — one mapping, every surface.
+/// INVALID_ARGUMENT (naming the token and the domain) on anything else.
+common::StatusOr<Semantics> SemanticsFromToken(
+    const std::string& token);  // "lm" | "av"
+common::StatusOr<Aggregation> AggregationFromToken(
+    const std::string& token);  // "max" | "min" | "sum"
+common::StatusOr<MissingRatingPolicy> MissingPolicyFromToken(
+    const std::string& token);  // "rmin" | "zero" | "skip"
 
 }  // namespace groupform::grouprec
 

@@ -1,0 +1,115 @@
+#include "serve/instance_cache.h"
+
+#include <utility>
+
+#include "data/loaders.h"
+#include "data/synthetic.h"
+
+namespace groupform::serve {
+
+common::StatusOr<data::RatingMatrix> BuildInstance(
+    const InstanceSpec& spec) {
+  if (spec.kind == "csv") {
+    data::LoaderOptions options;
+    return data::LoadTripletFile(spec.path, options);
+  }
+  if (spec.kind == "movielens") {
+    return data::LoadMovieLens(spec.path);
+  }
+  if (spec.kind == "synthetic") {
+    const data::SyntheticConfig config =
+        spec.preset == "movielens"
+            ? data::MovieLensLikeConfig(spec.users, spec.items, spec.seed)
+            : data::YahooMusicLikeConfig(spec.users, spec.items, spec.seed);
+    return data::GenerateLatentFactor(config);
+  }
+  if (spec.kind == "dense") {
+    return data::GenerateClusteredDense(spec.users, spec.items,
+                                        spec.clusters, spec.seed);
+  }
+  if (spec.kind == "inline") {
+    data::RatingScale scale;
+    scale.min = spec.scale_min;
+    scale.max = spec.scale_max;
+    data::RatingMatrixBuilder builder(spec.users, spec.items, scale);
+    for (const InstanceSpec::Triplet& triplet : spec.ratings) {
+      GF_RETURN_IF_ERROR(
+          builder.AddRating(triplet.user, triplet.item, triplet.rating));
+    }
+    return std::move(builder).Build();
+  }
+  return common::Status::InvalidArgument("unknown instance kind \"" +
+                                         spec.kind + "\"");
+}
+
+std::int64_t ApproximateMatrixBytes(const data::RatingMatrix& matrix) {
+  return matrix.num_ratings() *
+             static_cast<std::int64_t>(sizeof(data::RatingEntry)) +
+         (static_cast<std::int64_t>(matrix.num_users()) + 1) *
+             static_cast<std::int64_t>(sizeof(std::size_t));
+}
+
+InstanceCache::InstanceCache(std::int64_t capacity_bytes)
+    : capacity_bytes_(capacity_bytes) {}
+
+common::StatusOr<std::shared_ptr<const data::RatingMatrix>>
+InstanceCache::Get(const InstanceSpec& spec) {
+  const std::string key = spec.CanonicalKey();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = index_.find(key);
+    if (it != index_.end()) {
+      // Refresh recency: splice the entry to the front of the LRU list.
+      lru_.splice(lru_.begin(), lru_, it->second);
+      ++stats_.hits;
+      return it->second->matrix;
+    }
+  }
+  // Load outside the lock so a slow file load or large generation does not
+  // stall concurrent requests for already-cached instances. Two racing
+  // first requests may both build the matrix; the loser's copy is dropped.
+  GF_ASSIGN_OR_RETURN(data::RatingMatrix built, BuildInstance(spec));
+  auto matrix =
+      std::make_shared<const data::RatingMatrix>(std::move(built));
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = index_.find(key);
+  if (it != index_.end()) {
+    lru_.splice(lru_.begin(), lru_, it->second);
+    ++stats_.hits;
+    return it->second->matrix;
+  }
+  Entry entry;
+  entry.key = key;
+  entry.matrix = matrix;
+  entry.bytes = ApproximateMatrixBytes(*matrix);
+  lru_.push_front(std::move(entry));
+  index_[key] = lru_.begin();
+  stats_.bytes += lru_.front().bytes;
+  ++stats_.misses;
+  EvictLocked();
+  return matrix;
+}
+
+void InstanceCache::EvictLocked() {
+  if (capacity_bytes_ <= 0) return;
+  auto it = lru_.end();
+  while (stats_.bytes > capacity_bytes_ && it != lru_.begin()) {
+    --it;
+    // Pinned entries (a request still holds the matrix) are skipped; the
+    // cache's own reference is the 1 in the comparison.
+    if (it->matrix.use_count() > 1) continue;
+    stats_.bytes -= it->bytes;
+    ++stats_.evictions;
+    index_.erase(it->key);
+    it = lru_.erase(it);
+  }
+}
+
+InstanceCache::Stats InstanceCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Stats stats = stats_;
+  stats.entries = static_cast<int>(lru_.size());
+  return stats;
+}
+
+}  // namespace groupform::serve

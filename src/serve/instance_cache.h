@@ -1,0 +1,87 @@
+#ifndef GROUPFORM_SERVE_INSTANCE_CACHE_H_
+#define GROUPFORM_SERVE_INSTANCE_CACHE_H_
+
+// The piece of the serving layer the CLI fundamentally cannot provide: a
+// process-lifetime, LRU-bounded cache of loaded rating matrices keyed by
+// InstanceSpec::CanonicalKey, so thousands of requests naming the same
+// dataset share one load/generation instead of re-paying it per request
+// (DESIGN.md §12.3).
+
+#include <cstdint>
+#include <list>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "common/status.h"
+#include "data/rating_matrix.h"
+#include "serve/protocol.h"
+
+namespace groupform::serve {
+
+/// Loads or generates the matrix `spec` describes, with no caching.
+/// INVALID_ARGUMENT for malformed inline ratings or an unknown kind,
+/// NOT_FOUND (from the loaders) for a missing file.
+common::StatusOr<data::RatingMatrix> BuildInstance(const InstanceSpec& spec);
+
+/// Thread-safe LRU cache of loaded instances.
+///
+/// Eviction contract (DESIGN.md §12.3): entries are charged their
+/// approximate in-memory size (CSR entries + row offsets); when the total
+/// exceeds the byte budget, least-recently-used entries are dropped —
+/// except *pinned* entries, i.e. matrices currently referenced by an
+/// in-flight request (observable as shared_ptr use_count > 1), which are
+/// never evicted; the budget is therefore a soft limit while requests
+/// hold large instances. A single instance larger than the whole budget
+/// is admitted (and evicted as soon as it is both unpinned and LRU).
+class InstanceCache {
+ public:
+  /// `capacity_bytes` <= 0 means unlimited.
+  explicit InstanceCache(std::int64_t capacity_bytes);
+
+  /// The cached matrix for `spec`, loading it on first use. A cache hit
+  /// refreshes the entry's recency. The returned shared_ptr pins the
+  /// entry for as long as the caller holds it.
+  common::StatusOr<std::shared_ptr<const data::RatingMatrix>> Get(
+      const InstanceSpec& spec);
+
+  /// Observability counters; hits + misses = completed Get calls
+  /// (failed loads count as neither).
+  struct Stats {
+    long long hits = 0;
+    long long misses = 0;
+    long long evictions = 0;
+    std::int64_t bytes = 0;
+    int entries = 0;
+  };
+  Stats stats() const;
+
+  std::int64_t capacity_bytes() const { return capacity_bytes_; }
+
+ private:
+  struct Entry {
+    std::string key;
+    std::shared_ptr<const data::RatingMatrix> matrix;
+    std::int64_t bytes = 0;
+  };
+
+  /// Drops unpinned LRU entries until within budget. Caller holds mu_.
+  void EvictLocked();
+
+  const std::int64_t capacity_bytes_;
+
+  mutable std::mutex mu_;
+  /// Front = most recently used.
+  std::list<Entry> lru_;
+  std::map<std::string, std::list<Entry>::iterator> index_;
+  Stats stats_;
+};
+
+/// Approximate heap footprint of a loaded matrix: CSR entries plus row
+/// offsets. The cache charges entries with this size.
+std::int64_t ApproximateMatrixBytes(const data::RatingMatrix& matrix);
+
+}  // namespace groupform::serve
+
+#endif  // GROUPFORM_SERVE_INSTANCE_CACHE_H_

@@ -1,0 +1,155 @@
+#ifndef GROUPFORM_SERVE_PROTOCOL_H_
+#define GROUPFORM_SERVE_PROTOCOL_H_
+
+// The groupform wire protocol (docs/PROTOCOL.md, DESIGN.md §12): one
+// newline-delimited JSON request per line in, one JSON response line out,
+// in request order. `groupform.request/1` names a registry solver, an
+// instance (inline ratings, a synthetic generator, or a file ref — the
+// serving layer caches instances by their canonical key), the problem
+// knobs the CLI exposes, and the execution envelope (seed, deadline_ms,
+// user_cap). `groupform.response/1` mirrors the sweep engine's cell
+// states: OK with objective/metrics/groups, DNF for work declined or
+// abandoned by policy, ERR(<code>) for real failures.
+//
+// Canonical form: RenderRequest/RenderResponse emit every field in a
+// fixed order with the library's number formatting, so parse ∘ render is
+// the identity on rendered lines and byte-level golden diffs are
+// meaningful.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+#include "core/solver.h"
+#include "eval/sweep.h"
+
+namespace groupform::serve {
+
+inline constexpr char kRequestSchema[] = "groupform.request/1";
+inline constexpr char kResponseSchema[] = "groupform.response/1";
+
+/// Where a request's rating matrix comes from. The spec's canonical key
+/// (CanonicalKey) identifies the instance in the serving layer's cache, so
+/// thousands of requests naming the same spec share one loaded matrix.
+struct InstanceSpec {
+  /// "inline" | "synthetic" | "dense" | "csv" | "movielens".
+  std::string kind;
+
+  /// synthetic: generator preset, "yahoo" or "movielens".
+  std::string preset = "yahoo";
+  /// synthetic / dense / inline: population shape.
+  std::int32_t users = 0;
+  std::int32_t items = 0;
+  /// dense: number of taste clusters.
+  int clusters = 4;
+  /// synthetic / dense: generator seed (independent of the solver seed).
+  std::uint64_t seed = 42;
+
+  /// csv / movielens: server-side path to the ratings file.
+  std::string path;
+
+  /// inline: explicit (user, item, rating) observations.
+  struct Triplet {
+    UserId user = 0;
+    ItemId item = 0;
+    Rating rating = 0.0;
+  };
+  std::vector<Triplet> ratings;
+  /// inline: rating scale bounds.
+  double scale_min = 1.0;
+  double scale_max = 5.0;
+
+  /// Deterministic cache key: equal specs collapse to one cache entry.
+  /// Inline instances key on a content hash, file refs on the path (the
+  /// cache trusts files not to change under a running server).
+  std::string CanonicalKey() const;
+};
+
+/// The problem knobs of the CLI, by the same names and defaults.
+struct ProblemSpec {
+  std::string semantics = "lm";     // lm | av
+  std::string aggregation = "min";  // max | min | sum
+  std::string missing = "rmin";     // rmin | zero | skip
+  int k = 5;
+  int groups = 10;
+  int candidate_depth = 0;
+};
+
+/// One parsed `groupform.request/1`.
+struct Request {
+  /// Client-chosen correlation id, echoed verbatim in the response.
+  std::string id;
+  /// core::SolverRegistry name; unknown names answer ERR(NOT_FOUND).
+  std::string solver;
+  /// Solver factory overrides; validated by the factory's GetChecked*
+  /// getters exactly as the CLI's --solver-opt values are.
+  core::SolverOptions options;
+  InstanceSpec instance;
+  ProblemSpec problem;
+  /// Solver seed (the CLI's --algo-seed).
+  std::uint64_t seed = core::FormationSolver::kDefaultSeed;
+  /// Wall-clock budget from receipt to completion; 0 = none. Expiry maps
+  /// to DNF (DESIGN.md §12) — and is the one wall-clock-dependent path of
+  /// the protocol, see the determinism caveat there.
+  std::int64_t deadline_ms = 0;
+  /// Instance-size budget, the sweep engine's cap semantics: a loaded
+  /// instance with more users answers DNF without running. 0 = unlimited.
+  std::int64_t user_cap = 0;
+  /// Include the full partition (array of member arrays) in the response.
+  bool include_groups = false;
+  /// Include wall-clock seconds in the response. Off by default so
+  /// responses stay byte-identical at every thread count.
+  bool record_seconds = false;
+};
+
+/// Parses one request line. INVALID_ARGUMENT on malformed JSON, a missing
+/// or wrong "schema", a missing "solver"/"instance", or out-of-domain
+/// field values; unknown object keys are ignored (forward compatibility).
+common::StatusOr<Request> ParseRequestLine(const std::string& line);
+
+/// The canonical one-line rendering (no trailing newline): every field
+/// explicit, fixed order, options sorted by key. ParseRequestLine is its
+/// exact inverse.
+std::string RenderRequest(const Request& request);
+
+/// The evaluation metrics reported with every OK response (eval/metrics.h).
+struct ResponseMetrics {
+  double avg_group_satisfaction = 0.0;
+  double mean_user_rating = 0.0;
+  double mean_user_ndcg = 0.0;
+  double fully_satisfied = 0.0;
+};
+
+/// One `groupform.response/1`. The state vocabulary is the sweep engine's
+/// (eval::SweepCellState): OK, DNF (expected omission — deadline, cap, or
+/// the solver's own RESOURCE_EXHAUSTED budget), ERR (real failure).
+struct Response {
+  std::string id;
+  eval::SweepCellState state = eval::SweepCellState::kOk;
+  /// Why the request is DNF/ERR; OK status for finished requests.
+  common::Status status;
+  /// OK payload.
+  std::string solver;
+  double objective = 0.0;
+  int num_groups = 0;
+  /// The partition, present when the request set include_groups.
+  bool has_groups = false;
+  std::vector<std::vector<UserId>> groups;
+  ResponseMetrics metrics;
+  /// Wall-clock seconds; rendered only when the request set
+  /// record_seconds (negative = omitted).
+  double seconds = -1.0;
+};
+
+/// The canonical one-line rendering (no trailing newline).
+std::string RenderResponse(const Response& response);
+
+/// Parses one response line (the loopback client and the round-trip tests
+/// are the consumers). INVALID_ARGUMENT on malformed lines.
+common::StatusOr<Response> ParseResponseLine(const std::string& line);
+
+}  // namespace groupform::serve
+
+#endif  // GROUPFORM_SERVE_PROTOCOL_H_

@@ -1,0 +1,433 @@
+#include "serve/server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <condition_variable>
+#include <cstdlib>
+#include <cstring>
+#include <deque>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <utility>
+
+#include "common/strings.h"
+#include "common/thread_pool.h"
+#include "serve/protocol.h"
+
+namespace groupform::serve {
+namespace {
+
+using common::Status;
+
+long long EnvInt(const char* name, long long fallback, long long min_value,
+                 long long max_value) {
+  const char* value = std::getenv(name);
+  if (value == nullptr) return fallback;
+  long long parsed = 0;
+  if (!common::ParseInt64(value, &parsed) || parsed < min_value ||
+      parsed > max_value) {
+    return fallback;
+  }
+  return parsed;
+}
+
+/// The per-stream pipelining window: request lines become ThreadPool jobs
+/// immediately, and a dedicated writer thread retires them strictly in
+/// request order *as they complete* — a client that waits for each reply
+/// before sending the next request (the plain RPC pattern) sees its
+/// response even though the reader thread is still blocked reading.
+/// Enqueue/Drain belong to the stream's reader thread; only the writer
+/// thread calls write_line.
+class PipelinedExecutor {
+ public:
+  PipelinedExecutor(Session& session, int max_inflight,
+                    std::function<void(const std::string&)> write_line)
+      : session_(session),
+        // Resolved once: Shared() takes a global lock, which would
+        // otherwise serialize every connection's per-request path.
+        pool_(common::ThreadPool::Shared()),
+        max_inflight_(max_inflight < 1 ? 1 : max_inflight),
+        write_line_(std::move(write_line)),
+        writer_([this] { WriterLoop(); }) {}
+
+  ~PipelinedExecutor() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      closed_ = true;
+    }
+    not_empty_.notify_all();
+    writer_.join();
+  }
+
+  /// Queues one request line; blocks while the window is full.
+  void Enqueue(std::string line) {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      not_full_.wait(lock, [&] {
+        return static_cast<int>(window_.size()) < max_inflight_;
+      });
+    }
+    auto slot = std::make_shared<std::string>();
+    const auto received = std::chrono::steady_clock::now();
+    auto future =
+        pool_.Submit([this, slot, line = std::move(line), received] {
+          *slot = session_.HandleLine(line, received);
+        });
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      window_.emplace_back(std::move(future), std::move(slot));
+      ++served_;
+    }
+    not_empty_.notify_one();
+  }
+
+  /// Blocks until every queued response has been written.
+  void Drain() {
+    std::unique_lock<std::mutex> lock(mu_);
+    not_full_.wait(lock, [&] { return window_.empty(); });
+  }
+
+  long long served() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return served_;
+  }
+
+ private:
+  void WriterLoop() {
+    for (;;) {
+      std::pair<std::future<void>, std::shared_ptr<std::string>>* front;
+      {
+        std::unique_lock<std::mutex> lock(mu_);
+        not_empty_.wait(lock, [&] { return closed_ || !window_.empty(); });
+        if (window_.empty()) {
+          if (closed_) return;
+          continue;
+        }
+        // Take the front *reference* under the lock (the front() call
+        // itself reads deque internals that Enqueue's emplace_back
+        // mutates); the element it names stays valid across the unlock —
+        // deque growth never invalidates references, and only this
+        // thread pops.
+        front = &window_.front();
+      }
+      try {
+        front->first.get();
+        write_line_(*front->second);
+      } catch (const std::exception& error) {
+        // HandleLine never throws, but the one-response-per-request
+        // discipline must survive even a broken future.
+        Response response;
+        response.state = eval::SweepCellState::kErr;
+        response.status = Status::Internal(error.what());
+        write_line_(RenderResponse(response));
+      }
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        window_.pop_front();
+      }
+      not_full_.notify_all();
+    }
+  }
+
+  Session& session_;
+  common::ThreadPool& pool_;
+  const int max_inflight_;
+  const std::function<void(const std::string&)> write_line_;
+
+  mutable std::mutex mu_;
+  std::condition_variable not_empty_;
+  std::condition_variable not_full_;
+  /// Front = oldest in-flight request; popped only after its response
+  /// has been written.
+  std::deque<std::pair<std::future<void>, std::shared_ptr<std::string>>>
+      window_;
+  bool closed_ = false;
+  long long served_ = 0;
+  /// Declared last: the thread starts in the constructor's init list and
+  /// must find every other member already constructed.
+  std::thread writer_;
+};
+
+/// Strips one trailing '\r' (CRLF clients) and tells whether anything is
+/// left to execute.
+bool NormalizeLine(std::string& line) {
+  if (!line.empty() && line.back() == '\r') line.pop_back();
+  return !line.empty();
+}
+
+std::string OversizeLineResponse() {
+  Response response;
+  response.state = eval::SweepCellState::kErr;
+  response.status = Status::InvalidArgument(common::StrFormat(
+      "request line exceeds the %lld-byte limit",
+      static_cast<long long>(kMaxRequestLineBytes)));
+  return RenderResponse(response);
+}
+
+bool SendAll(int fd, const std::string& data) {
+  std::size_t sent = 0;
+  while (sent < data.size()) {
+    const ssize_t n =
+        ::send(fd, data.data() + sent, data.size() - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+ServerConfig ServerConfigFromEnv() {
+  ServerConfig config;
+  config.port = static_cast<int>(
+      EnvInt("GF_SERVE_PORT", config.port, 0, 65535));
+  config.max_inflight = static_cast<int>(
+      EnvInt("GF_SERVE_MAX_INFLIGHT", config.max_inflight, 1, 1 << 20));
+  return config;
+}
+
+SessionConfig SessionConfigFromEnv() {
+  SessionConfig config;
+  const long long mb =
+      EnvInt("GF_SERVE_CACHE_MB", 256, 0, 1ll << 40);
+  config.cache_bytes = mb <= 0 ? 0 : mb * 1024 * 1024;
+  return config;
+}
+
+long long ServePipe(Session& session, std::istream& in, std::ostream& out,
+                    int max_inflight) {
+  PipelinedExecutor executor(session, max_inflight,
+                             [&out](const std::string& response) {
+                               out << response << '\n';
+                               out.flush();
+                             });
+  std::string line;
+  while (std::getline(in, line)) {
+    if (!NormalizeLine(line)) continue;
+    if (static_cast<std::int64_t>(line.size()) > kMaxRequestLineBytes) {
+      executor.Drain();
+      out << OversizeLineResponse() << '\n';
+      out.flush();
+      continue;
+    }
+    executor.Enqueue(std::move(line));
+  }
+  executor.Drain();
+  return executor.served();
+}
+
+TcpServer::TcpServer(Session& session, ServerConfig config)
+    : session_(session), config_(config) {}
+
+TcpServer::~TcpServer() {
+  Shutdown();
+  // Detached connection threads reference *this; they must all be gone
+  // before the members are torn down.
+  WaitForConnections();
+}
+
+common::Status TcpServer::Start() {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::Internal(common::StrFormat("socket: %s",
+                                              std::strerror(errno)));
+  }
+  const int enable = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &enable, sizeof(enable));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  // Loopback only: the server speaks an unauthenticated protocol and is
+  // meant to sit behind the host boundary.
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<std::uint16_t>(config_.port));
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    const Status status = Status::Internal(common::StrFormat(
+        "bind(port %d): %s", config_.port, std::strerror(errno)));
+    ::close(fd);
+    return status;
+  }
+  if (::listen(fd, /*backlog=*/64) < 0) {
+    const Status status = Status::Internal(
+        common::StrFormat("listen: %s", std::strerror(errno)));
+    ::close(fd);
+    return status;
+  }
+  sockaddr_in bound{};
+  socklen_t bound_len = sizeof(bound);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &bound_len) ==
+      0) {
+    port_ = ntohs(bound.sin_port);
+  } else {
+    port_ = config_.port;
+  }
+  listen_fd_.store(fd);
+  return Status::Ok();
+}
+
+common::Status TcpServer::Serve() {
+  const int listen_fd = listen_fd_.load();
+  if (listen_fd < 0) {
+    return Status::FailedPrecondition("Start() has not succeeded");
+  }
+  Status status;
+  for (;;) {
+    const int fd = ::accept(listen_fd, nullptr, nullptr);
+    if (fd < 0) {
+      const int error = errno;
+      if (listen_fd_.load() < 0) break;  // Shutdown() closed the listener
+      // Transient conditions must not stop a long-lived listener: a
+      // client aborting mid-handshake or momentary fd exhaustion both
+      // recover by retrying (with a pause in the EMFILE case so the
+      // retry is not a hot spin).
+      if (error == EINTR || error == ECONNABORTED) continue;
+      if (error == EMFILE || error == ENFILE) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(20));
+        continue;
+      }
+      status = Status::Internal(
+          common::StrFormat("accept: %s", std::strerror(error)));
+      break;
+    }
+    {
+      std::lock_guard<std::mutex> lock(conn_mu_);
+      ++active_connections_;
+    }
+    // Detached: finished connections release their own bookkeeping, so
+    // days of short-lived connections never accumulate thread handles.
+    std::thread([this, fd] {
+      HandleConnection(fd);
+      std::lock_guard<std::mutex> lock(conn_mu_);
+      if (--active_connections_ == 0) conn_cv_.notify_all();
+    }).detach();
+  }
+  WaitForConnections();
+  return status;
+}
+
+void TcpServer::WaitForConnections() {
+  std::unique_lock<std::mutex> lock(conn_mu_);
+  conn_cv_.wait(lock, [&] { return active_connections_ == 0; });
+}
+
+void TcpServer::Shutdown() {
+  const int fd = listen_fd_.exchange(-1);
+  if (fd >= 0) {
+    // shutdown() forces a blocked accept() to return even where a bare
+    // close() would not; both calls are async-signal-safe.
+    ::shutdown(fd, SHUT_RDWR);
+    ::close(fd);
+  }
+}
+
+void TcpServer::HandleConnection(int fd) {
+  PipelinedExecutor executor(session_, config_.max_inflight,
+                             [fd](const std::string& response) {
+                               SendAll(fd, response + "\n");
+                             });
+  std::string pending;
+  char buffer[1 << 16];
+  bool overflowed = false;
+  for (;;) {
+    const ssize_t n = ::recv(fd, buffer, sizeof(buffer), 0);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) break;
+    pending.append(buffer, static_cast<std::size_t>(n));
+    // Cursor + one erase per recv: per-line erase(0, …) would memmove
+    // the whole remaining buffer for every line of a bulk client.
+    std::size_t start = 0;
+    std::size_t newline;
+    while ((newline = pending.find('\n', start)) != std::string::npos) {
+      std::string line = pending.substr(start, newline - start);
+      start = newline + 1;
+      if (!NormalizeLine(line)) continue;
+      executor.Enqueue(std::move(line));
+    }
+    pending.erase(0, start);
+    if (static_cast<std::int64_t>(pending.size()) > kMaxRequestLineBytes) {
+      // A line that will never fit: answer once and stop reading.
+      executor.Drain();
+      SendAll(fd, OversizeLineResponse() + "\n");
+      overflowed = true;
+      break;
+    }
+  }
+  // A final unterminated line still counts as a request.
+  if (!overflowed && NormalizeLine(pending)) {
+    executor.Enqueue(std::move(pending));
+  }
+  executor.Drain();
+  ::close(fd);
+}
+
+common::StatusOr<std::vector<std::string>> SendRequestLines(
+    const std::string& host, int port,
+    const std::vector<std::string>& lines) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::Internal(common::StrFormat("socket: %s",
+                                              std::strerror(errno)));
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return Status::InvalidArgument("not an IPv4 address: " + host);
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    const Status status = Status::Internal(common::StrFormat(
+        "connect(%s:%d): %s", host.c_str(), port, std::strerror(errno)));
+    ::close(fd);
+    return status;
+  }
+  std::string payload;
+  for (const std::string& line : lines) {
+    payload += line;
+    payload += '\n';
+  }
+  if (!SendAll(fd, payload)) {
+    const Status status = Status::Internal(
+        common::StrFormat("send: %s", std::strerror(errno)));
+    ::close(fd);
+    return status;
+  }
+  ::shutdown(fd, SHUT_WR);
+  std::string received;
+  char buffer[1 << 16];
+  for (;;) {
+    const ssize_t n = ::recv(fd, buffer, sizeof(buffer), 0);
+    if (n < 0 && errno == EINTR) continue;
+    if (n < 0) {
+      const Status status = Status::Internal(
+          common::StrFormat("recv: %s", std::strerror(errno)));
+      ::close(fd);
+      return status;
+    }
+    if (n == 0) break;
+    received.append(buffer, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  std::vector<std::string> responses;
+  for (const auto& piece : common::Split(received, '\n')) {
+    if (!piece.empty()) responses.push_back(piece);
+  }
+  if (responses.size() != lines.size()) {
+    return Status::DataLoss(common::StrFormat(
+        "sent %zu requests but received %zu responses", lines.size(),
+        responses.size()));
+  }
+  return responses;
+}
+
+}  // namespace groupform::serve

@@ -1,0 +1,108 @@
+#ifndef GROUPFORM_SERVE_SERVER_H_
+#define GROUPFORM_SERVE_SERVER_H_
+
+// The long-lived serving front-end (DESIGN.md §12.1): newline-delimited
+// JSON requests in, one response line per request out, in request order.
+// Two transports share the same session and protocol code:
+//
+//   * pipe mode — stdin/stdout (or any iostream pair), the zero-config
+//     path CI's serve-smoke job and the golden tests drive;
+//   * TCP mode — a loopback/LAN listener with one OS thread per
+//     connection.
+//
+// Either way, each request line becomes one queued job on
+// common::ThreadPool::Shared() (Submit): the solve runs serially inside
+// its job — the determinism reference path — and throughput comes from
+// many jobs in flight at once, bounded by max_inflight per stream.
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <istream>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "serve/session.h"
+
+namespace groupform::serve {
+
+/// Transport knobs, normally read from the GF_SERVE_* environment.
+struct ServerConfig {
+  /// TCP listen port; 0 asks the OS for an ephemeral port (the bound
+  /// port is reported by TcpServer::port()).
+  int port = 4017;
+  /// Requests in flight per stream (pipelining window). 1 = strictly
+  /// sequential.
+  int max_inflight = 4;
+};
+
+/// GF_SERVE_PORT / GF_SERVE_MAX_INFLIGHT, with the defaults above for
+/// unset or malformed values.
+ServerConfig ServerConfigFromEnv();
+
+/// GF_SERVE_CACHE_MB → SessionConfig (default 256 MB; 0 = unlimited).
+SessionConfig SessionConfigFromEnv();
+
+/// Longest accepted request line; longer lines answer a single
+/// ERR(INVALID_ARGUMENT) response (an inline instance of a million
+/// ratings fits with room to spare).
+inline constexpr std::int64_t kMaxRequestLineBytes = 64ll * 1024 * 1024;
+
+/// Pipe mode: serves `in` until EOF, writing one response line per
+/// request line to `out` in request order (responses are flushed as they
+/// retire, so a pipelined client sees them stream). Empty lines are
+/// ignored. Returns the number of requests served.
+long long ServePipe(Session& session, std::istream& in, std::ostream& out,
+                    int max_inflight);
+
+/// TCP mode. Start() binds and listens; Serve() accepts until Shutdown()
+/// closes the listener (each connection gets its own thread running the
+/// pipe-mode loop over the socket). Shutdown() is safe from a signal
+/// handler; in-flight connections drain before Serve() returns.
+class TcpServer {
+ public:
+  TcpServer(Session& session, ServerConfig config);
+  ~TcpServer();
+
+  TcpServer(const TcpServer&) = delete;
+  TcpServer& operator=(const TcpServer&) = delete;
+
+  common::Status Start();
+  common::Status Serve();
+  void Shutdown();
+
+  /// The bound port (differs from config.port when it was 0).
+  int port() const { return port_; }
+
+ private:
+  void HandleConnection(int fd);
+  /// Blocks until every connection thread has finished. Connection
+  /// threads run detached (a long-lived server must not accumulate
+  /// unjoined thread handles); this counter is how Serve() and the
+  /// destructor wait them out.
+  void WaitForConnections();
+
+  Session& session_;
+  const ServerConfig config_;
+  /// Atomic so the signal-handler path of Shutdown() cannot race Serve().
+  std::atomic<int> listen_fd_{-1};
+  int port_ = 0;
+  std::mutex conn_mu_;
+  std::condition_variable conn_cv_;
+  int active_connections_ = 0;
+};
+
+/// Minimal loopback client for `groupform_cli request` and the smoke
+/// tests: connects, sends every line, half-closes, and returns one
+/// response line per request line. Fails on connection errors or a short
+/// response stream.
+common::StatusOr<std::vector<std::string>> SendRequestLines(
+    const std::string& host, int port,
+    const std::vector<std::string>& lines);
+
+}  // namespace groupform::serve
+
+#endif  // GROUPFORM_SERVE_SERVER_H_

@@ -1,0 +1,174 @@
+#include "serve/session.h"
+
+#include <exception>
+#include <memory>
+#include <optional>
+#include <utility>
+
+#include "common/stopwatch.h"
+#include "common/strings.h"
+#include "core/formation.h"
+#include "core/solver_registry.h"
+#include "eval/metrics.h"
+#include "eval/weighted_objective.h"
+#include "grouprec/semantics.h"
+
+namespace groupform::serve {
+namespace {
+
+using common::Status;
+
+Response FailWith(Response response, eval::SweepCellState state,
+                  Status status) {
+  response.state = state;
+  response.status = std::move(status);
+  return response;
+}
+
+/// ProblemSpec → FormationProblem, via the shared token mappings in
+/// grouprec/semantics.h (the same ones the CLI flags use).
+common::StatusOr<core::FormationProblem> BuildProblem(
+    const ProblemSpec& spec, const data::RatingMatrix& matrix) {
+  core::FormationProblem problem;
+  problem.matrix = &matrix;
+  GF_ASSIGN_OR_RETURN(problem.semantics,
+                      grouprec::SemanticsFromToken(spec.semantics));
+  GF_ASSIGN_OR_RETURN(problem.aggregation,
+                      grouprec::AggregationFromToken(spec.aggregation));
+  GF_ASSIGN_OR_RETURN(problem.missing,
+                      grouprec::MissingPolicyFromToken(spec.missing));
+  problem.k = spec.k;
+  problem.max_groups = spec.groups;
+  problem.candidate_depth = spec.candidate_depth;
+  GF_RETURN_IF_ERROR(problem.Validate());
+  return problem;
+}
+
+}  // namespace
+
+Session::Session(SessionConfig config)
+    : config_(config), cache_(config.cache_bytes) {}
+
+Response Session::Execute(
+    const Request& request,
+    std::chrono::steady_clock::time_point received_at) {
+  Response response;
+  response.id = request.id;
+
+  std::optional<std::chrono::steady_clock::time_point> deadline;
+  if (request.deadline_ms > 0) {
+    deadline = received_at + std::chrono::milliseconds(request.deadline_ms);
+  }
+
+  auto matrix_or = cache_.Get(request.instance);
+  if (!matrix_or.ok()) {
+    return FailWith(std::move(response), eval::SweepCellState::kErr,
+                    matrix_or.status());
+  }
+  // The shared_ptr pins the cache entry for the whole execution.
+  const std::shared_ptr<const data::RatingMatrix> matrix =
+      *std::move(matrix_or);
+
+  // The sweep engine's cap semantics: over-budget instances answer DNF
+  // without running (the paper's "omitted" configurations).
+  const std::int64_t user_cap =
+      request.user_cap > 0 ? request.user_cap : config_.default_user_cap;
+  if (user_cap > 0 && matrix->num_users() > user_cap) {
+    return FailWith(
+        std::move(response), eval::SweepCellState::kDnf,
+        Status::ResourceExhausted(common::StrFormat(
+            "instance has %d users, over the user_cap of %lld",
+            matrix->num_users(), static_cast<long long>(user_cap))));
+  }
+
+  auto problem_or = BuildProblem(request.problem, *matrix);
+  if (!problem_or.ok()) {
+    return FailWith(std::move(response), eval::SweepCellState::kErr,
+                    problem_or.status());
+  }
+  const core::FormationProblem& problem = *problem_or;
+
+  if (deadline && std::chrono::steady_clock::now() > *deadline) {
+    return FailWith(std::move(response), eval::SweepCellState::kDnf,
+                    Status::ResourceExhausted(
+                        "deadline_ms expired before execution started"));
+  }
+
+  // Registry resolution runs the factory's strict GetChecked* option
+  // validation — a bad override fails here, exactly as the CLI's
+  // --solver-opt does.
+  auto solver_or = core::SolverRegistry::Global().Create(
+      request.solver, problem, request.options);
+  if (!solver_or.ok()) {
+    return FailWith(std::move(response), eval::SweepCellState::kErr,
+                    solver_or.status());
+  }
+
+  common::Stopwatch stopwatch;
+  auto result_or = (*solver_or)->Solve(request.seed);
+  const double seconds = stopwatch.ElapsedSeconds();
+  if (!result_or.ok()) {
+    // The solver's own budget (RESOURCE_EXHAUSTED) is the expected
+    // omission the sweep engine renders DNF; everything else is real.
+    const bool dnf = result_or.status().code() ==
+                     common::StatusCode::kResourceExhausted;
+    return FailWith(
+        std::move(response),
+        dnf ? eval::SweepCellState::kDnf : eval::SweepCellState::kErr,
+        result_or.status());
+  }
+  const core::FormationResult& result = *result_or;
+
+  if (deadline && std::chrono::steady_clock::now() > *deadline) {
+    // Finished, but after the client's budget: the result is discarded
+    // and the request reports DNF (wall-clock dependent — see the
+    // determinism caveat in DESIGN.md §12.4).
+    return FailWith(std::move(response), eval::SweepCellState::kDnf,
+                    Status::ResourceExhausted(common::StrFormat(
+                        "completed after the %lld ms deadline",
+                        static_cast<long long>(request.deadline_ms))));
+  }
+
+  response.solver = request.solver;
+  response.objective = result.objective;
+  response.num_groups = result.num_groups();
+  response.metrics.avg_group_satisfaction =
+      eval::AvgGroupSatisfaction(problem, result);
+  response.metrics.mean_user_rating =
+      eval::MeanPerUserSatisfaction(problem, result);
+  response.metrics.mean_user_ndcg = eval::MeanUserNdcg(problem, result);
+  response.metrics.fully_satisfied =
+      eval::FullySatisfiedFraction(problem, result);
+  if (request.include_groups) {
+    response.has_groups = true;
+    response.groups.reserve(result.groups.size());
+    for (const core::FormedGroup& group : result.groups) {
+      response.groups.push_back(group.members);
+    }
+  }
+  if (request.record_seconds) response.seconds = seconds;
+  return response;
+}
+
+std::string Session::HandleLine(
+    const std::string& line,
+    std::chrono::steady_clock::time_point received_at) {
+  Response response;
+  try {
+    auto request_or = ParseRequestLine(line);
+    if (!request_or.ok()) {
+      response.state = eval::SweepCellState::kErr;
+      response.status = request_or.status();
+    } else {
+      response = Execute(*request_or, received_at);
+    }
+  } catch (const std::exception& error) {
+    // Belt and braces: the library is Status-based, but a response line
+    // must go out for every request line even if something throws.
+    response.state = eval::SweepCellState::kErr;
+    response.status = Status::Internal(error.what());
+  }
+  return RenderResponse(response);
+}
+
+}  // namespace groupform::serve

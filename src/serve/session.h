@@ -1,0 +1,64 @@
+#ifndef GROUPFORM_SERVE_SESSION_H_
+#define GROUPFORM_SERVE_SESSION_H_
+
+// Request execution for the serving front-end (DESIGN.md §12.2): resolve
+// the solver through core::SolverRegistry (with the same strict option
+// validation as the CLI), load the instance through the InstanceCache,
+// enforce the request's user_cap and deadline with the sweep engine's
+// DNF/ERR vocabulary, solve, and assemble the response envelope.
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+#include "serve/instance_cache.h"
+#include "serve/protocol.h"
+
+namespace groupform::serve {
+
+/// Serving knobs, normally read from the GF_SERVE_* environment.
+struct SessionConfig {
+  /// InstanceCache byte budget (GF_SERVE_CACHE_MB; <= 0 = unlimited).
+  std::int64_t cache_bytes = 256ll * 1024 * 1024;
+  /// Server-wide user_cap applied when a request does not set one
+  /// (0 = unlimited).
+  std::int64_t default_user_cap = 0;
+};
+
+/// One serving context: an instance cache plus the execution policy.
+/// Thread-safe — the server runs many Execute calls concurrently as
+/// ThreadPool jobs.
+class Session {
+ public:
+  explicit Session(SessionConfig config = SessionConfig());
+
+  /// Executes a parsed request. Never fails: every outcome, including
+  /// solver errors, is a Response (state OK/DNF/ERR). `received_at`
+  /// anchors the deadline_ms window; the server stamps it when the
+  /// request line arrives (tests inject past instants to pin the
+  /// deadline paths deterministically).
+  Response Execute(
+      const Request& request,
+      std::chrono::steady_clock::time_point received_at =
+          std::chrono::steady_clock::now());
+
+  /// Parse + Execute + render: one request line in, one response line out
+  /// (no trailing newline). Parse failures render as ERR responses with
+  /// an empty id. This is the function the server submits to the pool.
+  std::string HandleLine(
+      const std::string& line,
+      std::chrono::steady_clock::time_point received_at =
+          std::chrono::steady_clock::now());
+
+  InstanceCache& cache() { return cache_; }
+  const SessionConfig& config() const { return config_; }
+
+ private:
+  const SessionConfig config_;
+  InstanceCache cache_;
+};
+
+}  // namespace groupform::serve
+
+#endif  // GROUPFORM_SERVE_SESSION_H_

@@ -201,6 +201,94 @@ TEST(ThreadPool, NestedParallelForRunsSeriallyWithoutDeadlock) {
   }
 }
 
+TEST(ThreadPool, SubmitRunsEveryJobExactlyOnce) {
+  ThreadPool pool(4);
+  constexpr int kJobs = 200;
+  std::vector<std::atomic<int>> counts(kJobs);
+  for (auto& count : counts) count.store(0);
+  std::vector<std::future<void>> futures;
+  futures.reserve(kJobs);
+  for (int j = 0; j < kJobs; ++j) {
+    futures.push_back(pool.Submit([&counts, j] { counts[j].fetch_add(1); }));
+  }
+  for (auto& future : futures) future.get();
+  for (int j = 0; j < kJobs; ++j) {
+    EXPECT_EQ(counts[j].load(), 1) << "job " << j;
+  }
+}
+
+TEST(ThreadPool, SubmitOnOneThreadRunsInlineBeforeReturning) {
+  ThreadPool pool(1);
+  int ran = 0;
+  auto future = pool.Submit([&] { ++ran; });
+  // No workers exist; the job must already have run on this thread.
+  EXPECT_EQ(ran, 1);
+  future.get();
+}
+
+TEST(ThreadPool, SubmitExceptionArrivesThroughTheFuture) {
+  ThreadPool pool(4);
+  auto future = pool.Submit([] { throw std::runtime_error("job boom"); });
+  EXPECT_THROW(future.get(), std::runtime_error);
+  // The pool survives a failed job.
+  auto ok = pool.Submit([] {});
+  ok.get();
+  // The serial path routes exceptions the same way.
+  ThreadPool serial(1);
+  auto inline_future =
+      serial.Submit([] { throw std::runtime_error("inline boom"); });
+  EXPECT_THROW(inline_future.get(), std::runtime_error);
+}
+
+TEST(ThreadPool, SubmitFromInsideAJobRunsInlineWithoutDeadlock) {
+  ThreadPool pool(2);  // one worker: a blocking nested Submit would hang
+  int inner_ran = 0;
+  auto future = pool.Submit([&] {
+    pool.Submit([&] { ++inner_ran; }).get();
+  });
+  future.get();
+  EXPECT_EQ(inner_ran, 1);
+}
+
+TEST(ThreadPool, ParallelForInsideAJobDegradesToSerial) {
+  ThreadPool pool(2);
+  constexpr std::int64_t kInner = 100;
+  std::int64_t sum = 0;
+  auto future = pool.Submit([&] {
+    // Same pool from inside a job: must run serially on this worker.
+    pool.ParallelFor(kInner, [&](std::int64_t i) { sum += i; });
+  });
+  future.get();
+  EXPECT_EQ(sum, kInner * (kInner - 1) / 2);
+}
+
+TEST(ThreadPool, SubmitAndParallelForInterleave) {
+  ThreadPool pool(4);
+  std::atomic<int> job_ran{0};
+  std::vector<std::future<void>> futures;
+  for (int j = 0; j < 32; ++j) {
+    futures.push_back(pool.Submit([&] { job_ran.fetch_add(1); }));
+  }
+  // A bulk loop issued while jobs are queued still completes correctly.
+  std::atomic<int> loop_ran{0};
+  pool.ParallelFor(500, [&](std::int64_t) { loop_ran.fetch_add(1); });
+  EXPECT_EQ(loop_ran.load(), 500);
+  for (auto& future : futures) future.get();
+  EXPECT_EQ(job_ran.load(), 32);
+}
+
+TEST(ThreadPool, DestructionDrainsQueuedJobs) {
+  std::atomic<int> ran{0};
+  {
+    ThreadPool pool(2);
+    for (int j = 0; j < 64; ++j) {
+      pool.Submit([&] { ran.fetch_add(1); });
+    }
+    // Futures intentionally dropped; ~ThreadPool must still run them all.
+  }
+  EXPECT_EQ(ran.load(), 64);
+}
+
 TEST(ThreadPool, DefaultThreadCountPrefersOverrideThenEnv) {
   ThreadPool::SetDefaultThreadCount(3);
   EXPECT_EQ(ThreadPool::DefaultThreadCount(), 3);

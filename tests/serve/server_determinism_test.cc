@@ -1,0 +1,162 @@
+// The serving determinism contract (DESIGN.md §12.4) and the pipe
+// transport: 100 loopback requests over one cached instance produce
+// byte-identical response streams at 1, 2, and 8 threads and at every
+// pipelining window, with responses in request order.
+#include "serve/server.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/strings.h"
+#include "common/thread_pool.h"
+#include "serve/protocol.h"
+#include "serve/session.h"
+#include "solvers/builtin.h"
+
+namespace groupform::serve {
+namespace {
+
+/// 100 requests over one shared synthetic instance: a few solver
+/// families, varying seeds and ids so every response line is distinct.
+std::string HundredRequestStream() {
+  const std::vector<std::string> solver_rotation = {"greedy", "localsearch",
+                                                    "veckmeans", "sa"};
+  std::string stream;
+  for (int i = 0; i < 100; ++i) {
+    Request request;
+    request.id = common::StrFormat("r%03d", i);
+    request.solver = solver_rotation[static_cast<std::size_t>(i) %
+                                     solver_rotation.size()];
+    request.instance.kind = "synthetic";
+    request.instance.preset = "yahoo";
+    request.instance.users = 40;
+    request.instance.items = 30;
+    request.instance.seed = 11;
+    request.problem.k = 3;
+    request.problem.groups = 5;
+    request.seed = static_cast<std::uint64_t>(100 + i);
+    request.include_groups = (i % 5 == 0);
+    stream += RenderRequest(request);
+    stream += '\n';
+  }
+  return stream;
+}
+
+std::string ServeAt(int threads, int max_inflight,
+                    const std::string& requests,
+                    InstanceCache::Stats* stats_out = nullptr) {
+  common::ThreadPool::SetDefaultThreadCount(threads);
+  Session session;
+  std::istringstream in(requests);
+  std::ostringstream out;
+  const long long served = ServePipe(session, in, out, max_inflight);
+  EXPECT_EQ(served, 100);
+  if (stats_out != nullptr) *stats_out = session.cache().stats();
+  return out.str();
+}
+
+class ServerDeterminismTest : public ::testing::Test {
+ protected:
+  void SetUp() override { solvers::EnsureBuiltinSolversRegistered(); }
+  void TearDown() override {
+    common::ThreadPool::SetDefaultThreadCount(0);
+  }
+};
+
+TEST_F(ServerDeterminismTest,
+       HundredRequestsByteIdenticalAcrossThreadCounts) {
+  const std::string requests = HundredRequestStream();
+  InstanceCache::Stats stats;
+  const std::string at_one = ServeAt(1, 4, requests, &stats);
+  // One instance load serves all 100 requests.
+  EXPECT_EQ(stats.misses, 1);
+  EXPECT_EQ(stats.hits, 99);
+  EXPECT_EQ(ServeAt(2, 4, requests), at_one);
+  EXPECT_EQ(ServeAt(8, 4, requests), at_one);
+}
+
+TEST_F(ServerDeterminismTest, PipeliningWindowNeverReordersResponses) {
+  const std::string requests = HundredRequestStream();
+  const std::string sequential = ServeAt(8, 1, requests);
+  EXPECT_EQ(ServeAt(8, 16, requests), sequential);
+  EXPECT_EQ(ServeAt(8, 100, requests), sequential);
+  // Response ids arrive in request order.
+  std::istringstream lines(sequential);
+  std::string line;
+  int index = 0;
+  while (std::getline(lines, line)) {
+    const auto response = ParseResponseLine(line);
+    ASSERT_TRUE(response.ok()) << response.status();
+    EXPECT_EQ(response->id, common::StrFormat("r%03d", index)) << index;
+    ++index;
+  }
+  EXPECT_EQ(index, 100);
+}
+
+TEST_F(ServerDeterminismTest, MixedOutcomeStreamKeepsOrderAndStates) {
+  // One OK, one DNF (cap), one ERR (unknown solver), repeated — the CI
+  // smoke job's shape, pinned here at several thread counts.
+  std::string requests;
+  for (int i = 0; i < 12; ++i) {
+    Request request;
+    request.id = common::StrFormat("m%02d", i);
+    request.solver = (i % 3 == 2) ? "nosuch" : "greedy";
+    request.instance.kind = "dense";
+    request.instance.users = 10;
+    request.instance.items = 6;
+    request.instance.clusters = 2;
+    request.instance.seed = 3;
+    request.problem.k = 2;
+    request.problem.groups = 3;
+    if (i % 3 == 1) request.user_cap = 4;  // below the 10-user instance
+    requests += RenderRequest(request);
+    requests += '\n';
+  }
+  auto states_of = [](const std::string& output) {
+    std::vector<eval::SweepCellState> states;
+    std::istringstream lines(output);
+    std::string line;
+    while (std::getline(lines, line)) {
+      const auto response = ParseResponseLine(line);
+      EXPECT_TRUE(response.ok()) << response.status();
+      if (response.ok()) states.push_back(response->state);
+    }
+    return states;
+  };
+  common::ThreadPool::SetDefaultThreadCount(4);
+  Session session;
+  std::istringstream in(requests);
+  std::ostringstream out;
+  EXPECT_EQ(ServePipe(session, in, out, /*max_inflight=*/6), 12);
+  const auto states = states_of(out.str());
+  ASSERT_EQ(states.size(), 12u);
+  for (int i = 0; i < 12; ++i) {
+    const auto expected = (i % 3 == 0)   ? eval::SweepCellState::kOk
+                          : (i % 3 == 1) ? eval::SweepCellState::kDnf
+                                         : eval::SweepCellState::kErr;
+    EXPECT_EQ(states[static_cast<std::size_t>(i)], expected) << i;
+  }
+}
+
+TEST_F(ServerDeterminismTest, EmptyAndBlankLinesAreIgnored) {
+  common::ThreadPool::SetDefaultThreadCount(1);
+  Session session;
+  Request request;
+  request.solver = "greedy";
+  request.instance.kind = "dense";
+  request.instance.users = 6;
+  request.instance.items = 4;
+  std::istringstream in("\n\r\n" + RenderRequest(request) + "\r\n\n");
+  std::ostringstream out;
+  EXPECT_EQ(ServePipe(session, in, out, 4), 1);
+  const auto response = ParseResponseLine(
+      out.str().substr(0, out.str().size() - 1));  // strip trailing \n
+  ASSERT_TRUE(response.ok()) << response.status();
+  EXPECT_EQ(response->state, eval::SweepCellState::kOk);
+}
+
+}  // namespace
+}  // namespace groupform::serve

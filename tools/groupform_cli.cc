@@ -5,6 +5,8 @@
 //   groupform_cli --synthetic yahoo --users 2000 --algorithm localsearch
 //   groupform_cli --synthetic yahoo --emit-lp model.lp
 //   groupform_cli sweep fig1 --solvers greedy,localsearch --json-dir out/
+//   groupform_cli request --port 4017 --algorithm greedy
+//       --synthetic yahoo --users 200 --items 100
 //
 // Subcommands:
 //   sweep [SUITE|all]   run the paper's evaluation sweeps (the same
@@ -13,6 +15,18 @@
 //       --solvers A,B   restrict registry-driven sweeps to these solvers
 //                       (same effect as GF_SOLVERS)
 //       --json-dir DIR  write BENCH_<suite>.json there (sets GF_BENCH_JSON)
+//   request             send one groupform.request/1 line to a running
+//                       groupform_serverd (docs/PROTOCOL.md) and print the
+//                       response line. The request is assembled from the
+//                       data/problem/--algorithm flags below, or passed
+//                       verbatim with --raw 'JSON'.
+//       --host H --port P   server address (default 127.0.0.1, GF_SERVE_PORT)
+//       --request-id ID     correlation id echoed by the server
+//       --deadline-ms N     per-request wall-clock budget (0 = none)
+//       --user-cap N        DNF cap on instance size (0 = unlimited)
+//       --include-groups    ask for the full partition
+//       --record-seconds    ask for server-side wall clock
+//       --dump              print the request line instead of sending it
 //
 // Flags:
 //   --input PATH        user,item,rating CSV (ids re-indexed densely)
@@ -58,6 +72,8 @@
 #include "eval/weighted_objective.h"
 #include "exact/ip_model.h"
 #include "grouprec/semantics.h"
+#include "serve/protocol.h"
+#include "serve/server.h"
 #include "solvers/builtin.h"
 
 namespace {
@@ -92,36 +108,18 @@ common::StatusOr<core::FormationProblem> BuildProblem(
     const common::FlagParser& flags, const data::RatingMatrix& matrix) {
   core::FormationProblem problem;
   problem.matrix = &matrix;
-  const std::string semantics = flags.GetString("semantics", "lm");
-  if (semantics == "lm") {
-    problem.semantics = grouprec::Semantics::kLeastMisery;
-  } else if (semantics == "av") {
-    problem.semantics = grouprec::Semantics::kAggregateVoting;
-  } else {
-    return common::Status::InvalidArgument("unknown --semantics: " +
-                                           semantics);
-  }
-  const std::string aggregation = flags.GetString("aggregation", "min");
-  if (aggregation == "max") {
-    problem.aggregation = grouprec::Aggregation::kMax;
-  } else if (aggregation == "min") {
-    problem.aggregation = grouprec::Aggregation::kMin;
-  } else if (aggregation == "sum") {
-    problem.aggregation = grouprec::Aggregation::kSum;
-  } else {
-    return common::Status::InvalidArgument("unknown --aggregation: " +
-                                           aggregation);
-  }
-  const std::string missing = flags.GetString("missing", "rmin");
-  if (missing == "rmin") {
-    problem.missing = grouprec::MissingRatingPolicy::kScaleMin;
-  } else if (missing == "zero") {
-    problem.missing = grouprec::MissingRatingPolicy::kZero;
-  } else if (missing == "skip") {
-    problem.missing = grouprec::MissingRatingPolicy::kSkipUser;
-  } else {
-    return common::Status::InvalidArgument("unknown --missing: " + missing);
-  }
+  // Token → enum mappings are shared with the wire protocol
+  // (grouprec/semantics.h), so the CLI and the server accept exactly the
+  // same vocabulary.
+  GF_ASSIGN_OR_RETURN(problem.semantics,
+                      grouprec::SemanticsFromToken(
+                          flags.GetString("semantics", "lm")));
+  GF_ASSIGN_OR_RETURN(problem.aggregation,
+                      grouprec::AggregationFromToken(
+                          flags.GetString("aggregation", "min")));
+  GF_ASSIGN_OR_RETURN(problem.missing,
+                      grouprec::MissingPolicyFromToken(
+                          flags.GetString("missing", "rmin")));
   problem.k = static_cast<int>(flags.GetInt("k", 5));
   problem.max_groups = static_cast<int>(flags.GetInt("groups", 10));
   problem.candidate_depth =
@@ -205,13 +203,96 @@ int RunSweepCommand(const common::FlagParser& flags) {
   return eval::RunPaperSuiteMain(choice);
 }
 
+/// Assembles a protocol request from the CLI's existing data/problem
+/// flags, so the same invocation vocabulary drives both the in-process
+/// path and a remote groupform_serverd.
+common::StatusOr<serve::Request> BuildRequest(
+    const common::FlagParser& flags) {
+  serve::Request request;
+  request.id = flags.GetString("request-id", "");
+  request.solver = flags.GetString("algorithm", "greedy");
+  request.options = ParseSolverOptions(flags);
+  if (flags.Has("input")) {
+    request.instance.kind = "csv";
+    request.instance.path = flags.GetString("input", "");
+  } else if (flags.Has("movielens")) {
+    request.instance.kind = "movielens";
+    request.instance.path = flags.GetString("movielens", "");
+  } else {
+    request.instance.kind = "synthetic";
+    request.instance.preset = flags.GetString("synthetic", "yahoo");
+    request.instance.users =
+        static_cast<std::int32_t>(flags.GetInt("users", 1000));
+    request.instance.items =
+        static_cast<std::int32_t>(flags.GetInt("items", 500));
+    request.instance.seed =
+        static_cast<std::uint64_t>(flags.GetInt("seed", 42));
+  }
+  request.problem.semantics = flags.GetString("semantics", "lm");
+  request.problem.aggregation = flags.GetString("aggregation", "min");
+  request.problem.missing = flags.GetString("missing", "rmin");
+  request.problem.k = static_cast<int>(flags.GetInt("k", 5));
+  request.problem.groups = static_cast<int>(flags.GetInt("groups", 10));
+  request.problem.candidate_depth =
+      static_cast<int>(flags.GetInt("candidate-depth", 0));
+  request.seed = static_cast<std::uint64_t>(
+      flags.GetInt("algo-seed", core::FormationSolver::kDefaultSeed));
+  request.deadline_ms = flags.GetInt("deadline-ms", 0);
+  request.user_cap = flags.GetInt("user-cap", 0);
+  request.include_groups = flags.GetBool("include-groups", false);
+  request.record_seconds = flags.GetBool("record-seconds", false);
+  // Round-trip through the parser so every flag value gets the same
+  // validation a remote client's JSON would.
+  return serve::ParseRequestLine(serve::RenderRequest(request));
+}
+
+/// The `request` subcommand: loopback client for groupform_serverd.
+/// Prints the response line on stdout; exit 0 for OK/DNF (an expected
+/// omission), 1 for ERR or transport failure.
+int RunRequestCommand(const common::FlagParser& flags) {
+  std::string line = flags.GetString("raw", "");
+  if (line.empty()) {
+    const auto request = BuildRequest(flags);
+    if (!request.ok()) {
+      std::fprintf(stderr, "building request: %s\n",
+                   request.status().ToString().c_str());
+      return 2;
+    }
+    line = serve::RenderRequest(*request);
+  }
+  if (flags.GetBool("dump", false)) {
+    std::printf("%s\n", line.c_str());
+    return 0;
+  }
+  const std::string host = flags.GetString("host", "127.0.0.1");
+  const int port = static_cast<int>(
+      flags.GetInt("port", serve::ServerConfigFromEnv().port));
+  const auto responses = serve::SendRequestLines(host, port, {line});
+  if (!responses.ok()) {
+    std::fprintf(stderr, "request: %s\n",
+                 responses.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("%s\n", (*responses)[0].c_str());
+  const auto parsed = serve::ParseResponseLine((*responses)[0]);
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "unparseable response: %s\n",
+                 parsed.status().ToString().c_str());
+    return 1;
+  }
+  return parsed->state == eval::SweepCellState::kErr ? 1 : 0;
+}
+
 void PrintHelp() {
   std::printf(
       "groupform_cli — recommendation-aware group formation "
       "(RoyLL15, SIGMOD'15)\n\n"
       "subcommand: sweep SUITE|all     reproduce the paper's evaluation\n"
       "            (--solvers A,B --json-dir DIR; `sweep` alone lists "
-      "suites)\n\n"
+      "suites)\n"
+      "            request             send one request to a running\n"
+      "            groupform_serverd (--host H --port P, docs/PROTOCOL.md)"
+      "\n\n"
       "data:      --input ratings.csv | --movielens ratings.dat |\n"
       "           --synthetic yahoo|movielens --users N --items M --seed S\n"
       "problem:   --semantics lm|av --aggregation max|min|sum --k N\n"
@@ -251,6 +332,9 @@ int RealMain(int argc, char** argv) {
   }
   if (!flags.positional().empty() && flags.positional()[0] == "sweep") {
     return RunSweepCommand(flags);
+  }
+  if (!flags.positional().empty() && flags.positional()[0] == "request") {
+    return RunRequestCommand(flags);
   }
 
   const auto matrix = LoadData(flags);

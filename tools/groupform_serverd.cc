@@ -1,0 +1,159 @@
+// groupform_serverd — long-lived serving front-end for recommendation-aware
+// group formation (DESIGN.md §12, docs/PROTOCOL.md).
+//
+// Accepts newline-delimited `groupform.request/1` JSON lines and answers
+// one `groupform.response/1` line per request, in request order. Solvers
+// resolve through core::SolverRegistry, execute as queued jobs on the
+// shared common::ThreadPool, and instances load once into an LRU cache so
+// repeated requests share one rating matrix.
+//
+//   groupform_serverd                         # TCP on 127.0.0.1:4017
+//   groupform_serverd --port 0                # ephemeral port (printed)
+//   groupform_serverd --pipe < reqs.jsonl     # stdin/stdout, exit at EOF
+//
+// Flags (each falls back to its environment knob, then the default):
+//   --pipe              serve stdin→stdout instead of TCP
+//   --port N            TCP port, 0 = ephemeral     (GF_SERVE_PORT, 4017)
+//   --max-inflight N    pipelining window per stream (GF_SERVE_MAX_INFLIGHT, 4)
+//   --cache-mb N        instance cache budget, 0 = unlimited
+//                                               (GF_SERVE_CACHE_MB, 256)
+//   --threads N         pool size (GF_THREADS, else hardware; 1 = serial)
+//   --user-cap N        server-wide DNF cap for requests that set none
+//
+// SIGINT/SIGTERM stop the TCP listener; in-flight requests drain first.
+// Diagnostics go to stderr; stdout carries only protocol traffic.
+#include <csignal>
+#include <cstdio>
+#include <iostream>
+
+#include "common/flags.h"
+#include "common/thread_pool.h"
+#include "serve/server.h"
+#include "serve/session.h"
+#include "solvers/builtin.h"
+
+namespace {
+
+using namespace groupform;
+
+serve::TcpServer* g_server = nullptr;
+
+void HandleStopSignal(int) {
+  // Shutdown only touches an atomic fd with shutdown()/close(), all
+  // async-signal-safe; accept() then returns and Serve() drains.
+  if (g_server != nullptr) g_server->Shutdown();
+}
+
+void LogCacheStats(serve::Session& session) {
+  const auto stats = session.cache().stats();
+  std::fprintf(stderr,
+               "groupform_serverd: instance cache: %lld hits, %lld "
+               "misses, %lld evictions, %lld bytes in %d entries\n",
+               stats.hits, stats.misses, stats.evictions,
+               static_cast<long long>(stats.bytes), stats.entries);
+}
+
+int RealMain(int argc, char** argv) {
+  solvers::EnsureBuiltinSolversRegistered();
+  common::FlagParser flags;
+  if (const auto status = flags.Parse(argc, argv); !status.ok()) {
+    std::fprintf(stderr, "%s\n", status.ToString().c_str());
+    return 2;
+  }
+  if (flags.GetBool("help", false)) {
+    std::printf(
+        "groupform_serverd — newline-delimited JSON formation service\n"
+        "(docs/PROTOCOL.md)\n\n"
+        "  --pipe            stdin/stdout mode (exit at EOF)\n"
+        "  --port N          TCP port, 0 = ephemeral (GF_SERVE_PORT)\n"
+        "  --max-inflight N  pipelining window (GF_SERVE_MAX_INFLIGHT)\n"
+        "  --cache-mb N      cache budget, 0 = unlimited "
+        "(GF_SERVE_CACHE_MB)\n"
+        "  --threads N       pool size (GF_THREADS)\n"
+        "  --user-cap N      default DNF cap for requests that set none\n");
+    return 0;
+  }
+  if (flags.Has("threads")) {
+    const auto threads = flags.GetIntOr("threads");
+    if (!threads.ok() || *threads < 1) {
+      std::fprintf(stderr, "--threads must be a positive integer\n");
+      return 2;
+    }
+    common::ThreadPool::SetDefaultThreadCount(static_cast<int>(*threads));
+  }
+
+  // Flag values get the same bounds the GF_SERVE_* env path enforces —
+  // an out-of-range flag is a startup error, not a silent wrap.
+  serve::ServerConfig server_config = serve::ServerConfigFromEnv();
+  const long long port = flags.GetInt("port", server_config.port);
+  if (port < 0 || port > 65535) {
+    std::fprintf(stderr, "--port must be in [0, 65535], got %lld\n", port);
+    return 2;
+  }
+  server_config.port = static_cast<int>(port);
+  const long long max_inflight =
+      flags.GetInt("max-inflight", server_config.max_inflight);
+  if (max_inflight < 1 || max_inflight > (1 << 20)) {
+    std::fprintf(stderr, "--max-inflight must be in [1, %d], got %lld\n",
+                 1 << 20, max_inflight);
+    return 2;
+  }
+  server_config.max_inflight = static_cast<int>(max_inflight);
+  serve::SessionConfig session_config = serve::SessionConfigFromEnv();
+  if (flags.Has("cache-mb")) {
+    const long long mb = flags.GetInt("cache-mb", 256);
+    if (mb < 0 || mb > (1ll << 40)) {
+      std::fprintf(stderr, "--cache-mb must be in [0, 2^40], got %lld\n",
+                   mb);
+      return 2;
+    }
+    session_config.cache_bytes = mb <= 0 ? 0 : mb * 1024 * 1024;
+  }
+  const long long user_cap = flags.GetInt("user-cap", 0);
+  if (user_cap < 0) {
+    std::fprintf(stderr, "--user-cap must be >= 0, got %lld\n", user_cap);
+    return 2;
+  }
+  session_config.default_user_cap = user_cap;
+
+  serve::Session session(session_config);
+
+  if (flags.GetBool("pipe", false)) {
+    const long long served = serve::ServePipe(
+        session, std::cin, std::cout, server_config.max_inflight);
+    std::fprintf(stderr, "groupform_serverd: served %lld requests\n",
+                 served);
+    LogCacheStats(session);
+    return 0;
+  }
+
+  serve::TcpServer server(session, server_config);
+  if (const auto status = server.Start(); !status.ok()) {
+    std::fprintf(stderr, "groupform_serverd: %s\n",
+                 status.ToString().c_str());
+    return 1;
+  }
+  g_server = &server;
+  std::signal(SIGINT, HandleStopSignal);
+  std::signal(SIGTERM, HandleStopSignal);
+  std::fprintf(stderr,
+               "groupform_serverd: listening on 127.0.0.1:%d "
+               "(max_inflight=%d, cache_mb=%lld, threads=%d)\n",
+               server.port(), server_config.max_inflight,
+               static_cast<long long>(session_config.cache_bytes) /
+                   (1024 * 1024),
+               common::ThreadPool::DefaultThreadCount());
+  const auto status = server.Serve();
+  g_server = nullptr;
+  if (!status.ok()) {
+    std::fprintf(stderr, "groupform_serverd: %s\n",
+                 status.ToString().c_str());
+    return 1;
+  }
+  LogCacheStats(session);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) { return RealMain(argc, argv); }

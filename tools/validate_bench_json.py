@@ -1,9 +1,11 @@
 #!/usr/bin/env python3
-"""Validates the BENCH_*.json documents the benches emit (DESIGN.md §11.3).
+"""Validates the machine-readable JSON the repo's binaries emit.
 
 Usage: validate_bench_json.py DIR [--require-solvers NAME,NAME,...]
+       validate_bench_json.py --protocol FILE [FILE...]
 
-Checks, for every BENCH_*.json in DIR:
+Default (bench) mode checks, for every BENCH_*.json in DIR
+(DESIGN.md §11.3):
   * the document parses as JSON and carries the groupform.bench/1 schema;
   * the envelope's "registry" lists at least the required solver set
     (default: the eight built-ins), i.e. the build under test can still
@@ -12,8 +14,15 @@ Checks, for every BENCH_*.json in DIR:
     state is OK/DNF/ERR, and no sweep reports ERR cells while the
     document claims all_ok.
 
+--protocol mode validates newline-delimited groupform.response/1 streams
+captured from groupform_serverd (docs/PROTOCOL.md): every line must parse,
+carry the response schema, use a known state, and ship the fields that
+state requires (OK: solver/objective/num_groups/metrics; DNF and ERR: a
+known non-OK code plus a message).
+
 Exit code 0 when every file validates, 1 otherwise. CI smoke-runs one
-tiny sweep per bench category and gates on this script.
+tiny sweep per bench category plus a canned request stream and gates both
+on this script.
 """
 
 import argparse
@@ -89,19 +98,116 @@ def validate_file(path, required_solvers):
     return ok
 
 
+STATUS_CODES = [
+    "INVALID_ARGUMENT",
+    "NOT_FOUND",
+    "OUT_OF_RANGE",
+    "FAILED_PRECONDITION",
+    "RESOURCE_EXHAUSTED",
+    "UNIMPLEMENTED",
+    "INTERNAL",
+    "DATA_LOSS",
+]
+
+METRIC_KEYS = [
+    "avg_group_satisfaction",
+    "mean_user_rating",
+    "mean_user_ndcg",
+    "fully_satisfied",
+]
+
+
+def validate_response_line(path, index, line):
+    where = f"{path}:{index}"
+    try:
+        doc = json.loads(line)
+    except json.JSONDecodeError as error:
+        return fail(where, f"does not parse: {error}")
+    ok = True
+    if doc.get("schema") != "groupform.response/1":
+        ok = fail(where, f"bad schema {doc.get('schema')!r}")
+    state = doc.get("state")
+    if state not in ("OK", "DNF", "ERR"):
+        return fail(where, f"bad state {state!r}")
+    if state == "OK":
+        if not isinstance(doc.get("solver"), str) or not doc["solver"]:
+            ok = fail(where, "OK response without a solver name")
+        if not isinstance(doc.get("objective"), (int, float)):
+            ok = fail(where, "OK response without a numeric objective")
+        if not isinstance(doc.get("num_groups"), int) or doc["num_groups"] < 0:
+            ok = fail(where, "OK response without a valid num_groups")
+        metrics = doc.get("metrics")
+        if not isinstance(metrics, dict):
+            ok = fail(where, "OK response without a metrics object")
+        else:
+            for key in METRIC_KEYS:
+                if not isinstance(metrics.get(key), (int, float)):
+                    ok = fail(where, f"metrics missing numeric {key!r}")
+        groups = doc.get("groups")
+        if groups is not None and (
+            not isinstance(groups, list)
+            or any(
+                not isinstance(g, list)
+                or any(not isinstance(u, int) for u in g)
+                for g in groups
+            )
+        ):
+            ok = fail(where, "groups must be arrays of integer user ids")
+    else:
+        if doc.get("code") not in STATUS_CODES:
+            ok = fail(where, f"{state} response with code {doc.get('code')!r}")
+        if not isinstance(doc.get("message"), str):
+            ok = fail(where, f"{state} response without a message")
+    return ok
+
+
+def validate_protocol_file(path):
+    try:
+        lines = path.read_text().splitlines()
+    except OSError as error:
+        return fail(path, f"unreadable: {error}")
+    lines = [line for line in lines if line.strip()]
+    if not lines:
+        return fail(path, "no response lines")
+    ok = True
+    for index, line in enumerate(lines, start=1):
+        ok = validate_response_line(path, index, line) and ok
+    if ok:
+        print(f"ok   {path} ({len(lines)} responses)")
+    return ok
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("directory", type=pathlib.Path)
+    parser.add_argument(
+        "paths",
+        type=pathlib.Path,
+        nargs="+",
+        help="bench-JSON directory, or response files with --protocol",
+    )
     parser.add_argument(
         "--require-solvers",
         default=",".join(BUILTIN_SOLVERS),
         help="comma-separated solver names the registry must contain",
     )
+    parser.add_argument(
+        "--protocol",
+        action="store_true",
+        help="validate groupform.response/1 streams instead of BENCH_*.json",
+    )
     args = parser.parse_args()
+    if args.protocol:
+        ok = True
+        for path in args.paths:
+            ok = validate_protocol_file(path) and ok
+        return 0 if ok else 1
+    if len(args.paths) != 1:
+        print("FAIL: bench mode takes exactly one directory")
+        return 1
     required = [s for s in args.require_solvers.split(",") if s]
-    files = sorted(args.directory.glob("BENCH_*.json"))
+    files = sorted(args.paths[0].glob("BENCH_*.json"))
     if not files:
-        print(f"FAIL {args.directory}: no BENCH_*.json files found")
+        print(f"FAIL {args.paths[0]}: no BENCH_*.json files found")
         return 1
     ok = True
     for path in files:
