@@ -1,0 +1,18 @@
+// Streaming re-formation trajectory — the serving extension's perf
+// artifact, not a paper figure. A fixed cumulative delta script runs
+// against one quality matrix; each epoch re-solves with OPT*-LS twice:
+// cold (full re-solve from the greedy seed, what a client would pay
+// re-sending groupform.request/1 after every population change) and warm
+// (started from the previous epoch's partition via the same
+// AdaptAssignment carry `groupform.delta/1` uses, DESIGN.md §13).
+//
+// Columns: objective | passes (FormationResult::refine_passes, the
+// `warm_start_passes` wire field). The banked win is objective(warm) >=
+// objective(cold) at fewer passes. GF_BENCH_JSON=<dir> writes
+// BENCH_delta_vs_resolve.json; the checked-in snapshot lives at
+// bench/snapshots/BENCH_delta_vs_resolve.json.
+#include "eval/paper_sweeps.h"
+
+int main() {
+  return groupform::eval::RunPaperSuiteMain("delta_vs_resolve");
+}

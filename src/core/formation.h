@@ -63,6 +63,11 @@ struct FormationResult {
   std::vector<FormedGroup> groups;
   /// Obj = sum of group satisfactions (§2.4).
   double objective = 0.0;
+  /// Improvement passes the solver actually applied (moves/swaps that
+  /// changed the partition). 0 for single-shot solvers; local search
+  /// reports it so warm-started re-solves can show their convergence
+  /// advantage (`warm_start_passes` on the wire, DESIGN.md §13).
+  int refine_passes = 0;
 
   int num_groups() const { return static_cast<int>(groups.size()); }
 

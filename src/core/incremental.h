@@ -21,9 +21,12 @@ namespace groupform::core {
 ///   auto result = former.Form();   // selection + residual only
 ///
 /// Form() produces exactly what GreedyFormer::Run() would produce for the
-/// currently-active population (property-tested), but repeated rounds
-/// skip the per-user top-k extraction for unchanged users — the dominant
-/// cost at scale.
+/// currently-active population — property-tested in
+/// tests/core/incremental_former_test.cc, including RemoveUser→AddUser
+/// round-trips landing bitwise on the never-removed state — but repeated
+/// rounds skip the per-user top-k extraction for unchanged users, the
+/// dominant cost at scale. The serving layer's `groupform.delta/1` leans
+/// on this equivalence for its greedy-family fast path (DESIGN.md §13).
 class IncrementalFormer {
  public:
   /// The problem's matrix fixes ids and ratings; membership of the active

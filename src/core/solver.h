@@ -4,11 +4,18 @@
 #include <cstdint>
 #include <map>
 #include <string>
+#include <vector>
 
 #include "common/status.h"
 #include "core/formation.h"
 
 namespace groupform::core {
+
+/// Option key carrying a warm-start partition ("0,2,5|1,3|4" — see
+/// core/delta.h EncodeStartAssignment). Solvers with a warm-start seam
+/// (exact::LocalSearchSolver) decode it; everyone else ignores it like
+/// any unknown key.
+inline constexpr char kStartAssignmentKey[] = "start_assignment";
 
 /// Untyped key/value option bag passed to solver factories (see
 /// SolverRegistry). Every solver family has its own Options struct with
@@ -53,6 +60,15 @@ class SolverOptions {
   /// true) → INVALID_ARGUMENT.
   common::StatusOr<bool> GetCheckedBool(const std::string& key,
                                         bool fallback) const;
+
+  /// Typed access to kStartAssignmentKey (implemented in delta.cc). Set
+  /// stores the partition in its canonical string encoding; Get returns
+  /// an empty partition when the key is absent or empty, and
+  /// INVALID_ARGUMENT when the stored value does not decode.
+  SolverOptions& SetStartAssignment(
+      const std::vector<std::vector<UserId>>& groups);
+  common::StatusOr<std::vector<std::vector<UserId>>> GetStartAssignment()
+      const;
 
   const std::map<std::string, std::string>& entries() const {
     return entries_;

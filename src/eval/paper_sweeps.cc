@@ -10,11 +10,16 @@
 #include <mutex>
 #include <utility>
 
+#include <span>
+
 #include "common/strings.h"
+#include "core/delta.h"
+#include "core/solver_registry.h"
 #include "data/synthetic.h"
 #include "eval/metrics.h"
 #include "eval/sweep_json.h"
 #include "grouprec/semantics.h"
+#include "solvers/builtin.h"
 
 namespace groupform::eval {
 
@@ -568,6 +573,122 @@ SweepSuite MakeBaselinePanorama() {
   return suite;
 }
 
+/// The improvement passes the solver actually ran (FormationResult::
+/// refine_passes; `warm_start_passes` on the wire).
+SweepMetric PassesMetric() {
+  return {"passes", 0,
+          [](const core::FormationProblem&, const RunOutcome& outcome) {
+            return static_cast<double>(outcome.result.refine_passes);
+          }};
+}
+
+/// The serving layer's perf trajectory (DESIGN.md §13, not a paper
+/// figure): a fixed cumulative delta script against one quality matrix,
+/// one sweep per epoch, comparing OPT*-LS cold (full re-solve of the
+/// post-delta instance) against OPT*-LS warm-started from the previous
+/// epoch's solution, exactly as `groupform.delta/1` folds warm starts
+/// forward. The warm chain is computed here, eagerly, with the same
+/// AdaptAssignment carry the session uses, so the suite's warm series
+/// reproduce the server's trajectory bit-for-bit. BENCH_delta_vs_resolve
+/// .json snapshots the pass counts (bench/snapshots/).
+common::StatusOr<SweepSuite> MakeDeltaVsResolve(double scale) {
+  solvers::EnsureBuiltinSolversRegistered();
+  SweepSuite suite;
+  suite.name = "delta_vs_resolve";
+  suite.title =
+      "Streaming re-formation: warm-started OPT*-LS vs full re-solve";
+  suite.paper_ref =
+      "serving extension (docs/PROTOCOL.md groupform.delta/1); "
+      "not a paper figure";
+  suite.notes =
+      "each epoch applies one more population delta; warm rows climb "
+      "from the previous epoch's partition, cold rows re-solve from the "
+      "greedy seed; objective(warm) >= objective(cold) with fewer passes "
+      "is the win the delta endpoint banks on";
+
+  const std::int32_t users = Scaled(120, scale, /*floor=*/32);
+  const std::int32_t items = 60;
+  const MatrixPtr base = SharedQualityMatrix(users, items, /*seed=*/42);
+  using Kind = core::PopulationDelta::Kind;
+  const std::vector<core::PopulationDelta> script = {
+      {Kind::kRemoveUser, 3},
+      {Kind::kRemoveUser, 11},
+      {Kind::kAddUser, 3},
+      {Kind::kRerate, 0, 2, 5.0},
+  };
+
+  // Fold the warm chain forward: epoch 0 solves cold; epoch i carries
+  // epoch i-1's groups through AdaptAssignment into a start_assignment.
+  std::vector<std::vector<UserId>> previous_groups;  // base user ids
+  for (std::size_t step = 0; step <= script.size(); ++step) {
+    const std::span<const core::PopulationDelta> prefix(script.data(),
+                                                        step);
+    GF_ASSIGN_OR_RETURN(core::AppliedDeltas applied,
+                        core::ApplyDeltas(*base, prefix));
+    MatrixPtr matrix = base;
+    if (!applied.identical_to_base) {
+      GF_ASSIGN_OR_RETURN(data::RatingMatrix materialized,
+                          core::MaterializeDeltas(*base, applied));
+      matrix = std::make_shared<const data::RatingMatrix>(
+          std::move(materialized));
+    }
+    core::FormationProblem problem = QualityProblem(
+        Semantics::kAggregateVoting, Aggregation::kMax, /*k=*/5, /*ell=*/8);
+    problem.matrix = matrix.get();
+    core::SolverOptions warm_options;
+    if (step > 0) {
+      const std::vector<std::vector<UserId>> carried =
+          core::AdaptAssignment(previous_groups, applied.active_users,
+                                problem.max_groups);
+      GF_ASSIGN_OR_RETURN(
+          const auto local,
+          core::AssignmentToLocal(carried, applied.active_users));
+      warm_options.SetStartAssignment(local);
+    }
+    GF_ASSIGN_OR_RETURN(const auto solver,
+                        core::SolverRegistry::Global().Create(
+                            "localsearch", problem, warm_options));
+    GF_ASSIGN_OR_RETURN(const core::FormationResult chained,
+                        solver->Solve(core::FormationSolver::kDefaultSeed));
+    previous_groups.clear();
+    for (const auto& group : chained.groups) {
+      std::vector<UserId> members;
+      members.reserve(group.members.size());
+      for (const UserId local : group.members) {
+        members.push_back(
+            applied.active_users[static_cast<std::size_t>(local)]);
+      }
+      previous_groups.push_back(std::move(members));
+    }
+
+    SweepSpec spec;
+    spec.name = common::StrFormat("delta_step%zu", step);
+    spec.title = common::StrFormat(
+        "epoch %zu (%zu of %zu deltas applied, %d active users)", step,
+        step, script.size(), matrix->num_users());
+    spec.axis = "deltas";
+    spec.xs = {static_cast<int>(step)};
+    SweepSeries cold;
+    cold.solver = "localsearch";
+    cold.label = "OPT*-LS/cold";
+    SweepSeries warm;
+    warm.solver = "localsearch";
+    warm.label = "OPT*-LS/warm";
+    warm.options = warm_options;
+    spec.series = {std::move(cold), std::move(warm)};
+    spec.metrics = {ObjectiveMetric(), PassesMetric()};
+    spec.record_seconds = false;
+    spec.make_instance = [matrix](int, int) {
+      SweepInstance instance(matrix);
+      instance.problem = QualityProblem(Semantics::kAggregateVoting,
+                                        Aggregation::kMax, 5, 8);
+      return instance;
+    };
+    suite.specs.push_back(std::move(spec));
+  }
+  return suite;
+}
+
 }  // namespace
 
 data::RatingMatrix QualityMatrix(std::int32_t num_users,
@@ -597,8 +718,9 @@ void PrintBenchHeader(const std::string& experiment,
 }
 
 std::vector<std::string> PaperSuiteNames() {
-  return {"fig1", "fig2",   "fig3",     "fig4",    "fig5",
-          "fig6", "table4", "ablation", "baseline"};
+  return {"fig1",   "fig2",     "fig3",     "fig4",
+          "fig5",   "fig6",     "table4",   "ablation",
+          "baseline", "delta_vs_resolve"};
 }
 
 common::StatusOr<SweepSuite> MakePaperSuite(const std::string& name) {
@@ -616,6 +738,7 @@ common::StatusOr<SweepSuite> MakePaperSuite(const std::string& name) {
   if (name == "table4") return MakeTable4();
   if (name == "ablation") return MakeAblation(scale);
   if (name == "baseline") return MakeBaselinePanorama();
+  if (name == "delta_vs_resolve") return MakeDeltaVsResolve(scale);
   return common::Status::NotFound(
       "unknown sweep suite '" + name + "'; available: " +
       common::Join(PaperSuiteNames(), ", "));

@@ -5,6 +5,7 @@
 
 #include "common/logging.h"
 #include "common/random.h"
+#include "common/strings.h"
 #include "common/thread_pool.h"
 #include "core/greedy.h"
 
@@ -175,6 +176,42 @@ common::StatusOr<FormationResult> LocalSearchSolver::Run() const {
   score_options.shard_min_items = options_.shard_min_items;
 
   // ---- Initial partition ----
+  // Validate the warm start (if any) before touching the rng: it must be
+  // an exact partition of the users into at most ell groups. Groups are
+  // re-sorted and padded to ell slots so the climb sees the same state
+  // shape as a cold run.
+  std::vector<std::vector<UserId>> warm_groups;
+  if (!options_.start_assignment.empty()) {
+    if (static_cast<int>(options_.start_assignment.size()) > ell) {
+      return common::Status::InvalidArgument(common::StrFormat(
+          "start_assignment has %zu groups, max_groups is %d",
+          options_.start_assignment.size(), ell));
+    }
+    warm_groups.assign(static_cast<std::size_t>(ell), {});
+    std::vector<char> seen(static_cast<std::size_t>(n), 0);
+    int covered = 0;
+    for (std::size_t g = 0; g < options_.start_assignment.size(); ++g) {
+      for (const UserId u : options_.start_assignment[g]) {
+        if (u < 0 || u >= n) {
+          return common::Status::InvalidArgument(common::StrFormat(
+              "start_assignment member %d is outside [0, %d)", u, n));
+        }
+        if (seen[static_cast<std::size_t>(u)]) {
+          return common::Status::InvalidArgument(common::StrFormat(
+              "start_assignment lists user %d twice", u));
+        }
+        seen[static_cast<std::size_t>(u)] = 1;
+        ++covered;
+        warm_groups[g].push_back(u);
+      }
+      std::sort(warm_groups[g].begin(), warm_groups[g].end());
+    }
+    if (covered != n) {
+      return common::Status::InvalidArgument(common::StrFormat(
+          "start_assignment covers %d of %d users", covered, n));
+    }
+  }
+
   State state;
   state.groups.assign(static_cast<std::size_t>(ell), {});
   if (options_.init_with_greedy) {
@@ -182,6 +219,8 @@ common::StatusOr<FormationResult> LocalSearchSolver::Run() const {
     for (std::size_t g = 0; g < seed_result.groups.size(); ++g) {
       state.groups[g] = std::move(seed_result.groups[g].members);
     }
+  } else if (!warm_groups.empty()) {
+    state.groups = warm_groups;
   } else {
     // Balanced random split.
     std::vector<UserId> order(static_cast<std::size_t>(n));
@@ -200,6 +239,26 @@ common::StatusOr<FormationResult> LocalSearchSolver::Run() const {
     state.satisfaction[g] = seed_scores[g].satisfaction;
     state.objective += state.satisfaction[g];
   }
+  // Warm-vs-seed selection (DESIGN.md §13): with both a greedy seed and
+  // a warm start, climb from whichever scores higher; ties keep the warm
+  // start so a converged epoch re-solve starts (and stays) at its own
+  // optimum. When the greedy seed wins, the run is byte-identical to a
+  // cold one — no init path that reaches this point has touched the rng.
+  if (!warm_groups.empty() && options_.init_with_greedy) {
+    const std::vector<core::GroupScore> warm_scores =
+        core::ScoreGroups(problem_, scorer, warm_groups, score_options);
+    double warm_objective = 0.0;
+    for (const core::GroupScore& score : warm_scores) {
+      warm_objective += score.satisfaction;
+    }
+    if (warm_objective >= state.objective) {
+      state.groups = std::move(warm_groups);
+      for (std::size_t g = 0; g < state.groups.size(); ++g) {
+        state.satisfaction[g] = warm_scores[g].satisfaction;
+      }
+      state.objective = warm_objective;
+    }
+  }
 
   // ---- Hill climbing: plan in parallel, apply serially ----
   std::vector<UserId> visit_order(static_cast<std::size_t>(n));
@@ -211,6 +270,7 @@ common::StatusOr<FormationResult> LocalSearchSolver::Run() const {
     }
   }
   std::vector<char> dirty(state.groups.size(), 0);
+  int refine_passes = 0;
 
   for (int pass = 0; pass < options_.max_passes; ++pass) {
     rng.Shuffle(visit_order);
@@ -259,6 +319,7 @@ common::StatusOr<FormationResult> LocalSearchSolver::Run() const {
       improved = true;
     }
     if (!improved) break;
+    ++refine_passes;
   }
 
   // ---- Package ----
@@ -268,6 +329,7 @@ common::StatusOr<FormationResult> LocalSearchSolver::Run() const {
       core::ScoreGroups(problem_, scorer, state.groups, score_options);
   FormationResult result;
   result.algorithm = "OPT*-LS";
+  result.refine_passes = refine_passes;
   for (std::size_t g = 0; g < state.groups.size(); ++g) {
     if (state.groups[g].empty()) continue;
     FormedGroup group;

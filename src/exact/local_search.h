@@ -47,6 +47,16 @@ class LocalSearchSolver : public core::FormationSolver {
     /// Seed the initial partition with the greedy solution; otherwise a
     /// seeded random balanced split is used.
     bool init_with_greedy = true;
+    /// Warm start (core::kStartAssignmentKey, DESIGN.md §13): when
+    /// non-empty, a partition of *all* users into at most max_groups
+    /// groups — typically a previous epoch's solution carried over by
+    /// core::AdaptAssignment. With init_with_greedy the run scores both
+    /// this partition and the greedy seed and climbs from whichever is
+    /// better (ties keep the warm start); without it the warm partition
+    /// replaces the random split. The rng is untouched either way, so a
+    /// warm run whose greedy seed wins is byte-identical to a cold run.
+    /// INVALID_ARGUMENT if it is not an exact partition of the users.
+    std::vector<std::vector<UserId>> start_assignment;
     /// Minimum objective gain for a move to be applied.
     double min_improvement = 1e-9;
     /// Batch-evaluate each pass's candidate moves on the shared pool.

@@ -73,6 +73,11 @@ void RegisterExactSolvers() {
             opt.shard_min_items,
             options.GetCheckedInt("shard_min_items", opt.shard_min_items,
                                   /*min_value=*/0));
+        // Warm starts are validated the same way: a malformed
+        // start_assignment encoding fails the lookup, and the solver
+        // itself rejects partitions that do not cover the instance.
+        GF_ASSIGN_OR_RETURN(opt.start_assignment,
+                            options.GetStartAssignment());
         return SolverOr(std::make_unique<LocalSearchSolver>(problem, opt));
       });
 

@@ -53,8 +53,9 @@ InstanceCache::InstanceCache(std::int64_t capacity_bytes)
     : capacity_bytes_(capacity_bytes) {}
 
 common::StatusOr<std::shared_ptr<const data::RatingMatrix>>
-InstanceCache::Get(const InstanceSpec& spec) {
-  const std::string key = spec.CanonicalKey();
+InstanceCache::GetOrBuild(
+    const std::string& key,
+    const std::function<common::StatusOr<data::RatingMatrix>()>& build) {
   {
     std::lock_guard<std::mutex> lock(mu_);
     const auto it = index_.find(key);
@@ -65,10 +66,11 @@ InstanceCache::Get(const InstanceSpec& spec) {
       return it->second->matrix;
     }
   }
-  // Load outside the lock so a slow file load or large generation does not
-  // stall concurrent requests for already-cached instances. Two racing
-  // first requests may both build the matrix; the loser's copy is dropped.
-  GF_ASSIGN_OR_RETURN(data::RatingMatrix built, BuildInstance(spec));
+  // Build outside the lock so a slow file load or large generation does
+  // not stall concurrent requests for already-cached instances. Two
+  // racing first requests may both build the matrix; the loser's copy is
+  // dropped.
+  GF_ASSIGN_OR_RETURN(data::RatingMatrix built, build());
   auto matrix =
       std::make_shared<const data::RatingMatrix>(std::move(built));
   std::lock_guard<std::mutex> lock(mu_);
@@ -88,6 +90,65 @@ InstanceCache::Get(const InstanceSpec& spec) {
   ++stats_.misses;
   EvictLocked();
   return matrix;
+}
+
+common::StatusOr<std::shared_ptr<const data::RatingMatrix>>
+InstanceCache::Get(const InstanceSpec& spec) {
+  return GetOrBuild(spec.CanonicalKey(),
+                    [&spec] { return BuildInstance(spec); });
+}
+
+common::StatusOr<InstanceCache::EpochInstance> InstanceCache::GetEpoch(
+    const InstanceSpec& spec,
+    std::span<const core::PopulationDelta> deltas) {
+  EpochInstance epoch;
+  epoch.key = EpochKey(spec, deltas);
+  GF_ASSIGN_OR_RETURN(epoch.base, Get(spec));
+  // The fold is cheap (no matrix copy) and delta sequences are small, so
+  // it is re-validated per call — only the materialised matrix is cached.
+  GF_ASSIGN_OR_RETURN(core::AppliedDeltas applied,
+                      core::ApplyDeltas(*epoch.base, deltas));
+  if (applied.identical_to_base) {
+    // Copy-on-first-effective-delta: share the base entry, insert
+    // nothing.
+    epoch.matrix = epoch.base;
+    epoch.shares_base = true;
+  } else {
+    const data::RatingMatrix& base = *epoch.base;
+    GF_ASSIGN_OR_RETURN(epoch.matrix,
+                        GetOrBuild(epoch.key, [&base, &applied] {
+                          return core::MaterializeDeltas(base, applied);
+                        }));
+  }
+  epoch.active_users = std::move(applied.active_users);
+  return epoch;
+}
+
+std::shared_ptr<const InstanceCache::CachedSolution>
+InstanceCache::GetSolution(const std::string& key) const {
+  std::lock_guard<std::mutex> lock(solution_mu_);
+  const auto it = solution_index_.find(key);
+  if (it == solution_index_.end()) return nullptr;
+  solution_lru_.splice(solution_lru_.begin(), solution_lru_, it->second);
+  return it->second->second;
+}
+
+void InstanceCache::PutSolution(
+    const std::string& key,
+    std::shared_ptr<const CachedSolution> solution) {
+  std::lock_guard<std::mutex> lock(solution_mu_);
+  const auto it = solution_index_.find(key);
+  if (it != solution_index_.end()) {
+    it->second->second = std::move(solution);
+    solution_lru_.splice(solution_lru_.begin(), solution_lru_, it->second);
+    return;
+  }
+  solution_lru_.emplace_front(key, std::move(solution));
+  solution_index_[key] = solution_lru_.begin();
+  while (static_cast<int>(solution_lru_.size()) > kSolutionMemoCapacity) {
+    solution_index_.erase(solution_lru_.back().first);
+    solution_lru_.pop_back();
+  }
 }
 
 void InstanceCache::EvictLocked() {

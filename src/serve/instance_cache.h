@@ -8,13 +8,17 @@
 // (DESIGN.md §12.3).
 
 #include <cstdint>
+#include <functional>
 #include <list>
 #include <map>
 #include <memory>
 #include <mutex>
+#include <span>
 #include <string>
+#include <vector>
 
 #include "common/status.h"
+#include "core/delta.h"
 #include "data/rating_matrix.h"
 #include "serve/protocol.h"
 
@@ -46,6 +50,53 @@ class InstanceCache {
   common::StatusOr<std::shared_ptr<const data::RatingMatrix>> Get(
       const InstanceSpec& spec);
 
+  /// A resolved instance epoch (DESIGN.md §13): the base instance plus a
+  /// validated delta sequence.
+  struct EpochInstance {
+    /// serve::EpochKey(spec, deltas).
+    std::string key;
+    std::shared_ptr<const data::RatingMatrix> base;
+    /// The post-delta matrix in epoch-local user ids. Equals `base`
+    /// (same object, no copy) when the sequence cancels out.
+    std::shared_ptr<const data::RatingMatrix> matrix;
+    /// Active base-matrix user ids, ascending: epoch-local id i names
+    /// base user active_users[i].
+    std::vector<UserId> active_users;
+    bool shares_base = false;
+  };
+
+  /// Resolves `spec` + `deltas` to an epoch, validating the sequence
+  /// (core::ApplyDeltas errors pass through) and materialising the
+  /// post-delta matrix at most once per epoch key. Copy-on-first-
+  /// effective-delta: a fully cancelling sequence shares the base
+  /// matrix's cache entry and inserts nothing, so concurrent
+  /// `groupform.request/1` streams on the base are unaffected; an
+  /// effective sequence gets its own LRU entry under the epoch key, with
+  /// the same byte accounting and eviction rules as base entries.
+  common::StatusOr<EpochInstance> GetEpoch(
+      const InstanceSpec& spec,
+      std::span<const core::PopulationDelta> deltas);
+
+  /// A memoized per-epoch solve, stored in epoch-local user ids. The
+  /// delta session logic uses this to fold warm starts across request
+  /// prefixes and to price `objective_delta_vs_previous` without
+  /// re-solving; entries are pure memoization (the key embeds solver,
+  /// options, problem, and seed), so a miss only costs a re-solve.
+  struct CachedSolution {
+    core::FormationResult result;
+  };
+
+  /// nullptr on miss. A hit refreshes the entry's recency.
+  std::shared_ptr<const CachedSolution> GetSolution(
+      const std::string& key) const;
+
+  /// Inserts (or refreshes) a memoized solve; the memo keeps the most
+  /// recent kSolutionMemoCapacity entries.
+  void PutSolution(const std::string& key,
+                   std::shared_ptr<const CachedSolution> solution);
+
+  static constexpr int kSolutionMemoCapacity = 256;
+
   /// Observability counters; hits + misses = completed Get calls
   /// (failed loads count as neither).
   struct Stats {
@@ -66,6 +117,12 @@ class InstanceCache {
     std::int64_t bytes = 0;
   };
 
+  /// Shared lookup/build/insert path of Get and GetEpoch: double-checked
+  /// locking, `build` runs outside the lock.
+  common::StatusOr<std::shared_ptr<const data::RatingMatrix>> GetOrBuild(
+      const std::string& key,
+      const std::function<common::StatusOr<data::RatingMatrix>()>& build);
+
   /// Drops unpinned LRU entries until within budget. Caller holds mu_.
   void EvictLocked();
 
@@ -76,6 +133,15 @@ class InstanceCache {
   std::list<Entry> lru_;
   std::map<std::string, std::list<Entry>::iterator> index_;
   Stats stats_;
+
+  /// The solution memo has its own lock: a PutSolution must never
+  /// contend with matrix loads.
+  mutable std::mutex solution_mu_;
+  using SolutionEntry =
+      std::pair<std::string, std::shared_ptr<const CachedSolution>>;
+  mutable std::list<SolutionEntry> solution_lru_;
+  mutable std::map<std::string, std::list<SolutionEntry>::iterator>
+      solution_index_;
 };
 
 /// Approximate heap footprint of a loaded matrix: CSR entries plus row

@@ -544,6 +544,62 @@ StatusOr<InstanceSpec> ParseInstance(const JsonValue& value) {
   return spec;
 }
 
+/// Parses the `groupform.delta/1` "deltas" array: each entry is
+/// ["add_user", user], ["remove_user", user], or
+/// ["rerate", user, item, rating]. Ids go through IdFromNumber, so
+/// int32-wrap values fail here with INVALID_ARGUMENT instead of
+/// reaching the data layer's GF_CHECKs; rating values are range-checked
+/// later against the instance scale by core::ApplyDeltas.
+StatusOr<std::vector<core::PopulationDelta>> ParseDeltas(
+    const JsonValue& value) {
+  if (value.type != JsonValue::Type::kArray) {
+    return WrongType("deltas", value, "array");
+  }
+  std::vector<core::PopulationDelta> deltas;
+  deltas.reserve(value.array.size());
+  for (std::size_t i = 0; i < value.array.size(); ++i) {
+    const JsonValue& entry = value.array[i];
+    const std::string where = common::StrFormat("field \"deltas[%zu]\"", i);
+    if (entry.type != JsonValue::Type::kArray || entry.array.empty() ||
+        entry.array[0].type != JsonValue::Type::kString) {
+      return Status::InvalidArgument(
+          where + ": expected [\"add_user\"|\"remove_user\"|\"rerate\", "
+                  "ids...]");
+    }
+    core::PopulationDelta delta;
+    const auto kind = core::DeltaKindFromString(entry.array[0].string);
+    if (!kind.ok()) {
+      return Status::InvalidArgument(where + ": " +
+                                     kind.status().message());
+    }
+    delta.kind = *kind;
+    if (delta.kind == core::PopulationDelta::Kind::kRerate) {
+      if (entry.array.size() != 4 ||
+          entry.array[3].type != JsonValue::Type::kNumber) {
+        return Status::InvalidArgument(
+            where + ": rerate takes [\"rerate\", user, item, rating]");
+      }
+      GF_ASSIGN_OR_RETURN(
+          delta.user,
+          IdFromNumber(entry.array[1], (where + " user").c_str()));
+      GF_ASSIGN_OR_RETURN(
+          delta.item,
+          IdFromNumber(entry.array[2], (where + " item").c_str()));
+      delta.rating = entry.array[3].number;
+    } else {
+      if (entry.array.size() != 2) {
+        return Status::InvalidArgument(
+            where + ": membership ops take [\"op\", user]");
+      }
+      GF_ASSIGN_OR_RETURN(
+          delta.user,
+          IdFromNumber(entry.array[1], (where + " user").c_str()));
+    }
+    deltas.push_back(delta);
+  }
+  return deltas;
+}
+
 StatusOr<ProblemSpec> ParseProblem(const JsonValue* value) {
   ProblemSpec spec;
   if (value == nullptr) return spec;
@@ -664,6 +720,15 @@ std::string InstanceSpec::CanonicalKey() const {
   return common::StrFormat("inline:%dx%d:h%016zx", users, items, hash);
 }
 
+std::string EpochKey(const InstanceSpec& spec,
+                     std::span<const core::PopulationDelta> deltas) {
+  std::string key = spec.CanonicalKey();
+  if (deltas.empty()) return key;
+  return key + common::StrFormat(
+                   ":d%016llx", static_cast<unsigned long long>(
+                                    core::DeltaSequenceHash(deltas)));
+}
+
 common::StatusOr<Request> ParseRequestLine(const std::string& line) {
   JsonParser parser(line);
   GF_ASSIGN_OR_RETURN(const JsonValue root, parser.Parse());
@@ -672,12 +737,13 @@ common::StatusOr<Request> ParseRequestLine(const std::string& line) {
   }
   GF_ASSIGN_OR_RETURN(const std::string schema,
                       FieldString(root, "schema", std::nullopt));
-  if (schema != kRequestSchema) {
-    return Status::InvalidArgument(
-        common::StrFormat("field \"schema\": expected \"%s\", got \"%s\"",
-                          kRequestSchema, schema.c_str()));
+  if (schema != kRequestSchema && schema != kDeltaRequestSchema) {
+    return Status::InvalidArgument(common::StrFormat(
+        "field \"schema\": expected \"%s\" or \"%s\", got \"%s\"",
+        kRequestSchema, kDeltaRequestSchema, schema.c_str()));
   }
   Request request;
+  request.is_delta = (schema == kDeltaRequestSchema);
   GF_ASSIGN_OR_RETURN(request.id,
                       FieldString(root, "id", std::string()));
   GF_ASSIGN_OR_RETURN(request.solver,
@@ -705,6 +771,19 @@ common::StatusOr<Request> ParseRequestLine(const std::string& line) {
     return Status::InvalidArgument("missing required field \"instance\"");
   }
   GF_ASSIGN_OR_RETURN(request.instance, ParseInstance(*instance));
+  if (request.is_delta) {
+    const JsonValue* deltas = root.Find("deltas");
+    if (deltas == nullptr) {
+      return Status::InvalidArgument(
+          "missing required field \"deltas\" (groupform.delta/1)");
+    }
+    GF_ASSIGN_OR_RETURN(request.deltas, ParseDeltas(*deltas));
+  } else if (root.Find("deltas") != nullptr) {
+    // Silently dropping the array would answer with a solve of the
+    // unmutated base population — reject instead.
+    return Status::InvalidArgument(
+        "field \"deltas\" requires schema \"groupform.delta/1\"");
+  }
   GF_ASSIGN_OR_RETURN(request.problem, ParseProblem(root.Find("problem")));
   GF_ASSIGN_OR_RETURN(
       const long long seed,
@@ -727,7 +806,8 @@ common::StatusOr<Request> ParseRequestLine(const std::string& line) {
 std::string RenderRequest(const Request& request) {
   eval::JsonWriter writer;
   writer.BeginObject();
-  writer.Key("schema").String(kRequestSchema);
+  writer.Key("schema").String(request.is_delta ? kDeltaRequestSchema
+                                               : kRequestSchema);
   writer.Key("id").String(request.id);
   writer.Key("solver").String(request.solver);
   writer.Key("options").BeginObject();
@@ -737,6 +817,20 @@ std::string RenderRequest(const Request& request) {
   writer.EndObject();
   writer.Key("instance");
   RenderInstance(writer, request.instance);
+  if (request.is_delta) {
+    writer.Key("deltas").BeginArray();
+    for (const core::PopulationDelta& delta : request.deltas) {
+      writer.BeginArray();
+      writer.String(core::DeltaKindToString(delta.kind));
+      writer.Int(delta.user);
+      if (delta.kind == core::PopulationDelta::Kind::kRerate) {
+        writer.Int(delta.item);
+        writer.Number(delta.rating);
+      }
+      writer.EndArray();
+    }
+    writer.EndArray();
+  }
   writer.Key("problem").BeginObject();
   writer.Key("semantics").String(request.problem.semantics);
   writer.Key("aggregation").String(request.problem.aggregation);
@@ -780,6 +874,15 @@ std::string RenderResponse(const Response& response) {
         writer.EndArray();
       }
       writer.EndArray();
+    }
+    if (response.is_delta) {
+      // After groups, before seconds: an OK delta response is
+      // byte-identical to the fresh-request response on the post-delta
+      // population up through its groups.
+      writer.Key("epoch").String(response.epoch);
+      writer.Key("objective_delta_vs_previous")
+          .Number(response.objective_delta_vs_previous);
+      writer.Key("warm_start_passes").Int(response.warm_start_passes);
     }
     if (response.seconds >= 0.0) {
       writer.Key("seconds").Number(response.seconds);
@@ -863,6 +966,20 @@ common::StatusOr<Response> ParseResponseLine(const std::string& line) {
       }
       response.groups.push_back(std::move(group));
     }
+  }
+  if (const JsonValue* epoch = root.Find("epoch"); epoch != nullptr) {
+    if (epoch->type != JsonValue::Type::kString) {
+      return WrongType("epoch", *epoch, "string");
+    }
+    response.is_delta = true;
+    response.epoch = epoch->string;
+    GF_ASSIGN_OR_RETURN(
+        response.objective_delta_vs_previous,
+        FieldDouble(root, "objective_delta_vs_previous", 0.0));
+    GF_ASSIGN_OR_RETURN(const long long passes,
+                        FieldInt(root, "warm_start_passes", 0,
+                                 /*min_value=*/0, kMaxInt32Field));
+    response.warm_start_passes = static_cast<int>(passes);
   }
   GF_ASSIGN_OR_RETURN(response.seconds,
                       FieldDouble(root, "seconds", -1.0));

@@ -11,23 +11,36 @@
 // states: OK with objective/metrics/groups, DNF for work declined or
 // abandoned by policy, ERR(<code>) for real failures.
 //
+// `groupform.delta/1` is the streaming sibling (DESIGN.md §13): the same
+// request envelope plus an ordered "deltas" array of add_user /
+// remove_user / rerate operations against the named base instance. Each
+// delta request is self-contained — it carries the *full* cumulative
+// sequence since the base, so requests stay order-independent under
+// pipelining and all server-side epoch state is pure memoization. OK
+// responses additionally report the epoch key, the objective delta
+// against the previous epoch (the sequence minus its last operation),
+// and the warm-start pass count.
+//
 // Canonical form: RenderRequest/RenderResponse emit every field in a
 // fixed order with the library's number formatting, so parse ∘ render is
 // the identity on rendered lines and byte-level golden diffs are
 // meaningful.
 
 #include <cstdint>
+#include <span>
 #include <string>
 #include <vector>
 
 #include "common/status.h"
 #include "common/types.h"
+#include "core/delta.h"
 #include "core/solver.h"
 #include "eval/sweep.h"
 
 namespace groupform::serve {
 
 inline constexpr char kRequestSchema[] = "groupform.request/1";
+inline constexpr char kDeltaRequestSchema[] = "groupform.delta/1";
 inline constexpr char kResponseSchema[] = "groupform.response/1";
 
 /// Where a request's rating matrix comes from. The spec's canonical key
@@ -67,6 +80,14 @@ struct InstanceSpec {
   std::string CanonicalKey() const;
 };
 
+/// Epoch cache key of a base instance plus an ordered delta sequence:
+/// `CanonicalKey()` when `deltas` is empty, else CanonicalKey() +
+/// ":d<hash>" over core::DeltaSequenceHash. Order-sensitive — even a
+/// fully cancelling sequence names a distinct epoch (sharing the base
+/// matrix is the cache's copy-on-write decision, not the key's).
+std::string EpochKey(const InstanceSpec& spec,
+                     std::span<const core::PopulationDelta> deltas);
+
 /// The problem knobs of the CLI, by the same names and defaults.
 struct ProblemSpec {
   std::string semantics = "lm";     // lm | av
@@ -88,6 +109,10 @@ struct Request {
   core::SolverOptions options;
   InstanceSpec instance;
   ProblemSpec problem;
+  /// True for `groupform.delta/1` lines: `instance` names the *base* and
+  /// `deltas` the full ordered mutation sequence since that base.
+  bool is_delta = false;
+  std::vector<core::PopulationDelta> deltas;
   /// Solver seed (the CLI's --algo-seed).
   std::uint64_t seed = core::FormationSolver::kDefaultSeed;
   /// Wall-clock budget from receipt to completion; 0 = none. Expiry maps
@@ -141,6 +166,21 @@ struct Response {
   /// Wall-clock seconds; rendered only when the request set
   /// record_seconds (negative = omitted).
   double seconds = -1.0;
+  /// Delta-response extras, rendered *after* groups and before seconds
+  /// so an OK delta response is byte-identical to the fresh
+  /// `groupform.request/1` response on the post-delta population up
+  /// through its groups (the delta-equivalence property test leans on
+  /// this). Present when the request was `groupform.delta/1`.
+  bool is_delta = false;
+  /// The EpochKey the request resolved to.
+  std::string epoch;
+  /// objective minus the previous epoch's objective, where the previous
+  /// epoch applies the sequence without its last operation (an empty
+  /// sequence is its own previous, so the value is then 0).
+  double objective_delta_vs_previous = 0.0;
+  /// FormationResult::refine_passes of the solve that answered this
+  /// epoch (0 for single-shot solvers such as the greedy family).
+  int warm_start_passes = 0;
 };
 
 /// The canonical one-line rendering (no trailing newline).

@@ -1,13 +1,18 @@
 #include "serve/session.h"
 
+#include <algorithm>
 #include <exception>
 #include <memory>
 #include <optional>
+#include <span>
 #include <utility>
+#include <vector>
 
 #include "common/stopwatch.h"
 #include "common/strings.h"
+#include "core/delta.h"
 #include "core/formation.h"
+#include "core/incremental.h"
 #include "core/solver_registry.h"
 #include "eval/metrics.h"
 #include "eval/weighted_objective.h"
@@ -42,6 +47,112 @@ common::StatusOr<core::FormationProblem> BuildProblem(
   problem.candidate_depth = spec.candidate_depth;
   GF_RETURN_IF_ERROR(problem.Validate());
   return problem;
+}
+
+/// The shared OK packaging of Execute and ExecuteDelta: objective,
+/// metrics, groups, seconds. Field-order discipline matters — the
+/// renderer emits these before the delta extras, so an OK delta response
+/// matches the fresh-request response byte-for-byte up through groups.
+void FillOkResponse(Response& response, const Request& request,
+                    const core::FormationProblem& problem,
+                    const core::FormationResult& result, double seconds) {
+  response.solver = request.solver;
+  response.objective = result.objective;
+  response.num_groups = result.num_groups();
+  response.metrics.avg_group_satisfaction =
+      eval::AvgGroupSatisfaction(problem, result);
+  response.metrics.mean_user_rating =
+      eval::MeanPerUserSatisfaction(problem, result);
+  response.metrics.mean_user_ndcg = eval::MeanUserNdcg(problem, result);
+  response.metrics.fully_satisfied =
+      eval::FullySatisfiedFraction(problem, result);
+  if (request.include_groups) {
+    response.has_groups = true;
+    response.groups.reserve(result.groups.size());
+    for (const core::FormedGroup& group : result.groups) {
+      response.groups.push_back(group.members);
+    }
+  }
+  if (request.record_seconds) response.seconds = seconds;
+}
+
+/// Memo key of one per-epoch solve: everything that determines the
+/// result — epoch, solver, options, problem knobs, seed — plus the
+/// route family. The warm fold strips any client-sent start_assignment
+/// (the fold derives its own per prefix), so warm keys must not collide
+/// across different client-sent values of that option.
+std::string SolutionMemoKey(const std::string& epoch_key,
+                            const Request& request, bool warm_fold) {
+  std::string key = epoch_key;
+  key += '#';
+  key += request.solver;
+  key += '#';
+  for (const auto& [name, value] : request.options.entries()) {
+    if (warm_fold && name == core::kStartAssignmentKey) continue;
+    key += name;
+    key += '=';
+    key += value;
+    key += ';';
+  }
+  key += common::StrFormat(
+      "#%s/%s/%s/k%d/g%d/cd%d#s%llu#%s", request.problem.semantics.c_str(),
+      request.problem.aggregation.c_str(), request.problem.missing.c_str(),
+      request.problem.k, request.problem.groups,
+      request.problem.candidate_depth,
+      static_cast<unsigned long long>(request.seed),
+      warm_fold ? "warm" : "cold");
+  return key;
+}
+
+/// What a delta route produces: the current epoch's solution in
+/// epoch-local user ids, plus the previous epoch's objective.
+struct DeltaSolve {
+  core::FormationResult current;
+  double previous_objective = 0.0;
+};
+
+/// The greedy fast path: core::IncrementalFormer on the *base* problem,
+/// replaying the membership deltas instead of re-solving the epoch from
+/// scratch. Form() ≡ GreedyFormer on the active population and the
+/// active→local id map is monotone, so after remapping this is
+/// byte-identical to a fresh greedy solve of the epoch matrix.
+common::StatusOr<DeltaSolve> SolveGreedyDelta(
+    const core::FormationProblem& base_problem, const Request& request,
+    const InstanceCache::EpochInstance& epoch) {
+  core::IncrementalFormer former(base_problem);
+  former.AddAllUsers();
+  const auto apply = [&former](const core::PopulationDelta& delta) {
+    return delta.kind == core::PopulationDelta::Kind::kAddUser
+               ? former.AddUser(delta.user)
+               : former.RemoveUser(delta.user);
+  };
+  const std::size_t n = request.deltas.size();
+  for (std::size_t i = 0; i + 1 < n; ++i) {
+    GF_RETURN_IF_ERROR(apply(request.deltas[i]));
+  }
+  DeltaSolve solve;
+  if (former.num_active() == 0) {
+    // The previous prefix removed everyone (the full sequence re-adds at
+    // least one user, or ApplyDeltas would have rejected it).
+    solve.previous_objective = 0.0;
+  } else {
+    GF_ASSIGN_OR_RETURN(const core::FormationResult previous,
+                        former.Form());
+    solve.previous_objective = previous.objective;
+  }
+  if (n > 0) GF_RETURN_IF_ERROR(apply(request.deltas[n - 1]));
+  GF_ASSIGN_OR_RETURN(solve.current, former.Form());
+  // Base ids → epoch-local ids. The map is monotone, so members stay
+  // sorted and group order is untouched.
+  for (core::FormedGroup& group : solve.current.groups) {
+    for (UserId& member : group.members) {
+      const auto it =
+          std::lower_bound(epoch.active_users.begin(),
+                           epoch.active_users.end(), member);
+      member = static_cast<UserId>(it - epoch.active_users.begin());
+    }
+  }
+  return solve;
 }
 
 }  // namespace
@@ -129,24 +240,225 @@ Response Session::Execute(
                         static_cast<long long>(request.deadline_ms))));
   }
 
-  response.solver = request.solver;
-  response.objective = result.objective;
-  response.num_groups = result.num_groups();
-  response.metrics.avg_group_satisfaction =
-      eval::AvgGroupSatisfaction(problem, result);
-  response.metrics.mean_user_rating =
-      eval::MeanPerUserSatisfaction(problem, result);
-  response.metrics.mean_user_ndcg = eval::MeanUserNdcg(problem, result);
-  response.metrics.fully_satisfied =
-      eval::FullySatisfiedFraction(problem, result);
-  if (request.include_groups) {
-    response.has_groups = true;
-    response.groups.reserve(result.groups.size());
-    for (const core::FormedGroup& group : result.groups) {
-      response.groups.push_back(group.members);
-    }
+  FillOkResponse(response, request, problem, result, seconds);
+  return response;
+}
+
+Response Session::ExecuteDelta(
+    const Request& request,
+    std::chrono::steady_clock::time_point received_at) {
+  Response response;
+  response.id = request.id;
+  response.is_delta = true;
+
+  std::optional<std::chrono::steady_clock::time_point> deadline;
+  if (request.deadline_ms > 0) {
+    deadline = received_at + std::chrono::milliseconds(request.deadline_ms);
   }
-  if (request.record_seconds) response.seconds = seconds;
+
+  // Resolve the epoch: validates the sequence (ApplyDeltas's
+  // INVALID_ARGUMENT surface — never a GF_CHECK abort) and materialises
+  // the post-delta matrix at most once per epoch key.
+  auto epoch_or = cache_.GetEpoch(request.instance, request.deltas);
+  if (!epoch_or.ok()) {
+    return FailWith(std::move(response), eval::SweepCellState::kErr,
+                    epoch_or.status());
+  }
+  const InstanceCache::EpochInstance epoch = *std::move(epoch_or);
+  response.epoch = epoch.key;
+
+  // The cap prices the population actually solved — the epoch's.
+  const std::int64_t user_cap =
+      request.user_cap > 0 ? request.user_cap : config_.default_user_cap;
+  if (user_cap > 0 && epoch.matrix->num_users() > user_cap) {
+    return FailWith(
+        std::move(response), eval::SweepCellState::kDnf,
+        Status::ResourceExhausted(common::StrFormat(
+            "epoch has %d users, over the user_cap of %lld",
+            epoch.matrix->num_users(), static_cast<long long>(user_cap))));
+  }
+
+  auto problem_or = BuildProblem(request.problem, *epoch.matrix);
+  if (!problem_or.ok()) {
+    return FailWith(std::move(response), eval::SweepCellState::kErr,
+                    problem_or.status());
+  }
+  const core::FormationProblem& problem = *problem_or;
+
+  if (deadline && std::chrono::steady_clock::now() > *deadline) {
+    return FailWith(std::move(response), eval::SweepCellState::kDnf,
+                    Status::ResourceExhausted(
+                        "deadline_ms expired before execution started"));
+  }
+
+  const bool membership_only = std::none_of(
+      request.deltas.begin(), request.deltas.end(),
+      [](const core::PopulationDelta& delta) {
+        return delta.kind == core::PopulationDelta::Kind::kRerate;
+      });
+
+  // Route B: localsearch folds a warm start forward, one prefix epoch at
+  // a time. A(0) is a cold solve of the base; A(i) climbs epoch i from
+  // AdaptAssignment(A(i-1)). Every prefix solve is memoized under a
+  // canonical key, so the fold is a per-step increment on the hot path
+  // and the result is identical at every thread count and window.
+  const auto warm_fold = [&]() -> common::StatusOr<DeltaSolve> {
+    DeltaSolve solve;
+    core::FormationResult previous;
+    std::vector<UserId> previous_active;
+    const std::size_t n = request.deltas.size();
+    for (std::size_t i = 0; i <= n; ++i) {
+      InstanceCache::EpochInstance epoch_i;
+      if (i == n) {
+        epoch_i = epoch;
+      } else {
+        GF_ASSIGN_OR_RETURN(
+            epoch_i,
+            cache_.GetEpoch(request.instance,
+                            std::span(request.deltas.data(), i)));
+      }
+      const std::string key =
+          SolutionMemoKey(epoch_i.key, request, /*warm_fold=*/true);
+      core::FormationResult result_i;
+      if (const auto hit = cache_.GetSolution(key); hit != nullptr) {
+        result_i = hit->result;
+      } else {
+        if (deadline && std::chrono::steady_clock::now() > *deadline) {
+          return Status::ResourceExhausted(
+              "deadline_ms expired during the warm-start fold");
+        }
+        core::SolverOptions options_i;
+        for (const auto& [name, value] : request.options.entries()) {
+          // The fold owns the warm start; a client-sent one only applies
+          // to the non-delta path.
+          if (name == core::kStartAssignmentKey) continue;
+          options_i.Set(name, value);
+        }
+        if (i > 0) {
+          std::vector<std::vector<UserId>> carried;
+          carried.reserve(previous.groups.size());
+          for (const core::FormedGroup& group : previous.groups) {
+            std::vector<UserId> members;
+            members.reserve(group.members.size());
+            for (const UserId local : group.members) {
+              members.push_back(
+                  previous_active[static_cast<std::size_t>(local)]);
+            }
+            carried.push_back(std::move(members));
+          }
+          const auto adapted = core::AdaptAssignment(
+              carried, epoch_i.active_users, request.problem.groups);
+          GF_ASSIGN_OR_RETURN(
+              const auto local_start,
+              core::AssignmentToLocal(adapted, epoch_i.active_users));
+          options_i.SetStartAssignment(local_start);
+        }
+        core::FormationProblem problem_i;
+        if (i == n) {
+          problem_i = problem;
+        } else {
+          GF_ASSIGN_OR_RETURN(
+              problem_i, BuildProblem(request.problem, *epoch_i.matrix));
+        }
+        GF_ASSIGN_OR_RETURN(const auto solver,
+                            core::SolverRegistry::Global().Create(
+                                request.solver, problem_i, options_i));
+        GF_ASSIGN_OR_RETURN(result_i, solver->Solve(request.seed));
+        cache_.PutSolution(
+            key, std::make_shared<const InstanceCache::CachedSolution>(
+                     InstanceCache::CachedSolution{result_i}));
+      }
+      if (i == n) {
+        solve.current = std::move(result_i);
+      } else {
+        if (i + 1 == n) solve.previous_objective = result_i.objective;
+        previous = std::move(result_i);
+        previous_active = epoch_i.active_users;
+      }
+    }
+    if (n == 0) solve.previous_objective = solve.current.objective;
+    return solve;
+  };
+
+  // Route C: memoized cold solves of the epoch and (for the objective
+  // delta) its predecessor. Also the greedy route once rerates are in
+  // play — IncrementalFormer maintains membership, not ratings.
+  const auto cold_solve =
+      [&](const InstanceCache::EpochInstance& target,
+          const core::FormationProblem& target_problem)
+      -> common::StatusOr<core::FormationResult> {
+    const std::string key =
+        SolutionMemoKey(target.key, request, /*warm_fold=*/false);
+    if (const auto hit = cache_.GetSolution(key); hit != nullptr) {
+      return hit->result;
+    }
+    GF_ASSIGN_OR_RETURN(const auto solver,
+                        core::SolverRegistry::Global().Create(
+                            request.solver, target_problem,
+                            request.options));
+    GF_ASSIGN_OR_RETURN(core::FormationResult result,
+                        solver->Solve(request.seed));
+    cache_.PutSolution(
+        key, std::make_shared<const InstanceCache::CachedSolution>(
+                 InstanceCache::CachedSolution{result}));
+    return result;
+  };
+  const auto resolve = [&]() -> common::StatusOr<DeltaSolve> {
+    DeltaSolve solve;
+    GF_ASSIGN_OR_RETURN(solve.current, cold_solve(epoch, problem));
+    if (request.deltas.empty()) {
+      solve.previous_objective = solve.current.objective;
+      return solve;
+    }
+    GF_ASSIGN_OR_RETURN(
+        const auto previous_epoch,
+        cache_.GetEpoch(request.instance,
+                        std::span(request.deltas.data(),
+                                  request.deltas.size() - 1)));
+    GF_ASSIGN_OR_RETURN(
+        const auto previous_problem,
+        BuildProblem(request.problem, *previous_epoch.matrix));
+    GF_ASSIGN_OR_RETURN(const auto previous,
+                        cold_solve(previous_epoch, previous_problem));
+    solve.previous_objective = previous.objective;
+    return solve;
+  };
+
+  common::Stopwatch stopwatch;
+  common::StatusOr<DeltaSolve> solved = [&]() {
+    if (request.solver == "greedy" && membership_only) {
+      // Route A needs the *base* problem — the former replays deltas on
+      // the base matrix.
+      auto base_problem_or = BuildProblem(request.problem, *epoch.base);
+      if (!base_problem_or.ok()) {
+        return common::StatusOr<DeltaSolve>(base_problem_or.status());
+      }
+      return SolveGreedyDelta(*base_problem_or, request, epoch);
+    }
+    if (request.solver == "localsearch") return warm_fold();
+    return resolve();
+  }();
+  const double seconds = stopwatch.ElapsedSeconds();
+  if (!solved.ok()) {
+    const bool dnf = solved.status().code() ==
+                     common::StatusCode::kResourceExhausted;
+    return FailWith(
+        std::move(response),
+        dnf ? eval::SweepCellState::kDnf : eval::SweepCellState::kErr,
+        solved.status());
+  }
+
+  if (deadline && std::chrono::steady_clock::now() > *deadline) {
+    return FailWith(std::move(response), eval::SweepCellState::kDnf,
+                    Status::ResourceExhausted(common::StrFormat(
+                        "completed after the %lld ms deadline",
+                        static_cast<long long>(request.deadline_ms))));
+  }
+
+  FillOkResponse(response, request, problem, solved->current, seconds);
+  response.objective_delta_vs_previous =
+      solved->current.objective - solved->previous_objective;
+  response.warm_start_passes = solved->current.refine_passes;
   return response;
 }
 
@@ -159,6 +471,8 @@ std::string Session::HandleLine(
     if (!request_or.ok()) {
       response.state = eval::SweepCellState::kErr;
       response.status = request_or.status();
+    } else if (request_or->is_delta) {
+      response = ExecuteDelta(*request_or, received_at);
     } else {
       response = Execute(*request_or, received_at);
     }

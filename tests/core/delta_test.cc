@@ -1,0 +1,264 @@
+// core/delta.h: validating/folding delta sequences, epoch
+// materialisation, assignment carry, and the start-assignment encoding
+// (DESIGN.md §13). Every rejection is INVALID_ARGUMENT with the delta
+// index in the message — never a GF_CHECK abort.
+#include "core/delta.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/solver.h"
+#include "data/rating_matrix.h"
+
+namespace groupform::core {
+namespace {
+
+using Kind = PopulationDelta::Kind;
+
+TEST(ApplyDeltas, EmptySequenceIsIdenticalToBase) {
+  const auto base = [] {
+    data::RatingScale scale;
+    data::RatingMatrixBuilder builder(3, 2, scale);
+    (void)builder.AddRating(0, 0, 3.0);
+    return std::move(builder).Build();
+  }();
+  const auto applied = ApplyDeltas(base, {});
+  ASSERT_TRUE(applied.ok()) << applied.status();
+  EXPECT_TRUE(applied->identical_to_base);
+  EXPECT_EQ(applied->active_users, (std::vector<UserId>{0, 1, 2}));
+  EXPECT_TRUE(applied->overlays.empty());
+}
+
+TEST(ApplyDeltas, CancellingSequenceSharesTheBase) {
+  const auto base = [] {
+    data::RatingScale scale;
+    data::RatingMatrixBuilder builder(3, 2, scale);
+    (void)builder.AddRating(0, 0, 3.0);
+    return std::move(builder).Build();
+  }();
+  const std::vector<PopulationDelta> deltas = {
+      {Kind::kRemoveUser, 1},
+      {Kind::kAddUser, 1},
+      // A rerate landing exactly on the base value is not effective.
+      {Kind::kRerate, 0, 0, 3.0},
+  };
+  const auto applied = ApplyDeltas(base, deltas);
+  ASSERT_TRUE(applied.ok()) << applied.status();
+  EXPECT_TRUE(applied->identical_to_base);
+}
+
+TEST(ApplyDeltas, RemovalAndOverlayFold) {
+  const auto base = [] {
+    data::RatingScale scale;
+    data::RatingMatrixBuilder builder(4, 3, scale);
+    (void)builder.AddRating(0, 0, 3.0);
+    (void)builder.AddRating(2, 1, 2.0);
+    return std::move(builder).Build();
+  }();
+  const std::vector<PopulationDelta> deltas = {
+      {Kind::kRemoveUser, 1},
+      {Kind::kRerate, 2, 1, 4.0},
+      {Kind::kRerate, 2, 1, 5.0},  // later rerate wins
+      {Kind::kRerate, 0, 2, 1.0},  // fills an unobserved cell
+  };
+  const auto applied = ApplyDeltas(base, deltas);
+  ASSERT_TRUE(applied.ok()) << applied.status();
+  EXPECT_FALSE(applied->identical_to_base);
+  EXPECT_EQ(applied->active_users, (std::vector<UserId>{0, 2, 3}));
+  ASSERT_EQ(applied->overlays.size(), 2u);
+  EXPECT_EQ(applied->overlays[0].user, 0);
+  EXPECT_EQ(applied->overlays[0].item, 2);
+  EXPECT_EQ(applied->overlays[0].rating, 1.0);
+  EXPECT_EQ(applied->overlays[1].user, 2);
+  EXPECT_EQ(applied->overlays[1].rating, 5.0);
+}
+
+TEST(ApplyDeltas, RejectionsNameTheDeltaIndex) {
+  const auto base = [] {
+    data::RatingScale scale;
+    scale.min = 1.0;
+    scale.max = 5.0;
+    data::RatingMatrixBuilder builder(3, 2, scale);
+    (void)builder.AddRating(0, 0, 3.0);
+    return std::move(builder).Build();
+  }();
+  const struct {
+    const char* what;
+    std::vector<PopulationDelta> deltas;
+  } cases[] = {
+      {"add of an active user", {{Kind::kAddUser, 1}}},
+      {"remove of an inactive user",
+       {{Kind::kRemoveUser, 1}, {Kind::kRemoveUser, 1}}},
+      {"rerate of an inactive user",
+       {{Kind::kRemoveUser, 1}, {Kind::kRerate, 1, 0, 2.0}}},
+      {"out-of-range user", {{Kind::kRemoveUser, 99}}},
+      {"out-of-range item", {{Kind::kRerate, 0, 99, 2.0}}},
+      {"rating outside the scale", {{Kind::kRerate, 0, 0, 9.0}}},
+      {"no active users left",
+       {{Kind::kRemoveUser, 0},
+        {Kind::kRemoveUser, 1},
+        {Kind::kRemoveUser, 2}}},
+  };
+  for (const auto& test_case : cases) {
+    const auto applied = ApplyDeltas(base, test_case.deltas);
+    ASSERT_FALSE(applied.ok()) << test_case.what;
+    EXPECT_EQ(applied.status().code(),
+              common::StatusCode::kInvalidArgument)
+        << test_case.what;
+  }
+  // The failing index is named so a client can point at its own list.
+  const std::vector<PopulationDelta> two = {{Kind::kRemoveUser, 1},
+                                            {Kind::kRemoveUser, 1}};
+  const auto applied = ApplyDeltas(base, two);
+  EXPECT_NE(applied.status().message().find("delta 1"), std::string::npos)
+      << applied.status();
+}
+
+TEST(MaterializeDeltas, SubsetsUsersAndAppliesOverlays) {
+  const auto base = [] {
+    data::RatingScale scale;
+    data::RatingMatrixBuilder builder(4, 3, scale);
+    (void)builder.AddRating(0, 0, 3.0);
+    (void)builder.AddRating(1, 1, 4.0);
+    (void)builder.AddRating(2, 2, 2.0);
+    (void)builder.AddRating(3, 0, 5.0);
+    return std::move(builder).Build();
+  }();
+  const std::vector<PopulationDelta> deltas = {
+      {Kind::kRemoveUser, 1},
+      {Kind::kRerate, 2, 2, 5.0},
+      {Kind::kRerate, 3, 1, 1.0},
+  };
+  const auto applied = ApplyDeltas(base, deltas);
+  ASSERT_TRUE(applied.ok()) << applied.status();
+  const auto epoch = MaterializeDeltas(base, *applied);
+  ASSERT_TRUE(epoch.ok()) << epoch.status();
+  // Users {0, 2, 3} re-indexed densely to {0, 1, 2}; items preserved.
+  EXPECT_EQ(epoch->num_users(), 3);
+  EXPECT_EQ(epoch->num_items(), 3);
+  EXPECT_EQ(epoch->GetRatingOr(0, 0, -1.0), 3.0);
+  EXPECT_EQ(epoch->GetRatingOr(1, 2, -1.0), 5.0);  // overlay override
+  EXPECT_EQ(epoch->GetRatingOr(2, 0, -1.0), 5.0);  // base cell of user 3
+  EXPECT_EQ(epoch->GetRatingOr(2, 1, -1.0), 1.0);  // overlay new cell
+}
+
+TEST(MaterializeDeltas, PureRemovalMatchesSubsetUsers) {
+  const auto base = [] {
+    data::RatingScale scale;
+    data::RatingMatrixBuilder builder(4, 3, scale);
+    (void)builder.AddRating(0, 0, 3.0);
+    (void)builder.AddRating(2, 1, 2.0);
+    return std::move(builder).Build();
+  }();
+  const std::vector<PopulationDelta> deltas = {{Kind::kRemoveUser, 1}};
+  const auto applied = ApplyDeltas(base, deltas);
+  ASSERT_TRUE(applied.ok());
+  const auto epoch = MaterializeDeltas(base, *applied);
+  ASSERT_TRUE(epoch.ok());
+  const auto subset = base.SubsetUsers(applied->active_users);
+  ASSERT_TRUE(subset.ok());
+  EXPECT_EQ(epoch->num_users(), subset->num_users());
+  for (UserId u = 0; u < epoch->num_users(); ++u) {
+    EXPECT_TRUE(std::ranges::equal(epoch->RatingsOf(u),
+                                   subset->RatingsOf(u)))
+        << "user " << u;
+  }
+}
+
+TEST(DeltaSequenceHash, OrderAndContentSensitive) {
+  const std::vector<PopulationDelta> a = {{Kind::kRemoveUser, 1},
+                                          {Kind::kRemoveUser, 2}};
+  const std::vector<PopulationDelta> b = {{Kind::kRemoveUser, 2},
+                                          {Kind::kRemoveUser, 1}};
+  std::vector<PopulationDelta> c = a;
+  c[1].user = 3;
+  EXPECT_EQ(DeltaSequenceHash(a), DeltaSequenceHash(a));
+  EXPECT_NE(DeltaSequenceHash(a), DeltaSequenceHash(b));
+  EXPECT_NE(DeltaSequenceHash(a), DeltaSequenceHash(c));
+  EXPECT_NE(DeltaSequenceHash(a), DeltaSequenceHash({}));
+}
+
+TEST(AdaptAssignment, DropsDeparturesAndSeatsArrivals) {
+  const std::vector<std::vector<UserId>> previous = {{0, 1, 2}, {3, 4}};
+  // User 1 departed; users 5 and 6 arrived.
+  const std::vector<UserId> active = {0, 2, 3, 4, 5, 6};
+  const auto adapted = AdaptAssignment(previous, active, /*max_groups=*/3);
+  // Below max_groups, the first arrival opens a fresh slot; the second
+  // joins the smallest existing group (the fresh singleton).
+  ASSERT_EQ(adapted.size(), 3u);
+  EXPECT_EQ(adapted[0], (std::vector<UserId>{0, 2}));
+  EXPECT_EQ(adapted[1], (std::vector<UserId>{3, 4}));
+  EXPECT_EQ(adapted[2], (std::vector<UserId>{5, 6}));
+}
+
+TEST(AdaptAssignment, RespectsMaxGroupsAndCoversExactlyActive) {
+  const std::vector<std::vector<UserId>> previous = {{0}, {1}};
+  const std::vector<UserId> active = {0, 1, 2, 3};
+  const auto adapted = AdaptAssignment(previous, active, /*max_groups=*/2);
+  ASSERT_EQ(adapted.size(), 2u);
+  std::vector<UserId> covered;
+  for (const auto& group : adapted) {
+    covered.insert(covered.end(), group.begin(), group.end());
+  }
+  std::sort(covered.begin(), covered.end());
+  EXPECT_EQ(covered, active);
+}
+
+TEST(AssignmentToLocal, ReindexesAndRejectsStrays) {
+  const std::vector<UserId> active = {2, 5, 9};
+  const auto local =
+      AssignmentToLocal({{2, 9}, {5}}, active);
+  ASSERT_TRUE(local.ok()) << local.status();
+  EXPECT_EQ(*local,
+            (std::vector<std::vector<UserId>>{{0, 2}, {1}}));
+  const auto stray = AssignmentToLocal({{2, 7}}, active);
+  ASSERT_FALSE(stray.ok());
+  EXPECT_EQ(stray.status().code(), common::StatusCode::kInvalidArgument);
+}
+
+TEST(StartAssignmentEncoding, RoundTripsThroughSolverOptions) {
+  const std::vector<std::vector<UserId>> groups = {{0, 2, 5}, {1, 3}, {4}};
+  const std::string encoded = EncodeStartAssignment(groups);
+  EXPECT_EQ(encoded, "0,2,5|1,3|4");
+  const auto decoded = DecodeStartAssignment(encoded);
+  ASSERT_TRUE(decoded.ok()) << decoded.status();
+  EXPECT_EQ(*decoded, groups);
+
+  SolverOptions options;
+  options.SetStartAssignment(groups);
+  const auto through = options.GetStartAssignment();
+  ASSERT_TRUE(through.ok()) << through.status();
+  EXPECT_EQ(*through, groups);
+
+  // Absent key decodes to "no warm start", not an error.
+  const auto absent = SolverOptions().GetStartAssignment();
+  ASSERT_TRUE(absent.ok());
+  EXPECT_TRUE(absent->empty());
+}
+
+TEST(StartAssignmentEncoding, DecodeIsStrict) {
+  for (const char* bad : {"a", "0,,1", "0|x", "-1", "2147483648"}) {
+    const auto decoded = DecodeStartAssignment(bad);
+    ASSERT_FALSE(decoded.ok()) << bad;
+    EXPECT_EQ(decoded.status().code(),
+              common::StatusCode::kInvalidArgument)
+        << bad;
+  }
+}
+
+TEST(DeltaKindTokens, RoundTripAndReject) {
+  for (const auto kind :
+       {Kind::kAddUser, Kind::kRemoveUser, Kind::kRerate}) {
+    const auto parsed = DeltaKindFromString(DeltaKindToString(kind));
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(*parsed, kind);
+  }
+  EXPECT_FALSE(DeltaKindFromString("drop_user").ok());
+}
+
+}  // namespace
+}  // namespace groupform::core

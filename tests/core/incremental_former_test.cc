@@ -1,0 +1,161 @@
+// IncrementalFormer round-trip property (the doc-comment contract in
+// core/incremental.h that `groupform.delta/1`'s greedy fast path leans
+// on): RemoveUser→AddUser sequences land bitwise on the never-removed
+// state, and Form() after any add/remove history equals a fresh greedy
+// run over the surviving population.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "core/greedy.h"
+#include "core/incremental.h"
+#include "data/synthetic.h"
+#include "grouprec/semantics.h"
+
+namespace groupform {
+namespace {
+
+using core::FormationProblem;
+using core::FormationResult;
+using core::IncrementalFormer;
+using grouprec::Aggregation;
+using grouprec::Semantics;
+
+FormationProblem Problem(const data::RatingMatrix& matrix,
+                         Semantics semantics, Aggregation aggregation) {
+  FormationProblem problem;
+  problem.matrix = &matrix;
+  problem.semantics = semantics;
+  problem.aggregation = aggregation;
+  problem.k = 4;
+  problem.max_groups = 8;
+  return problem;
+}
+
+/// Bitwise comparison: member lists equal, objective equal as doubles
+/// (EXPECT_EQ, not EXPECT_NEAR — the round-trip contract is exact).
+void ExpectBitwiseEqual(const FormationResult& a, const FormationResult& b) {
+  EXPECT_EQ(a.objective, b.objective);
+  ASSERT_EQ(a.num_groups(), b.num_groups());
+  for (int g = 0; g < a.num_groups(); ++g) {
+    EXPECT_EQ(a.groups[static_cast<std::size_t>(g)].members,
+              b.groups[static_cast<std::size_t>(g)].members);
+  }
+}
+
+TEST(IncrementalFormerRoundTrip, RemoveThenAddLandsOnNeverRemovedState) {
+  const auto matrix =
+      data::GenerateLatentFactor(data::YahooMusicLikeConfig(120, 40, 9001));
+  for (const auto semantics :
+       {Semantics::kLeastMisery, Semantics::kAggregateVoting}) {
+    for (const auto aggregation :
+         {Aggregation::kMax, Aggregation::kMin, Aggregation::kSum}) {
+      const auto problem = Problem(matrix, semantics, aggregation);
+      IncrementalFormer reference(problem);
+      reference.AddAllUsers();
+      const auto untouched = reference.Form();
+      ASSERT_TRUE(untouched.ok()) << untouched.status();
+
+      IncrementalFormer former(problem);
+      former.AddAllUsers();
+      for (const UserId user : {3, 17, 42, 99}) {
+        ASSERT_TRUE(former.RemoveUser(user).ok());
+      }
+      // Re-add in a different order than the removal.
+      for (const UserId user : {99, 3, 42, 17}) {
+        ASSERT_TRUE(former.AddUser(user).ok());
+      }
+      const auto round_tripped = former.Form();
+      ASSERT_TRUE(round_tripped.ok()) << round_tripped.status();
+      ExpectBitwiseEqual(*round_tripped, *untouched);
+    }
+  }
+}
+
+TEST(IncrementalFormerRoundTrip, RepeatedChurnStaysBitwise) {
+  const auto matrix =
+      data::GenerateLatentFactor(data::YahooMusicLikeConfig(90, 30, 7));
+  const auto problem =
+      Problem(matrix, Semantics::kLeastMisery, Aggregation::kMin);
+  IncrementalFormer reference(problem);
+  reference.AddAllUsers();
+  const auto untouched = reference.Form();
+  ASSERT_TRUE(untouched.ok()) << untouched.status();
+
+  IncrementalFormer former(problem);
+  former.AddAllUsers();
+  // Five rounds of churn over a rotating id set, each fully undone: the
+  // former's internal buckets must not accumulate drift.
+  for (int round = 0; round < 5; ++round) {
+    std::vector<UserId> removed;
+    for (int i = 0; i < 7; ++i) {
+      removed.push_back(static_cast<UserId>((round * 13 + i * 11) % 90));
+    }
+    std::sort(removed.begin(), removed.end());
+    removed.erase(std::unique(removed.begin(), removed.end()),
+                  removed.end());
+    for (const UserId user : removed) {
+      ASSERT_TRUE(former.RemoveUser(user).ok());
+    }
+    for (auto it = removed.rbegin(); it != removed.rend(); ++it) {
+      ASSERT_TRUE(former.AddUser(*it).ok());
+    }
+    const auto formed = former.Form();
+    ASSERT_TRUE(formed.ok()) << formed.status();
+    ExpectBitwiseEqual(*formed, *untouched);
+  }
+}
+
+TEST(IncrementalFormerRoundTrip,
+     SurvivorPopulationMatchesFreshFormerBitwise) {
+  const auto matrix =
+      data::GenerateLatentFactor(data::YahooMusicLikeConfig(80, 25, 123));
+  const auto problem =
+      Problem(matrix, Semantics::kAggregateVoting, Aggregation::kSum);
+  // History: add everyone, churn some out, re-admit a few.
+  IncrementalFormer churned(problem);
+  churned.AddAllUsers();
+  for (const UserId user : {2, 5, 8, 13, 21, 34, 55}) {
+    ASSERT_TRUE(churned.RemoveUser(user).ok());
+  }
+  for (const UserId user : {8, 34}) {
+    ASSERT_TRUE(churned.AddUser(user).ok());
+  }
+  // Fresh former that only ever saw the survivors.
+  IncrementalFormer fresh(problem);
+  for (UserId user = 0; user < 80; ++user) {
+    if (user == 2 || user == 5 || user == 13 || user == 21 || user == 55) {
+      continue;
+    }
+    ASSERT_TRUE(fresh.AddUser(user).ok());
+  }
+  ASSERT_EQ(churned.num_active(), fresh.num_active());
+  const auto a = churned.Form();
+  const auto b = fresh.Form();
+  ASSERT_TRUE(a.ok()) << a.status();
+  ASSERT_TRUE(b.ok()) << b.status();
+  ExpectBitwiseEqual(*a, *b);
+}
+
+TEST(IncrementalFormerRoundTrip, FormMatchesGreedyAfterChurn) {
+  const auto matrix =
+      data::GenerateLatentFactor(data::YahooMusicLikeConfig(100, 30, 77));
+  const auto problem =
+      Problem(matrix, Semantics::kLeastMisery, Aggregation::kSum);
+  IncrementalFormer former(problem);
+  former.AddAllUsers();
+  for (const UserId user : {10, 20, 30}) {
+    ASSERT_TRUE(former.RemoveUser(user).ok());
+    ASSERT_TRUE(former.AddUser(user).ok());
+  }
+  const auto incremental = former.Form();
+  const auto greedy = core::RunGreedy(problem);
+  ASSERT_TRUE(incremental.ok()) << incremental.status();
+  ASSERT_TRUE(greedy.ok()) << greedy.status();
+  ExpectBitwiseEqual(*incremental, *greedy);
+}
+
+}  // namespace
+}  // namespace groupform

@@ -1,0 +1,159 @@
+// Malformed `groupform.delta/1` hardening: every bad sequence — whether
+// it fails wire validation (int32-wrap ids, wrong arity, unknown ops) or
+// semantic validation in core::ApplyDeltas (inactive users, out-of-range
+// items, off-scale ratings) — answers ERR(INVALID_ARGUMENT) on the wire.
+// Nothing in this file may reach a GF_CHECK abort: a hostile client must
+// not be able to take the server down with a crafted delta line.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "serve/protocol.h"
+#include "serve/session.h"
+#include "solvers/builtin.h"
+
+namespace groupform::serve {
+namespace {
+
+using Kind = core::PopulationDelta::Kind;
+
+/// A valid 12-user / 6-item delta request carrying `deltas`.
+Request BaseRequest(std::vector<core::PopulationDelta> deltas) {
+  Request request;
+  request.id = "hard";
+  request.solver = "greedy";
+  request.is_delta = true;
+  request.deltas = std::move(deltas);
+  request.instance.kind = "dense";
+  request.instance.users = 12;
+  request.instance.items = 6;
+  request.instance.clusters = 2;
+  request.instance.seed = 7;
+  request.problem.k = 3;
+  request.problem.groups = 4;
+  return request;
+}
+
+class DeltaHardeningTest : public ::testing::Test {
+ protected:
+  void SetUp() override { solvers::EnsureBuiltinSolversRegistered(); }
+
+  /// Runs `line` through the full parse+execute path and expects an
+  /// ERR(INVALID_ARGUMENT) response whose message contains `needle`.
+  void ExpectInvalid(const std::string& line, const std::string& needle) {
+    const std::string rendered = session_.HandleLine(line);
+    const auto response = ParseResponseLine(rendered);
+    ASSERT_TRUE(response.ok()) << response.status() << "\n" << rendered;
+    EXPECT_EQ(response->state, eval::SweepCellState::kErr) << rendered;
+    EXPECT_EQ(response->status.code(),
+              common::StatusCode::kInvalidArgument)
+        << rendered;
+    EXPECT_NE(response->status.message().find(needle), std::string::npos)
+        << "wanted \"" << needle << "\" in: " << response->status.message();
+  }
+
+  Session session_;
+};
+
+TEST_F(DeltaHardeningTest, SemanticallyInvalidSequencesAnswerErr) {
+  struct Case {
+    std::vector<core::PopulationDelta> deltas;
+    const char* needle;
+  };
+  const std::vector<Case> cases = {
+      // Re-add of a user that is still active.
+      {{{Kind::kAddUser, 3}}, "already active"},
+      // Removal of a user that was already removed.
+      {{{Kind::kRemoveUser, 4}, {Kind::kRemoveUser, 4}}, "not active"},
+      // Rerate of a removed user.
+      {{{Kind::kRemoveUser, 2}, {Kind::kRerate, 2, 1, 3.0}}, "not active"},
+      // Out-of-range user id (the instance has 12 users).
+      {{{Kind::kRemoveUser, 12}}, "outside"},
+      // Rerate of an unknown item (the instance has 6 items).
+      {{{Kind::kRerate, 0, 6, 3.0}}, "outside"},
+      // Rating below/above the instance scale [1, 5].
+      {{{Kind::kRerate, 0, 1, 0.5}}, "scale"},
+      {{{Kind::kRerate, 0, 1, 5.5}}, "scale"},
+  };
+  for (const Case& bad : cases) {
+    ExpectInvalid(RenderRequest(BaseRequest(bad.deltas)), bad.needle);
+  }
+  // Removing every user leaves nothing to form groups over.
+  std::vector<core::PopulationDelta> drain;
+  for (UserId user = 0; user < 12; ++user) {
+    drain.push_back({Kind::kRemoveUser, user});
+  }
+  ExpectInvalid(RenderRequest(BaseRequest(drain)), "no active users");
+}
+
+TEST_F(DeltaHardeningTest, ErrorsNameTheOffendingDelta) {
+  // The second op is the bad one; the message must say so.
+  ExpectInvalid(
+      RenderRequest(
+          BaseRequest({{Kind::kRemoveUser, 1}, {Kind::kRemoveUser, 1}})),
+      "delta 1");
+}
+
+TEST_F(DeltaHardeningTest, WireLevelGarbageFailsAtParseTime) {
+  // Start from a valid line and splice malformed `deltas` payloads in,
+  // so everything around the array stays well-formed.
+  const std::string valid =
+      RenderRequest(BaseRequest({{Kind::kRemoveUser, 1}}));
+  const std::string token = "[[\"remove_user\",1]]";
+  const auto at = valid.find(token);
+  ASSERT_NE(at, std::string::npos) << valid;
+  const auto with = [&](const std::string& replacement) {
+    std::string line = valid;
+    line.replace(at, token.size(), replacement);
+    return line;
+  };
+  // Int32 wrap: 2^31 and 2^32 + 3 must fail validation, not wrap into
+  // small ids.
+  ExpectInvalid(with("[[\"remove_user\",2147483648]]"), "user");
+  ExpectInvalid(with("[[\"rerate\",4294967299,0,3.0]]"), "user");
+  // Negative ids.
+  ExpectInvalid(with("[[\"remove_user\",-1]]"), "user");
+  // Wrong arity for each op family.
+  ExpectInvalid(with("[[\"remove_user\",1,2]]"), "membership ops");
+  ExpectInvalid(with("[[\"rerate\",0,1]]"), "rerate takes");
+  // Unknown op name and non-array entries.
+  ExpectInvalid(with("[[\"drop_user\",1]]"), "deltas[0]");
+  ExpectInvalid(with("[7]"), "deltas[0]");
+  ExpectInvalid(with("{}"), "deltas");
+  // groupform.delta/1 without the field at all.
+  std::string missing = valid;
+  missing.replace(valid.find(",\"deltas\":" + token),
+                  (",\"deltas\":" + token).size(), "");
+  ExpectInvalid(missing, "deltas");
+}
+
+TEST_F(DeltaHardeningTest, PlainRequestRejectsDeltasField) {
+  // A groupform.request/1 line smuggling a deltas array is malformed.
+  Request request = BaseRequest({{Kind::kRemoveUser, 1}});
+  request.is_delta = true;
+  std::string line = RenderRequest(request);
+  const std::string schema = "groupform.delta/1";
+  const auto at = line.find(schema);
+  ASSERT_NE(at, std::string::npos);
+  line.replace(at, schema.size(), "groupform.request/1");
+  ExpectInvalid(line, "deltas");
+}
+
+TEST_F(DeltaHardeningTest, ValidSequenceAfterRejectionsStillServes) {
+  // The session stays healthy after a burst of rejected lines.
+  ExpectInvalid(RenderRequest(BaseRequest({{Kind::kRemoveUser, 99}})),
+                "outside");
+  const std::string ok_line =
+      session_.HandleLine(RenderRequest(BaseRequest(
+          {{Kind::kRemoveUser, 3}, {Kind::kRerate, 0, 1, 4.5}})));
+  const auto response = ParseResponseLine(ok_line);
+  ASSERT_TRUE(response.ok()) << response.status();
+  EXPECT_EQ(response->state, eval::SweepCellState::kOk)
+      << response->status;
+  EXPECT_FALSE(response->epoch.empty());
+}
+
+}  // namespace
+}  // namespace groupform::serve

@@ -1,7 +1,10 @@
 // The serving determinism contract (DESIGN.md §12.4) and the pipe
 // transport: 100 loopback requests over one cached instance produce
 // byte-identical response streams at 1, 2, and 8 threads and at every
-// pipelining window, with responses in request order.
+// pipelining window, with responses in request order. The same matrix
+// covers interleaved `groupform.request/1` + `groupform.delta/1` streams
+// — epoch materialisation, warm-start folds, and the solution memo are
+// pure memoization, so they must not perturb a single byte either.
 #include "serve/server.h"
 
 #include <gtest/gtest.h>
@@ -12,6 +15,7 @@
 
 #include "common/strings.h"
 #include "common/thread_pool.h"
+#include "core/delta.h"
 #include "serve/protocol.h"
 #include "serve/session.h"
 #include "solvers/builtin.h"
@@ -45,15 +49,60 @@ std::string HundredRequestStream() {
   return stream;
 }
 
+/// 60 lines alternating plain requests with groupform.delta/1 requests
+/// against the same dense instance, rotating the delta routes: greedy +
+/// membership-only deltas (IncrementalFormer fast path), localsearch
+/// (warm-start fold), and other solvers / rerate sequences (memoized
+/// cold re-solve). Sequences repeat, so concurrent streams race on the
+/// same epoch entries and solution-memo keys.
+std::string InterleavedDeltaStream() {
+  using Kind = core::PopulationDelta::Kind;
+  const std::vector<std::vector<core::PopulationDelta>> sequences = {
+      {},
+      {{Kind::kRemoveUser, 3}},
+      {{Kind::kRemoveUser, 3}, {Kind::kAddUser, 3}},
+      {{Kind::kRemoveUser, 2}, {Kind::kRemoveUser, 5}},
+      {{Kind::kRerate, 0, 1, 4.5}},
+      {{Kind::kRemoveUser, 9}, {Kind::kRerate, 4, 2, 1.5}},
+  };
+  const std::vector<std::string> solver_rotation = {"greedy", "localsearch",
+                                                    "veckmeans", "sa"};
+  std::string stream;
+  for (int i = 0; i < 60; ++i) {
+    Request request;
+    request.id = common::StrFormat("x%03d", i);
+    request.solver = solver_rotation[static_cast<std::size_t>(i) %
+                                     solver_rotation.size()];
+    request.instance.kind = "dense";
+    request.instance.users = 14;
+    request.instance.items = 8;
+    request.instance.clusters = 3;
+    request.instance.seed = 5;
+    request.problem.k = 3;
+    request.problem.groups = 4;
+    request.seed = static_cast<std::uint64_t>(50 + i / 6);
+    request.include_groups = (i % 4 == 0);
+    if (i % 2 == 1) {
+      request.is_delta = true;
+      request.deltas = sequences[static_cast<std::size_t>(i / 2) %
+                                 sequences.size()];
+    }
+    stream += RenderRequest(request);
+    stream += '\n';
+  }
+  return stream;
+}
+
 std::string ServeAt(int threads, int max_inflight,
                     const std::string& requests,
-                    InstanceCache::Stats* stats_out = nullptr) {
+                    InstanceCache::Stats* stats_out = nullptr,
+                    long long expect_served = 100) {
   common::ThreadPool::SetDefaultThreadCount(threads);
   Session session;
   std::istringstream in(requests);
   std::ostringstream out;
   const long long served = ServePipe(session, in, out, max_inflight);
-  EXPECT_EQ(served, 100);
+  EXPECT_EQ(served, expect_served);
   if (stats_out != nullptr) *stats_out = session.cache().stats();
   return out.str();
 }
@@ -94,6 +143,33 @@ TEST_F(ServerDeterminismTest, PipeliningWindowNeverReordersResponses) {
     ++index;
   }
   EXPECT_EQ(index, 100);
+}
+
+TEST_F(ServerDeterminismTest,
+       InterleavedDeltaStreamByteIdenticalAcrossThreadsAndWindows) {
+  const std::string requests = InterleavedDeltaStream();
+  const std::string at_one =
+      ServeAt(1, 1, requests, nullptr, /*expect_served=*/60);
+  EXPECT_EQ(ServeAt(2, 4, requests, nullptr, 60), at_one);
+  EXPECT_EQ(ServeAt(8, 16, requests, nullptr, 60), at_one);
+  EXPECT_EQ(ServeAt(8, 60, requests, nullptr, 60), at_one);
+
+  // Responses stay in request order, and every delta response carries an
+  // epoch key while plain responses never do.
+  std::istringstream lines(at_one);
+  std::string line;
+  int index = 0;
+  while (std::getline(lines, line)) {
+    const auto response = ParseResponseLine(line);
+    ASSERT_TRUE(response.ok()) << response.status();
+    EXPECT_EQ(response->id, common::StrFormat("x%03d", index)) << index;
+    if (response->state == eval::SweepCellState::kOk) {
+      EXPECT_EQ(response->is_delta, index % 2 == 1) << index;
+      EXPECT_EQ(!response->epoch.empty(), index % 2 == 1) << index;
+    }
+    ++index;
+  }
+  EXPECT_EQ(index, 60);
 }
 
 TEST_F(ServerDeterminismTest, MixedOutcomeStreamKeepsOrderAndStates) {

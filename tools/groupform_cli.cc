@@ -27,6 +27,13 @@
 //       --include-groups    ask for the full partition
 //       --record-seconds    ask for server-side wall clock
 //       --dump              print the request line instead of sending it
+//   delta               send one groupform.delta/1 line: the same request
+//                       flags plus a cumulative delta sequence against the
+//                       named instance (docs/PROTOCOL.md §groupform.delta/1).
+//       --deltas LIST       comma-separated operations, applied in order:
+//                           add:U | remove:U | rerate:U:I:R
+//                           (e.g. --deltas remove:3,add:3,rerate:0:2:4.5)
+//       (plus every `request` flag: --host/--port/--raw/--dump/...)
 //
 // Flags:
 //   --input PATH        user,item,rating CSV (ids re-indexed densely)
@@ -61,6 +68,7 @@
 #include "common/stopwatch.h"
 #include "common/strings.h"
 #include "common/thread_pool.h"
+#include "core/delta.h"
 #include "core/formation.h"
 #include "core/solver_registry.h"
 #include "data/dataset_stats.h"
@@ -246,20 +254,11 @@ common::StatusOr<serve::Request> BuildRequest(
   return serve::ParseRequestLine(serve::RenderRequest(request));
 }
 
-/// The `request` subcommand: loopback client for groupform_serverd.
-/// Prints the response line on stdout; exit 0 for OK/DNF (an expected
-/// omission), 1 for ERR or transport failure.
-int RunRequestCommand(const common::FlagParser& flags) {
-  std::string line = flags.GetString("raw", "");
-  if (line.empty()) {
-    const auto request = BuildRequest(flags);
-    if (!request.ok()) {
-      std::fprintf(stderr, "building request: %s\n",
-                   request.status().ToString().c_str());
-      return 2;
-    }
-    line = serve::RenderRequest(*request);
-  }
+/// Shared tail of the `request` and `delta` subcommands: print the line
+/// under --dump, otherwise send it and report the response. Exit 0 for
+/// OK/DNF (an expected omission), 1 for ERR or transport failure.
+int DumpOrSendLine(const common::FlagParser& flags,
+                   const std::string& line) {
   if (flags.GetBool("dump", false)) {
     std::printf("%s\n", line.c_str());
     return 0;
@@ -283,6 +282,103 @@ int RunRequestCommand(const common::FlagParser& flags) {
   return parsed->state == eval::SweepCellState::kErr ? 1 : 0;
 }
 
+/// The `request` subcommand: loopback client for groupform_serverd.
+int RunRequestCommand(const common::FlagParser& flags) {
+  std::string line = flags.GetString("raw", "");
+  if (line.empty()) {
+    const auto request = BuildRequest(flags);
+    if (!request.ok()) {
+      std::fprintf(stderr, "building request: %s\n",
+                   request.status().ToString().c_str());
+      return 2;
+    }
+    line = serve::RenderRequest(*request);
+  }
+  return DumpOrSendLine(flags, line);
+}
+
+/// Parses "--deltas add:U,remove:U,rerate:U:I:R" into the wire sequence.
+/// The short op names add/remove are accepted alongside the wire's
+/// add_user/remove_user.
+common::StatusOr<std::vector<core::PopulationDelta>> ParseDeltasFlag(
+    const std::string& text) {
+  std::vector<core::PopulationDelta> deltas;
+  for (const std::string& token : common::Split(text, ',')) {
+    const std::string trimmed{common::Trim(token)};
+    if (trimmed.empty()) continue;
+    const std::vector<std::string> fields = common::Split(trimmed, ':');
+    std::string op = fields[0];
+    if (op == "add") op = "add_user";
+    if (op == "remove") op = "remove_user";
+    core::PopulationDelta delta;
+    GF_ASSIGN_OR_RETURN(delta.kind, core::DeltaKindFromString(op));
+    const std::size_t want =
+        delta.kind == core::PopulationDelta::Kind::kRerate ? 4u : 2u;
+    if (fields.size() != want) {
+      return common::Status::InvalidArgument(common::StrFormat(
+          "--deltas token \"%s\": expected %zu \":\"-separated fields",
+          trimmed.c_str(), want));
+    }
+    long long user = 0;
+    if (!common::ParseInt64(fields[1], &user) || user < 0 ||
+        user > 2147483647ll) {
+      return common::Status::InvalidArgument(
+          "--deltas token \"" + trimmed + "\": bad user id");
+    }
+    delta.user = static_cast<UserId>(user);
+    if (delta.kind == core::PopulationDelta::Kind::kRerate) {
+      long long item = 0;
+      if (!common::ParseInt64(fields[2], &item) || item < 0 ||
+          item > 2147483647ll) {
+        return common::Status::InvalidArgument(
+            "--deltas token \"" + trimmed + "\": bad item id");
+      }
+      delta.item = static_cast<ItemId>(item);
+      double rating = 0.0;
+      if (!common::ParseDouble(fields[3], &rating)) {
+        return common::Status::InvalidArgument(
+            "--deltas token \"" + trimmed + "\": bad rating");
+      }
+      delta.rating = rating;
+    }
+    deltas.push_back(delta);
+  }
+  return deltas;
+}
+
+/// The `delta` subcommand: loopback client for groupform.delta/1. Builds
+/// the same request envelope as `request`, attaches the --deltas sequence,
+/// and re-round-trips through the parser so the delta grammar gets the
+/// same validation a remote client's JSON would.
+int RunDeltaCommand(const common::FlagParser& flags) {
+  std::string line = flags.GetString("raw", "");
+  if (line.empty()) {
+    auto request = BuildRequest(flags);
+    if (!request.ok()) {
+      std::fprintf(stderr, "building request: %s\n",
+                   request.status().ToString().c_str());
+      return 2;
+    }
+    const auto deltas = ParseDeltasFlag(flags.GetString("deltas", ""));
+    if (!deltas.ok()) {
+      std::fprintf(stderr, "building request: %s\n",
+                   deltas.status().ToString().c_str());
+      return 2;
+    }
+    request->is_delta = true;
+    request->deltas = *deltas;
+    const auto round =
+        serve::ParseRequestLine(serve::RenderRequest(*request));
+    if (!round.ok()) {
+      std::fprintf(stderr, "building request: %s\n",
+                   round.status().ToString().c_str());
+      return 2;
+    }
+    line = serve::RenderRequest(*round);
+  }
+  return DumpOrSendLine(flags, line);
+}
+
 void PrintHelp() {
   std::printf(
       "groupform_cli — recommendation-aware group formation "
@@ -291,7 +387,10 @@ void PrintHelp() {
       "            (--solvers A,B --json-dir DIR; `sweep` alone lists "
       "suites)\n"
       "            request             send one request to a running\n"
-      "            groupform_serverd (--host H --port P, docs/PROTOCOL.md)"
+      "            groupform_serverd (--host H --port P, docs/PROTOCOL.md)\n"
+      "            delta               send one groupform.delta/1 line\n"
+      "            (--deltas add:U,remove:U,rerate:U:I:R plus request "
+      "flags)"
       "\n\n"
       "data:      --input ratings.csv | --movielens ratings.dat |\n"
       "           --synthetic yahoo|movielens --users N --items M --seed S\n"
@@ -335,6 +434,9 @@ int RealMain(int argc, char** argv) {
   }
   if (!flags.positional().empty() && flags.positional()[0] == "request") {
     return RunRequestCommand(flags);
+  }
+  if (!flags.positional().empty() && flags.positional()[0] == "delta") {
+    return RunDeltaCommand(flags);
   }
 
   const auto matrix = LoadData(flags);

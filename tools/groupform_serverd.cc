@@ -1,11 +1,15 @@
 // groupform_serverd — long-lived serving front-end for recommendation-aware
 // group formation (DESIGN.md §12, docs/PROTOCOL.md).
 //
-// Accepts newline-delimited `groupform.request/1` JSON lines and answers
-// one `groupform.response/1` line per request, in request order. Solvers
-// resolve through core::SolverRegistry, execute as queued jobs on the
-// shared common::ThreadPool, and instances load once into an LRU cache so
-// repeated requests share one rating matrix.
+// Accepts newline-delimited `groupform.request/1` and `groupform.delta/1`
+// JSON lines and answers one `groupform.response/1` line per request, in
+// request order. Solvers resolve through core::SolverRegistry, execute as
+// queued jobs on the shared common::ThreadPool, and instances load once
+// into an LRU cache so repeated requests share one rating matrix. Delta
+// requests carry a cumulative population-delta sequence against a cached
+// instance; the post-delta epoch is materialised copy-on-write and the
+// solve warm-starts from the previous epoch where the solver supports it
+// (DESIGN.md §13).
 //
 //   groupform_serverd                         # TCP on 127.0.0.1:4017
 //   groupform_serverd --port 0                # ephemeral port (printed)
@@ -63,7 +67,7 @@ int RealMain(int argc, char** argv) {
   if (flags.GetBool("help", false)) {
     std::printf(
         "groupform_serverd — newline-delimited JSON formation service\n"
-        "(docs/PROTOCOL.md)\n\n"
+        "(groupform.request/1 and groupform.delta/1, docs/PROTOCOL.md)\n\n"
         "  --pipe            stdin/stdout mode (exit at EOF)\n"
         "  --port N          TCP port, 0 = ephemeral (GF_SERVE_PORT)\n"
         "  --max-inflight N  pipelining window (GF_SERVE_MAX_INFLIGHT)\n"

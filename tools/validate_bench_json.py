@@ -11,14 +11,19 @@ Default (bench) mode checks, for every BENCH_*.json in DIR
     (default: the eight built-ins), i.e. the build under test can still
     run every paper algorithm;
   * each "sweeps" entry (when present) has series and cells, every cell
-    state is OK/DNF/ERR, and no sweep reports ERR cells while the
-    document claims all_ok.
+    state is OK/DNF/ERR, every OK cell's "values" row matches the sweep's
+    declared "metrics" columns (the delta_vs_resolve trajectory snapshot
+    rides on this), and no sweep reports ERR cells while the document
+    claims all_ok.
 
 --protocol mode validates newline-delimited groupform.response/1 streams
 captured from groupform_serverd (docs/PROTOCOL.md): every line must parse,
 carry the response schema, use a known state, and ship the fields that
 state requires (OK: solver/objective/num_groups/metrics; DNF and ERR: a
-known non-OK code plus a message).
+known non-OK code plus a message). `groupform.delta/1` answers additionally
+carry the epoch envelope — a non-empty "epoch" key, a numeric
+"objective_delta_vs_previous", and a non-negative integer
+"warm_start_passes" — and only OK responses may carry it.
 
 Exit code 0 when every file validates, 1 otherwise. CI smoke-runs one
 tiny sweep per bench category plus a canned request stream and gates both
@@ -62,12 +67,25 @@ def validate_sweep(path, sweep):
             path,
             f"sweep {name}: {len(sweep['cells'])} cells, expected {expected}",
         )
+    metrics = sweep.get("metrics", [])
     for cell in sweep.get("cells", []):
         state = cell.get("state")
         if state not in ("OK", "DNF", "ERR"):
             ok = fail(path, f"sweep {name}: bad cell state {state!r}")
-        if state == "OK" and "objective" not in cell:
-            ok = fail(path, f"sweep {name}: OK cell without objective")
+        if state == "OK":
+            if "objective" not in cell:
+                ok = fail(path, f"sweep {name}: OK cell without objective")
+            values = cell.get("values")
+            if metrics and (
+                not isinstance(values, list)
+                or len(values) != len(metrics)
+                or any(not isinstance(v, (int, float)) for v in values)
+            ):
+                ok = fail(
+                    path,
+                    f"sweep {name}: OK cell values {values!r} do not match "
+                    f"declared metrics {metrics}",
+                )
     return ok
 
 
@@ -158,6 +176,25 @@ def validate_response_line(path, index, line):
             ok = fail(where, f"{state} response with code {doc.get('code')!r}")
         if not isinstance(doc.get("message"), str):
             ok = fail(where, f"{state} response without a message")
+    delta_keys = ("epoch", "objective_delta_vs_previous", "warm_start_passes")
+    if any(key in doc for key in delta_keys):
+        if state != "OK":
+            ok = fail(where, f"{state} response carries delta envelope keys")
+        if not isinstance(doc.get("epoch"), str) or not doc.get("epoch"):
+            ok = fail(where, "delta response without a non-empty epoch")
+        if not isinstance(
+            doc.get("objective_delta_vs_previous"), (int, float)
+        ):
+            ok = fail(
+                where,
+                "delta response without numeric objective_delta_vs_previous",
+            )
+        passes = doc.get("warm_start_passes")
+        if not isinstance(passes, int) or passes < 0:
+            ok = fail(
+                where,
+                "delta response without a non-negative warm_start_passes",
+            )
     return ok
 
 
