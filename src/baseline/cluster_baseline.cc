@@ -20,7 +20,7 @@ std::string BaselineFormer::AlgorithmName(
 
 StatusOr<FormationResult> BaselineFormer::Run() const {
   GF_RETURN_IF_ERROR(problem_.Validate());
-  const data::RatingMatrix& matrix = *problem_.matrix;
+  const data::RatingStore matrix = problem_.Store();
   const std::int32_t n = matrix.num_users();
   const std::int32_t ell =
       std::min<std::int32_t>(problem_.max_groups, n);

@@ -94,16 +94,20 @@ double KendallTauB(std::span<const double> xs, std::span<const double> ys) {
   return numerator / denom;
 }
 
-double KendallTauDistance(const data::RatingMatrix& matrix, UserId u,
+double KendallTauDistance(const data::RatingStore& store, UserId u,
                           UserId v, const KendallTauOptions& options) {
-  const double r_min = matrix.scale().min;
+  const double r_min = store.scale().min;
   // Gather each side's profile (optionally truncated to the personal top-T).
   const auto profile = [&](UserId user) {
     if (options.truncate > 0) {
-      return recsys::TopKList(matrix, user, options.truncate);
+      return recsys::TopKList(store, user, options.truncate);
     }
-    const auto row = matrix.RatingsOf(user);
-    return std::vector<data::RatingEntry>(row.begin(), row.end());
+    std::vector<data::RatingEntry> row;
+    row.reserve(static_cast<std::size_t>(store.NumRatingsOf(user)));
+    store.VisitRow(user, [&row](ItemId item, Rating rating) {
+      row.push_back({item, rating});
+    });
+    return row;
   };
   std::vector<data::RatingEntry> pu = profile(u);
   std::vector<data::RatingEntry> pv = profile(v);

@@ -4,7 +4,7 @@
 #include <span>
 #include <vector>
 
-#include "data/rating_matrix.h"
+#include "data/rating_store.h"
 
 namespace groupform::baseline {
 
@@ -26,7 +26,7 @@ struct KendallTauOptions {
 ///
 /// Cost: O((d_u + d_v) log(d_u + d_v)) via Knight's algorithm (merge-sort
 /// inversion counting with tie corrections).
-double KendallTauDistance(const data::RatingMatrix& matrix, UserId u,
+double KendallTauDistance(const data::RatingStore& store, UserId u,
                           UserId v,
                           const KendallTauOptions& options = {});
 

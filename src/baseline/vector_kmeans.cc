@@ -15,7 +15,7 @@ using core::FormedGroup;
 
 StatusOr<FormationResult> VectorKMeansFormer::Run() const {
   GF_RETURN_IF_ERROR(problem_.Validate());
-  const data::RatingMatrix& matrix = *problem_.matrix;
+  const data::RatingStore matrix = problem_.Store();
   const std::int32_t n = matrix.num_users();
   const std::int32_t ell = std::min<std::int32_t>(problem_.max_groups, n);
   common::Rng rng(options_.seed);
@@ -24,9 +24,9 @@ StatusOr<FormationResult> VectorKMeansFormer::Run() const {
   std::vector<std::int64_t> item_counts(
       static_cast<std::size_t>(matrix.num_items()), 0);
   for (UserId u = 0; u < n; ++u) {
-    for (const auto& e : matrix.RatingsOf(u)) {
-      ++item_counts[static_cast<std::size_t>(e.item)];
-    }
+    matrix.VisitRow(u, [&item_counts](ItemId item, Rating) {
+      ++item_counts[static_cast<std::size_t>(item)];
+    });
   }
   std::vector<ItemId> dims(static_cast<std::size_t>(matrix.num_items()));
   std::iota(dims.begin(), dims.end(), 0);
@@ -46,8 +46,9 @@ StatusOr<FormationResult> VectorKMeansFormer::Run() const {
 
   // Dense user vectors, missing entries imputed with the user's mean.
   std::vector<double> features(static_cast<std::size_t>(n) * d);
+  std::vector<data::RatingEntry> row_scratch;
   for (UserId u = 0; u < n; ++u) {
-    const auto row = matrix.RatingsOf(u);
+    const auto row = matrix.Row(u, row_scratch);
     double mean = 0.0;
     for (const auto& e : row) mean += e.rating;
     mean = row.empty() ? 0.5 * (matrix.scale().min + matrix.scale().max)

@@ -84,7 +84,7 @@ void AccumulateMember(const FormationProblem& problem,
 double BucketScore(const FormationProblem& problem, const Bucket& bucket) {
   const int k = problem.k;
   const int len = static_cast<int>(bucket.seq_scores.size());
-  const int catalogue = problem.matrix->num_items();
+  const int catalogue = problem.Store().num_items();
   const bool exhausted = catalogue <= len;
   const double miss =
       MissingSlotScore(problem, static_cast<int>(bucket.members.size()));

@@ -26,7 +26,7 @@ Status SizeConstraints::Validate(const FormationProblem& problem) const {
         StrFormat("max_group_size %d < min_group_size %d", max_group_size,
                   min_group_size));
   }
-  const std::int64_t n = problem.matrix->num_users();
+  const std::int64_t n = problem.Store().num_users();
   if (n < min_group_size) {
     return Status::InvalidArgument(
         StrFormat("%lld users cannot form any group of >= %d members",
@@ -49,11 +49,12 @@ double MeanAffinity(const FormationProblem& problem,
                     const std::vector<UserId>& members,
                     const grouprec::GroupTopK& list) {
   if (members.empty() || list.empty()) return 0.0;
-  const double r_min = problem.matrix->scale().min;
+  const data::RatingStore store = problem.Store();
+  const double r_min = store.scale().min;
   double total = 0.0;
   for (UserId u : members) {
     for (const auto& si : list.items) {
-      total += problem.matrix->GetRatingOr(
+      total += store.GetRatingOr(
           u, si.item,
           problem.missing == grouprec::MissingRatingPolicy::kZero ? 0.0
                                                                   : r_min);

@@ -12,13 +12,14 @@ using common::Status;
 using common::StrFormat;
 
 Status FormationProblem::Validate() const {
-  if (matrix == nullptr) {
+  if (matrix == nullptr && compact == nullptr) {
     return Status::InvalidArgument("matrix must not be null");
   }
-  if (matrix->num_users() <= 0) {
+  const data::RatingStore store = Store();
+  if (store.num_users() <= 0) {
     return Status::InvalidArgument("population is empty");
   }
-  if (matrix->num_items() <= 0) {
+  if (store.num_items() <= 0) {
     return Status::InvalidArgument("catalogue is empty");
   }
   if (k < 1) {
@@ -39,15 +40,19 @@ grouprec::GroupScorer FormationProblem::MakeScorer() const {
   grouprec::GroupScorer::Options options;
   options.semantics = semantics;
   options.missing = missing;
-  return grouprec::GroupScorer(*matrix, options);
+  return grouprec::GroupScorer(Store(), options);
 }
 
 std::string FormationProblem::ToString() const {
   return StrFormat("%s/%s k=%d ell=%d n=%d m=%d",
                    grouprec::SemanticsToString(semantics),
                    grouprec::AggregationToString(aggregation), k, max_groups,
-                   matrix != nullptr ? matrix->num_users() : 0,
-                   matrix != nullptr ? matrix->num_items() : 0);
+                   matrix != nullptr || compact != nullptr
+                       ? Store().num_users()
+                       : 0,
+                   matrix != nullptr || compact != nullptr
+                       ? Store().num_items()
+                       : 0);
 }
 
 std::vector<double> FormationResult::GroupSizes() const {
@@ -83,7 +88,7 @@ std::string FormationResult::ToString() const {
 Status ValidatePartition(const FormationProblem& problem,
                          const FormationResult& result) {
   GF_RETURN_IF_ERROR(problem.Validate());
-  const std::int32_t n = problem.matrix->num_users();
+  const std::int32_t n = problem.Store().num_users();
   if (result.num_groups() > problem.max_groups) {
     return Status::FailedPrecondition(
         StrFormat("%d groups formed, max is %d", result.num_groups(),
@@ -138,7 +143,7 @@ std::vector<GroupScore> ScoreGroups(
     std::span<const std::vector<UserId>> groups,
     const ScoreGroupsOptions& options) {
   std::vector<GroupScore> scores(groups.size());
-  const std::int64_t num_items = problem.matrix->num_items();
+  const std::int64_t num_items = problem.Store().num_items();
   const bool sharded = problem.candidate_depth == 0 &&
                        options.shard_min_items > 0 &&
                        num_items > options.shard_min_items;
@@ -210,7 +215,7 @@ std::vector<GroupScore> ScoreGroups(
 }
 
 double MissingSlotScore(const FormationProblem& problem, int group_size) {
-  const double r_min = problem.matrix->scale().min;
+  const double r_min = problem.Store().scale().min;
   switch (problem.missing) {
     case grouprec::MissingRatingPolicy::kScaleMin:
       return problem.semantics == grouprec::Semantics::kAggregateVoting
@@ -229,7 +234,7 @@ double AggregateListSatisfaction(const FormationProblem& problem,
                                  const grouprec::GroupTopK& list) {
   const int k = problem.k;
   const bool catalogue_exhausted =
-      problem.matrix->num_items() <= list.size();
+      problem.Store().num_items() <= list.size();
   if (list.size() >= k || catalogue_exhausted) {
     return grouprec::GroupScorer::AggregateSatisfaction(list,
                                                         problem.aggregation);

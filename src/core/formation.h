@@ -6,7 +6,9 @@
 #include <vector>
 
 #include "common/status.h"
+#include "data/compact_matrix.h"
 #include "data/rating_matrix.h"
+#include "data/rating_store.h"
 #include "grouprec/group_scorer.h"
 #include "grouprec/semantics.h"
 
@@ -18,8 +20,17 @@ namespace groupform::core {
 /// satisfaction with its recommended top-k list under `semantics` — is
 /// maximised.
 struct FormationProblem {
-  /// Not owned; must outlive every solver run on this problem.
+  /// Not owned; must outlive every solver run on this problem. Exactly one
+  /// of `matrix` / `compact` should be set — solvers read the population
+  /// through Store(), which serves whichever backend is present. `matrix`
+  /// wins when both are set (the dense path stays bit-identical to the
+  /// pre-compact library).
   const data::RatingMatrix* matrix = nullptr;
+  /// Quantized backend alternative to `matrix` (DESIGN.md §14). Results on
+  /// it equal the dense results on its ToMatrix() dequantization exactly;
+  /// vs the original pre-quantization matrix they agree within the
+  /// documented grid tolerance (exactly, for integer-rating instances).
+  const data::CompactRatingMatrix* compact = nullptr;
   grouprec::Semantics semantics = grouprec::Semantics::kLeastMisery;
   grouprec::Aggregation aggregation = grouprec::Aggregation::kMin;
   /// Length of the recommended item list (k >= 1).
@@ -36,7 +47,16 @@ struct FormationProblem {
   /// per user", with d = k being the paper's literal policy).
   int candidate_depth = 0;
 
-  /// OK when the instance is well-formed (matrix present and non-empty,
+  /// The rating backend as a read-side view. Requires one of
+  /// `matrix`/`compact` to be set (Validate() enforces this for solvers).
+  data::RatingStore Store() const {
+    GF_CHECK(matrix != nullptr || compact != nullptr)
+        << "FormationProblem has no rating backend";
+    if (matrix != nullptr) return data::RatingStore(*matrix);
+    return data::RatingStore(*compact);
+  }
+
+  /// OK when the instance is well-formed (a backend present and non-empty,
   /// k >= 1, max_groups >= 1).
   common::Status Validate() const;
 

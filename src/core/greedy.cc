@@ -26,7 +26,7 @@ std::string GreedyFormer::AlgorithmName(const FormationProblem& problem) {
 
 common::StatusOr<FormationResult> GreedyFormer::Run() const {
   GF_RETURN_IF_ERROR(problem_.Validate());
-  const data::RatingMatrix& matrix = *problem_.matrix;
+  const data::RatingStore matrix = problem_.Store();
   const int n = matrix.num_users();
 
   // Step 1 — intermediate groups: one hash pass over per-user top-k lists.

@@ -15,11 +15,11 @@ IncrementalFormer::IncrementalFormer(const FormationProblem& problem)
     : problem_(problem) {
   const auto status = problem_.Validate();
   GF_CHECK(status.ok()) << status.ToString();
-  users_.resize(static_cast<std::size_t>(problem_.matrix->num_users()));
+  users_.resize(static_cast<std::size_t>(problem_.Store().num_users()));
 }
 
 Status IncrementalFormer::AddUser(UserId user) {
-  if (user < 0 || user >= problem_.matrix->num_users()) {
+  if (user < 0 || user >= problem_.Store().num_users()) {
     return Status::OutOfRange(common::StrFormat("user %d out of range",
                                                 user));
   }
@@ -28,7 +28,7 @@ Status IncrementalFormer::AddUser(UserId user) {
     return Status::FailedPrecondition(
         common::StrFormat("user %d is already active", user));
   }
-  const auto topk = recsys::TopKList(*problem_.matrix, user, problem_.k);
+  const auto topk = recsys::TopKList(problem_.Store(), user, problem_.k);
   state.key = MakeBucketKey(problem_, topk);
   Bucket& bucket = buckets_[state.key];
   AccumulateMember(problem_, topk, bucket);
@@ -43,7 +43,7 @@ Status IncrementalFormer::AddUser(UserId user) {
 }
 
 void IncrementalFormer::AddAllUsers() {
-  for (UserId u = 0; u < problem_.matrix->num_users(); ++u) {
+  for (UserId u = 0; u < problem_.Store().num_users(); ++u) {
     if (!users_[static_cast<std::size_t>(u)].active) {
       GF_CHECK(AddUser(u).ok());
     }
@@ -51,7 +51,7 @@ void IncrementalFormer::AddAllUsers() {
 }
 
 Status IncrementalFormer::RemoveUser(UserId user) {
-  if (user < 0 || user >= problem_.matrix->num_users()) {
+  if (user < 0 || user >= problem_.Store().num_users()) {
     return Status::OutOfRange(common::StrFormat("user %d out of range",
                                                 user));
   }
@@ -77,7 +77,7 @@ Status IncrementalFormer::RemoveUser(UserId user) {
     bucket.seq_scores.clear();
     for (UserId member : members) {
       const auto topk =
-          recsys::TopKList(*problem_.matrix, member, problem_.k);
+          recsys::TopKList(problem_.Store(), member, problem_.k);
       AccumulateMember(problem_, topk, bucket);
       bucket.members.push_back(member);
     }

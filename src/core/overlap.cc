@@ -21,7 +21,7 @@ StatusOr<OverlappingResult> ExpandWithOverlaps(
     return Status::InvalidArgument(common::StrFormat(
         "min_ndcg must be in [0, 1], got %g", options.min_ndcg));
   }
-  const data::RatingMatrix& matrix = *problem.matrix;
+  const data::RatingStore matrix = problem.Store();
 
   // Pre-extract every group's recommended item list once.
   std::vector<std::vector<ItemId>> lists(result.groups.size());

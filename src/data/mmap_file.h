@@ -1,0 +1,50 @@
+#ifndef GROUPFORM_DATA_MMAP_FILE_H_
+#define GROUPFORM_DATA_MMAP_FILE_H_
+
+#include <cstddef>
+#include <string>
+
+#include "common/status.h"
+
+namespace groupform::data {
+
+/// A read-only memory mapping of a whole file (POSIX mmap). The mapping's
+/// pages live in the OS page cache — they are shared across processes,
+/// evictable under memory pressure, and faulted in on first touch — which
+/// is what lets the serving layer hold instances far larger than its heap
+/// budget (DESIGN.md §14.3): a mapped CompactRatingMatrix charges the
+/// InstanceCache only its fixed per-instance overhead, never its payload.
+///
+/// Move-only; the mapping is released (munmap) on destruction. Consumers
+/// that hand out spans into the mapping must keep the MmapFile alive for
+/// as long as the spans are readable (CompactRatingMatrix holds it through
+/// a shared_ptr).
+class MmapFile {
+ public:
+  /// Maps `path` read-only. NOT_FOUND when the file cannot be opened,
+  /// INVALID_ARGUMENT for an empty file (no valid groupform artifact is
+  /// zero bytes), INTERNAL when the map itself fails.
+  static common::StatusOr<MmapFile> Open(const std::string& path);
+
+  MmapFile(MmapFile&& other) noexcept;
+  MmapFile& operator=(MmapFile&& other) noexcept;
+  MmapFile(const MmapFile&) = delete;
+  MmapFile& operator=(const MmapFile&) = delete;
+  ~MmapFile();
+
+  const std::byte* data() const { return data_; }
+  std::size_t size() const { return size_; }
+  const std::string& path() const { return path_; }
+
+ private:
+  MmapFile(const std::byte* data, std::size_t size, std::string path)
+      : data_(data), size_(size), path_(std::move(path)) {}
+
+  const std::byte* data_ = nullptr;
+  std::size_t size_ = 0;
+  std::string path_;
+};
+
+}  // namespace groupform::data
+
+#endif  // GROUPFORM_DATA_MMAP_FILE_H_

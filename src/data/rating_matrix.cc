@@ -29,6 +29,49 @@ StatusOr<RatingMatrix> RatingMatrix::FromDense(
   return std::move(builder).Build();
 }
 
+StatusOr<RatingMatrix> RatingMatrix::FromSortedCsr(
+    std::vector<std::size_t> row_offsets, std::vector<RatingEntry> entries,
+    std::int32_t num_items, RatingScale scale) {
+  if (num_items < 0) {
+    return Status::InvalidArgument("negative num_items");
+  }
+  if (row_offsets.empty()) {
+    return Status::InvalidArgument("row_offsets must have num_users+1 slots");
+  }
+  if (row_offsets.front() != 0 || row_offsets.back() != entries.size()) {
+    return Status::InvalidArgument(
+        StrFormat("row_offsets must span [0, %zu], got [%zu, %zu]",
+                  entries.size(), row_offsets.front(), row_offsets.back()));
+  }
+  for (std::size_t u = 0; u + 1 < row_offsets.size(); ++u) {
+    if (row_offsets[u] > row_offsets[u + 1]) {
+      return Status::InvalidArgument(
+          StrFormat("row_offsets not monotone at row %zu", u));
+    }
+    ItemId prev = -1;
+    for (std::size_t i = row_offsets[u]; i < row_offsets[u + 1]; ++i) {
+      const RatingEntry& e = entries[i];
+      if (e.item <= prev || e.item >= num_items) {
+        return Status::InvalidArgument(
+            StrFormat("row %zu not strictly sorted / item %d outside [0, %d)",
+                      u, e.item, num_items));
+      }
+      if (!scale.Contains(e.rating)) {
+        return Status::InvalidArgument(
+            StrFormat("rating %g outside scale [%g, %g]", e.rating, scale.min,
+                      scale.max));
+      }
+      prev = e.item;
+    }
+  }
+  RatingMatrix out;
+  out.row_offsets_ = std::move(row_offsets);
+  out.entries_ = std::move(entries);
+  out.num_items_ = num_items;
+  out.scale_ = scale;
+  return out;
+}
+
 std::optional<Rating> RatingMatrix::GetRating(UserId user, ItemId item) const {
   const auto row = RatingsOf(user);
   const auto it = std::lower_bound(

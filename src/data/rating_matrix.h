@@ -11,12 +11,24 @@
 namespace groupform::data {
 
 /// One (item, rating) observation inside a user's row.
+///
+/// Deliberately 16 bytes (int32 item + 4 bytes alignment padding + double
+/// rating). The padding stays: Rating is double by the library-wide
+/// bit-exactness contract — every solver, golden file, and cross-thread
+/// determinism test pins exact IEEE doubles, so narrowing the dense cell
+/// would change results everywhere. The remedy for the footprint is not a
+/// packed dense cell but the quantized backend (data/compact_matrix.h),
+/// whose 3–6 byte SoA cells carry an explicit, documented tolerance.
 struct RatingEntry {
   ItemId item = kInvalidItem;
   Rating rating = 0.0;
 
   friend bool operator==(const RatingEntry&, const RatingEntry&) = default;
 };
+
+static_assert(sizeof(RatingEntry) == 16,
+              "dense cell layout is pinned at 16 bytes (see comment above); "
+              "an accidental layout change invalidates ByteSize accounting");
 
 /// Inclusive rating scale [min, max] (the paper's R, e.g. {1..5} with
 /// r_min = 1, r_max = 5). Predicted ratings may be fractional but must stay
@@ -47,6 +59,16 @@ class RatingMatrix {
   static common::StatusOr<RatingMatrix> FromDense(
       const std::vector<std::vector<Rating>>& dense,
       RatingScale scale = RatingScale());
+
+  /// Adopts already-sorted CSR storage without the builder's re-sort:
+  /// `row_offsets` has num_users + 1 monotone entries ending at
+  /// entries.size(), and each row's entries are sorted by item id with
+  /// items in [0, num_items). O(num_ratings) validation; INVALID_ARGUMENT
+  /// on any violation. This is the fast path for bulk producers that
+  /// already emit CSR order (the scale generator, compact dequantization).
+  static common::StatusOr<RatingMatrix> FromSortedCsr(
+      std::vector<std::size_t> row_offsets, std::vector<RatingEntry> entries,
+      std::int32_t num_items, RatingScale scale);
 
   std::int32_t num_users() const {
     return static_cast<std::int32_t>(row_offsets_.size()) - 1;
@@ -81,6 +103,17 @@ class RatingMatrix {
 
   /// Fraction of observed cells: num_ratings / (num_users * num_items).
   double Density() const;
+
+  /// Logical payload bytes of the CSR storage: 16 bytes per entry plus
+  /// 8 bytes per row-offset slot. This is the exact figure InstanceCache
+  /// charges against GF_SERVE_CACHE_MB (it excludes vector slack and the
+  /// fixed object header, which are noise at instance scale).
+  std::int64_t ByteSize() const {
+    return static_cast<std::int64_t>(entries_.size()) *
+               static_cast<std::int64_t>(sizeof(RatingEntry)) +
+           static_cast<std::int64_t>(row_offsets_.size()) *
+               static_cast<std::int64_t>(sizeof(std::size_t));
+  }
 
   /// A new matrix containing only the given users, re-indexed densely in the
   /// given order (item ids are preserved). Used by experiment sweeps that

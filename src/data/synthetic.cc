@@ -180,6 +180,74 @@ RatingMatrix GenerateUniformDense(std::int32_t num_users,
   return std::move(builder).Build();
 }
 
+RatingMatrix GenerateScaleSparse(const ScaleConfig& config) {
+  GF_CHECK_GT(config.num_users, 0);
+  GF_CHECK_GT(config.num_items, 0);
+  GF_CHECK(config.scale.Contains(config.scale.min));
+  const std::int32_t lo =
+      std::clamp(config.min_ratings_per_user, 1, config.num_items);
+  const std::int32_t hi =
+      std::clamp(config.max_ratings_per_user, lo, config.num_items);
+
+  std::vector<std::size_t> row_offsets;
+  row_offsets.reserve(static_cast<std::size_t>(config.num_users) + 1);
+  row_offsets.push_back(0);
+  std::vector<RatingEntry> entries;
+  entries.reserve(static_cast<std::size_t>(config.num_users) *
+                  static_cast<std::size_t>((lo + hi) / 2 + 1));
+
+  // One SplitMix64-style draw per cell, keyed off the user id so every
+  // row is independent of generation order (the prefix property in the
+  // header doc).
+  const auto mix = [](std::uint64_t x) {
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+  };
+  const double range = config.scale.max - config.scale.min;
+  const auto int_levels = static_cast<std::uint64_t>(range) + 1;
+  for (std::int32_t u = 0; u < config.num_users; ++u) {
+    std::uint64_t state =
+        mix(config.seed ^ (static_cast<std::uint64_t>(u) * 0xd1342543de82ef95ULL));
+    const auto count = static_cast<std::int32_t>(
+        lo + static_cast<std::int32_t>(state % static_cast<std::uint64_t>(
+                                                   hi - lo + 1)));
+    // Jittered systematic sample: slot i covers items [i*stride,
+    // (i+1)*stride); one draw picks the item within the slot. Sorted and
+    // distinct by construction, O(count), and different users land on
+    // different jitters so popular head items still collide across rows.
+    const std::int32_t stride = config.num_items / count;
+    for (std::int32_t i = 0; i < count; ++i) {
+      state = mix(state);
+      const std::int32_t slot_width = i + 1 < count
+                                          ? stride
+                                          : config.num_items - i * stride;
+      const auto item = static_cast<ItemId>(
+          i * stride +
+          static_cast<std::int32_t>(state % static_cast<std::uint64_t>(
+                                                slot_width)));
+      state = mix(state);
+      Rating rating;
+      if (config.integer_ratings && range >= 1.0 &&
+          range == std::floor(range)) {
+        rating = config.scale.min +
+                 static_cast<Rating>(state % int_levels);
+      } else {
+        rating = config.scale.min +
+                 range * (static_cast<double>(state >> 11) * 0x1.0p-53);
+      }
+      entries.push_back({item, rating});
+    }
+    row_offsets.push_back(entries.size());
+  }
+  auto matrix = RatingMatrix::FromSortedCsr(
+      std::move(row_offsets), std::move(entries), config.num_items,
+      config.scale);
+  GF_CHECK(matrix.ok()) << matrix.status();
+  return *std::move(matrix);
+}
+
 RatingMatrix GenerateClusteredDense(std::int32_t num_users,
                                     std::int32_t num_items, int num_clusters,
                                     std::uint64_t seed) {

@@ -88,6 +88,38 @@ RatingMatrix GenerateClusteredDense(std::int32_t num_users,
                                     std::int32_t num_items, int num_clusters,
                                     std::uint64_t seed);
 
+/// Configuration of the million-user scale generator (DESIGN.md §14.5).
+///
+/// GenerateLatentFactor prices every cell through the latent-factor dot
+/// product and Zipf popularity sampling — faithful, but tens of seconds
+/// per million users. The storage benches only need *shape* at scale
+/// (realistic row lengths, sorted distinct items, in-scale integer
+/// ratings), so this generator trades the taste structure away for a
+/// strided O(R) construction that builds the CSR arrays directly.
+struct ScaleConfig {
+  std::int32_t num_users = 1'000'000;
+  /// Catalogue size. <= 65535 keeps the compact backend on its 16-bit
+  /// item stream (DESIGN.md §14.1), which the bytes/user headline needs.
+  std::int32_t num_items = 20'000;
+  /// Per-user rating-count range (uniform). Clamped to num_items.
+  std::int32_t min_ratings_per_user = 8;
+  std::int32_t max_ratings_per_user = 24;
+  /// Integer ratings quantise to the scale's integer grid (explicit
+  /// feedback, exactly representable by the compact backend); false draws
+  /// continuous ratings.
+  bool integer_ratings = true;
+  RatingScale scale;
+  std::uint64_t seed = 42;
+};
+
+/// Generates a sparse rating matrix under `config` in O(R) with no
+/// per-cell sampling machinery: each user's items are a jittered
+/// systematic sample of the catalogue (sorted, distinct, head-biased by
+/// wrap-around), ratings uniform in the scale. Deterministic per config;
+/// rows are independent of each other, so any user prefix of a larger
+/// config is a prefix of its rows.
+RatingMatrix GenerateScaleSparse(const ScaleConfig& config);
+
 }  // namespace groupform::data
 
 #endif  // GROUPFORM_DATA_SYNTHETIC_H_

@@ -28,7 +28,7 @@ data::FivePointSummary GroupSizeSummary(
 
 double MeanPerUserSatisfaction(const core::FormationProblem& problem,
                                const core::FormationResult& result) {
-  const data::RatingMatrix& matrix = *problem.matrix;
+  const data::RatingStore matrix = problem.Store();
   const double r_min = matrix.scale().min;
   double total = 0.0;
   std::int64_t users = 0;
@@ -61,7 +61,7 @@ double MeanPerUserSatisfaction(const core::FormationProblem& problem,
 
 double FullySatisfiedFraction(const core::FormationProblem& problem,
                               const core::FormationResult& result) {
-  const data::RatingMatrix& matrix = *problem.matrix;
+  const data::RatingStore matrix = problem.Store();
   std::int64_t satisfied = 0;
   std::int64_t users = 0;
   for (const auto& g : result.groups) {

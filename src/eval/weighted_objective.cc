@@ -31,7 +31,7 @@ double NdcgObjective(const core::FormationProblem& problem,
   double total = 0.0;
   for (const auto& g : result.groups) {
     const auto items = ListItems(g.recommendation);
-    total += grouprec::GroupNdcgSatisfaction(*problem.matrix, g.members,
+    total += grouprec::GroupNdcgSatisfaction(problem.Store(), g.members,
                                              items, problem.k,
                                              problem.semantics,
                                              problem.missing);
@@ -46,7 +46,7 @@ double MeanUserNdcg(const core::FormationProblem& problem,
   for (const auto& g : result.groups) {
     const auto items = ListItems(g.recommendation);
     for (UserId u : g.members) {
-      total += grouprec::UserNdcg(*problem.matrix, u, items, problem.k,
+      total += grouprec::UserNdcg(problem.Store(), u, items, problem.k,
                                   problem.missing);
       ++users;
     }

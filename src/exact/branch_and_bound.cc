@@ -40,7 +40,7 @@ struct SearchState {
 
 common::StatusOr<FormationResult> BranchAndBoundSolver::Run() const {
   GF_RETURN_IF_ERROR(problem_.Validate());
-  const int n = problem_.matrix->num_users();
+  const int n = problem_.Store().num_users();
   if (n > options_.max_users) {
     return common::Status::ResourceExhausted(common::StrFormat(
         "BranchAndBoundSolver handles at most %d users, got %d",
@@ -58,7 +58,7 @@ common::StatusOr<FormationResult> BranchAndBoundSolver::Run() const {
   // For LM: suffix_top[u][t] = sum of the t largest solo scores among
   // users u..n-1 (t <= ell). For AV: each remaining user can add at most
   // `av_cap` to the objective whichever group they join.
-  const double r_max = problem_.matrix->scale().max;
+  const double r_max = problem_.Store().scale().max;
   const double av_cap =
       (problem_.aggregation == Aggregation::kSum
            ? static_cast<double>(problem_.k)

@@ -16,7 +16,7 @@ using grouprec::Semantics;
 StatusOr<std::string> IpModel::BuildLpText(
     const core::FormationProblem& problem) {
   GF_RETURN_IF_ERROR(problem.Validate());
-  const data::RatingMatrix& matrix = *problem.matrix;
+  const data::RatingStore matrix = problem.Store();
   const long long n = matrix.num_users();
   const long long m = matrix.num_items();
   const long long ell = problem.max_groups;

@@ -168,7 +168,7 @@ std::vector<PlannedMove> PlanPassMoves(
 
 common::StatusOr<FormationResult> LocalSearchSolver::Run() const {
   GF_RETURN_IF_ERROR(problem_.Validate());
-  const int n = problem_.matrix->num_users();
+  const int n = problem_.Store().num_users();
   const int ell = problem_.max_groups;
   const grouprec::GroupScorer scorer = problem_.MakeScorer();
   common::Rng rng(options_.seed);

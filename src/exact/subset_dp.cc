@@ -42,7 +42,7 @@ double GroupSatisfaction(const core::FormationProblem& problem,
 
 common::StatusOr<FormationResult> SubsetDpSolver::Run() const {
   GF_RETURN_IF_ERROR(problem_.Validate());
-  const int n = problem_.matrix->num_users();
+  const int n = problem_.Store().num_users();
   if (n > options_.max_users) {
     return Status::ResourceExhausted(common::StrFormat(
         "SubsetDpSolver handles at most %d users, got %d (use "
@@ -127,7 +127,7 @@ common::StatusOr<FormationResult> SubsetDpSolver::Run() const {
 
 common::StatusOr<FormationResult> BruteForceSolver::Run() const {
   GF_RETURN_IF_ERROR(problem_.Validate());
-  const int n = problem_.matrix->num_users();
+  const int n = problem_.Store().num_users();
   if (n > options_.max_users) {
     return Status::ResourceExhausted(common::StrFormat(
         "BruteForceSolver handles at most %d users, got %d",

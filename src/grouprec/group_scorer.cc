@@ -50,8 +50,8 @@ double ScoreFromAccum(const Accum& acc, int group_size,
 
 }  // namespace
 
-GroupScorer::GroupScorer(const data::RatingMatrix& matrix, Options options)
-    : matrix_(&matrix), options_(options) {}
+GroupScorer::GroupScorer(data::RatingStore store, Options options)
+    : store_(store), options_(options) {}
 
 double GroupScorer::ItemScore(std::span<const UserId> group,
                               ItemId item) const {
@@ -61,14 +61,14 @@ double GroupScorer::ItemScore(std::span<const UserId> group,
   // three entry points agree bit for bit.
   Accum acc;
   for (UserId u : group) {
-    const auto rating = matrix_->GetRating(u, item);
+    const auto rating = store_.GetRating(u, item);
     if (!rating.has_value()) continue;
     ++acc.raters;
     acc.min = std::min(acc.min, *rating);
     acc.sum += *rating;
   }
   return ScoreFromAccum(acc, static_cast<int>(group.size()), options_,
-                        matrix_->scale().min);
+                        store_.scale().min);
 }
 
 GroupTopK GroupScorer::TopK(std::span<const UserId> group, int k,
@@ -85,17 +85,17 @@ GroupTopK GroupScorer::TopK(std::span<const UserId> group, int k,
   for (ItemId item : candidates) accums.try_emplace(item);
   const int group_size = static_cast<int>(group.size());
   for (UserId u : group) {
-    for (const auto& entry : matrix_->RatingsOf(u)) {
-      const auto it = accums.find(entry.item);
-      if (it == accums.end()) continue;
+    store_.VisitRow(u, [&accums](ItemId item, Rating rating) {
+      const auto it = accums.find(item);
+      if (it == accums.end()) return;
       Accum& acc = it->second;
       ++acc.raters;
-      acc.min = std::min(acc.min, entry.rating);
-      acc.sum += entry.rating;
-    }
+      acc.min = std::min(acc.min, rating);
+      acc.sum += rating;
+    });
   }
 
-  const double r_min = matrix_->scale().min;
+  const double r_min = store_.scale().min;
   std::vector<ScoredItem> scored;
   scored.reserve(candidates.size());
   for (ItemId item : candidates) {
@@ -120,27 +120,24 @@ GroupTopK GroupScorer::TopKItemRange(std::span<const UserId> group, int k,
 
   // Dense accumulators for the range, filled from each member's rating-row
   // slice: rows are sorted by item, so one lower_bound per member finds
-  // the slice and the scan touches only in-range entries. Per item, the
-  // contributing users arrive in the same order as TopK's full-row scan,
-  // so the accumulated min/sum are bit-identical.
+  // the slice and the scan touches only in-range entries (on the compact
+  // backend this is a branch-light scan over contiguous same-width cells).
+  // Per item, the contributing users arrive in the same order as TopK's
+  // full-row scan, so the accumulated min/sum are bit-identical.
   std::vector<Accum> accums(static_cast<std::size_t>(end - begin));
   const int group_size = static_cast<int>(group.size());
   for (UserId u : group) {
-    const auto row = matrix_->RatingsOf(u);
-    auto it = std::lower_bound(
-        row.begin(), row.end(), begin,
-        [](const data::RatingEntry& entry, ItemId item) {
-          return entry.item < item;
-        });
-    for (; it != row.end() && it->item < end; ++it) {
-      Accum& acc = accums[static_cast<std::size_t>(it->item - begin)];
-      ++acc.raters;
-      acc.min = std::min(acc.min, it->rating);
-      acc.sum += it->rating;
-    }
+    store_.VisitRowRange(u, begin, end,
+                         [&accums, begin](ItemId item, Rating rating) {
+                           Accum& acc = accums[static_cast<std::size_t>(
+                               item - begin)];
+                           ++acc.raters;
+                           acc.min = std::min(acc.min, rating);
+                           acc.sum += rating;
+                         });
   }
 
-  const double r_min = matrix_->scale().min;
+  const double r_min = store_.scale().min;
   std::vector<ScoredItem> scored;
   scored.reserve(accums.size());
   for (std::size_t i = 0; i < accums.size(); ++i) {
@@ -159,7 +156,7 @@ GroupTopK GroupScorer::TopKItemRange(std::span<const UserId> group, int k,
 GroupTopK GroupScorer::TopKAllItems(std::span<const UserId> group,
                                     int k) const {
   std::vector<ItemId> candidates(
-      static_cast<std::size_t>(matrix_->num_items()));
+      static_cast<std::size_t>(store_.num_items()));
   for (std::size_t i = 0; i < candidates.size(); ++i) {
     candidates[i] = static_cast<ItemId>(i);
   }
@@ -173,8 +170,9 @@ GroupTopK GroupScorer::TopKUnionCandidates(std::span<const UserId> group,
   // library tie rule (rating desc, item asc).
   std::vector<ItemId> candidates;
   std::vector<data::RatingEntry> row_copy;
+  std::vector<data::RatingEntry> scratch;
   for (UserId u : group) {
-    const auto row = matrix_->RatingsOf(u);
+    const auto row = store_.Row(u, scratch);
     row_copy.assign(row.begin(), row.end());
     const std::size_t keep =
         std::min<std::size_t>(static_cast<std::size_t>(depth),

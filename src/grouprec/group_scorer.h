@@ -4,7 +4,7 @@
 #include <span>
 #include <vector>
 
-#include "data/rating_matrix.h"
+#include "data/rating_store.h"
 #include "grouprec/semantics.h"
 
 namespace groupform::grouprec {
@@ -49,11 +49,12 @@ class GroupScorer {
     MissingRatingPolicy missing = MissingRatingPolicy::kScaleMin;
   };
 
-  /// The matrix must outlive the scorer.
-  GroupScorer(const data::RatingMatrix& matrix, Options options);
+  /// The backing matrix (dense or compact — RatingStore converts
+  /// implicitly from either) must outlive the scorer.
+  GroupScorer(data::RatingStore store, Options options);
 
   const Options& options() const { return options_; }
-  const data::RatingMatrix& matrix() const { return *matrix_; }
+  const data::RatingStore& store() const { return store_; }
 
   /// sc(g, i): the group score of one item (Definitions 1 and 2).
   /// O(|g| log d̄) via per-user binary searches.
@@ -92,7 +93,7 @@ class GroupScorer {
                                       Aggregation aggregation);
 
  private:
-  const data::RatingMatrix* matrix_;
+  data::RatingStore store_;
   Options options_;
 };
 

@@ -40,13 +40,13 @@ double WeightedSumSatisfaction(const GroupTopK& list,
   return total;
 }
 
-double UserNdcg(const data::RatingMatrix& matrix, UserId user,
+double UserNdcg(const data::RatingStore& store, UserId user,
                 std::span<const ItemId> recommended, int k,
                 MissingRatingPolicy missing) {
   GF_CHECK_GT(k, 0);
-  const double r_min = matrix.scale().min;
+  const double r_min = store.scale().min;
   const auto relevance = [&](ItemId item) -> double {
-    const auto r = matrix.GetRating(user, item);
+    const auto r = store.GetRating(user, item);
     if (r.has_value()) return *r;
     switch (missing) {
       case MissingRatingPolicy::kScaleMin:
@@ -71,10 +71,11 @@ double UserNdcg(const data::RatingMatrix& matrix, UserId user,
   }
 
   // Ideal DCG: the user's own k highest ratings (rating desc, item asc).
-  const auto row = matrix.RatingsOf(user);
   std::vector<double> ratings;
-  ratings.reserve(row.size());
-  for (const auto& entry : row) ratings.push_back(entry.rating);
+  ratings.reserve(static_cast<std::size_t>(store.NumRatingsOf(user)));
+  store.VisitRow(user, [&ratings](ItemId, Rating rating) {
+    ratings.push_back(rating);
+  });
   std::sort(ratings.begin(), ratings.end(), std::greater<>());
   double idcg = 0.0;
   for (int j = 0; j < k && j < static_cast<int>(ratings.size()); ++j) {
@@ -84,7 +85,7 @@ double UserNdcg(const data::RatingMatrix& matrix, UserId user,
   return dcg / idcg;
 }
 
-double GroupNdcgSatisfaction(const data::RatingMatrix& matrix,
+double GroupNdcgSatisfaction(const data::RatingStore& store,
                              std::span<const UserId> group,
                              std::span<const ItemId> recommended, int k,
                              Semantics semantics,
@@ -93,7 +94,7 @@ double GroupNdcgSatisfaction(const data::RatingMatrix& matrix,
   double min_ndcg = std::numeric_limits<double>::infinity();
   double sum_ndcg = 0.0;
   for (UserId u : group) {
-    const double ndcg = UserNdcg(matrix, u, recommended, k, missing);
+    const double ndcg = UserNdcg(store, u, recommended, k, missing);
     min_ndcg = std::min(min_ndcg, ndcg);
     sum_ndcg += ndcg;
   }

@@ -4,7 +4,7 @@
 #include <span>
 #include <vector>
 
-#include "data/rating_matrix.h"
+#include "data/rating_store.h"
 #include "grouprec/group_scorer.h"
 
 namespace groupform::grouprec {
@@ -34,13 +34,13 @@ double WeightedSumSatisfaction(const GroupTopK& list,
 /// (library tie rule), so a fully matched list scores exactly 1. Items the
 /// user has not rated take relevance r_min, 0, or are skipped, per
 /// `missing`.
-double UserNdcg(const data::RatingMatrix& matrix, UserId user,
+double UserNdcg(const data::RatingStore& store, UserId user,
                 std::span<const ItemId> recommended, int k,
                 MissingRatingPolicy missing = MissingRatingPolicy::kScaleMin);
 
 /// Group satisfaction under §6's user-level weighting: per-user NDCG values
 /// combined with the group semantics (LM = min of member NDCGs, AV = sum).
-double GroupNdcgSatisfaction(const data::RatingMatrix& matrix,
+double GroupNdcgSatisfaction(const data::RatingStore& store,
                              std::span<const UserId> group,
                              std::span<const ItemId> recommended, int k,
                              Semantics semantics,

@@ -7,18 +7,24 @@
 namespace groupform::recsys {
 
 std::vector<data::RatingEntry> FullPreferenceList(
-    const data::RatingMatrix& matrix, UserId user) {
-  const auto row = matrix.RatingsOf(user);
-  std::vector<data::RatingEntry> list(row.begin(), row.end());
+    const data::RatingStore& store, UserId user) {
+  std::vector<data::RatingEntry> list;
+  list.reserve(static_cast<std::size_t>(store.NumRatingsOf(user)));
+  store.VisitRow(user, [&list](ItemId item, Rating rating) {
+    list.push_back({item, rating});
+  });
   std::sort(list.begin(), list.end(), PrefersEntry);
   return list;
 }
 
-std::vector<data::RatingEntry> TopKList(const data::RatingMatrix& matrix,
+std::vector<data::RatingEntry> TopKList(const data::RatingStore& store,
                                         UserId user, int k) {
   GF_CHECK_GT(k, 0);
-  const auto row = matrix.RatingsOf(user);
-  std::vector<data::RatingEntry> list(row.begin(), row.end());
+  std::vector<data::RatingEntry> list;
+  list.reserve(static_cast<std::size_t>(store.NumRatingsOf(user)));
+  store.VisitRow(user, [&list](ItemId item, Rating rating) {
+    list.push_back({item, rating});
+  });
   const std::size_t keep =
       std::min<std::size_t>(static_cast<std::size_t>(k), list.size());
   std::partial_sort(list.begin(), list.begin() + keep, list.end(),
@@ -27,18 +33,19 @@ std::vector<data::RatingEntry> TopKList(const data::RatingMatrix& matrix,
   return list;
 }
 
-PreferenceListStore::PreferenceListStore(const data::RatingMatrix& matrix,
+PreferenceListStore::PreferenceListStore(const data::RatingStore& store,
                                          int k)
     : k_(k) {
   GF_CHECK_GT(k, 0);
-  offsets_.reserve(static_cast<std::size_t>(matrix.num_users()) + 1);
+  offsets_.reserve(static_cast<std::size_t>(store.num_users()) + 1);
   offsets_.push_back(0);
   // Worst case every user has >= k ratings.
-  entries_.reserve(static_cast<std::size_t>(matrix.num_users()) *
+  entries_.reserve(static_cast<std::size_t>(store.num_users()) *
                    static_cast<std::size_t>(k));
   std::vector<data::RatingEntry> scratch;
-  for (UserId u = 0; u < matrix.num_users(); ++u) {
-    const auto row = matrix.RatingsOf(u);
+  std::vector<data::RatingEntry> row_scratch;
+  for (UserId u = 0; u < store.num_users(); ++u) {
+    const auto row = store.Row(u, row_scratch);
     scratch.assign(row.begin(), row.end());
     const std::size_t keep =
         std::min<std::size_t>(static_cast<std::size_t>(k), scratch.size());

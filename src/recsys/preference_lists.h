@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "data/rating_matrix.h"
+#include "data/rating_store.h"
 
 namespace groupform::recsys {
 
@@ -21,11 +22,11 @@ inline bool PrefersEntry(const data::RatingEntry& a,
 /// The user's preference list L_u (§4.1): all rated items sorted by the tie
 /// rule.
 std::vector<data::RatingEntry> FullPreferenceList(
-    const data::RatingMatrix& matrix, UserId user);
+    const data::RatingStore& store, UserId user);
 
 /// The user's top-k list L_u^k. Returns fewer than k entries when the user
 /// rated fewer than k items.
-std::vector<data::RatingEntry> TopKList(const data::RatingMatrix& matrix,
+std::vector<data::RatingEntry> TopKList(const data::RatingStore& store,
                                         UserId user, int k);
 
 /// Precomputed top-k lists for the whole population, stored contiguously.
@@ -33,8 +34,8 @@ std::vector<data::RatingEntry> TopKList(const data::RatingMatrix& matrix,
 /// user's list in O(k).
 class PreferenceListStore {
  public:
-  /// Builds top-`k` lists for every user of `matrix`.
-  PreferenceListStore(const data::RatingMatrix& matrix, int k);
+  /// Builds top-`k` lists for every user of the store's population.
+  PreferenceListStore(const data::RatingStore& store, int k);
 
   int k() const { return k_; }
   std::int32_t num_users() const {

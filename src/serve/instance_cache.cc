@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "data/binary_io.h"
 #include "data/loaders.h"
 #include "data/synthetic.h"
 
@@ -9,6 +10,11 @@ namespace groupform::serve {
 
 common::StatusOr<data::RatingMatrix> BuildInstance(
     const InstanceSpec& spec) {
+  if (spec.kind == "gfcm") {
+    return common::Status::InvalidArgument(
+        "kind \"gfcm\" has no dense build path — load it via "
+        "LoadInstance");
+  }
   if (spec.kind == "csv") {
     data::LoaderOptions options;
     return data::LoadTripletFile(spec.path, options);
@@ -42,20 +48,61 @@ common::StatusOr<data::RatingMatrix> BuildInstance(
                                          spec.kind + "\"");
 }
 
+std::int64_t LoadedInstance::ChargedBytes() const {
+  if (dense != nullptr) return dense->ByteSize();
+  GF_CHECK(compact != nullptr) << "LoadedInstance has no backend";
+  // ResidentBytes: full ByteSize for in-RAM compact instances, the fixed
+  // per-instance overhead for mmap-backed ones (DESIGN.md §14.3).
+  return compact->ResidentBytes();
+}
+
+long LoadedInstance::UseCount() const {
+  if (dense != nullptr) return dense.use_count();
+  GF_CHECK(compact != nullptr) << "LoadedInstance has no backend";
+  return compact.use_count();
+}
+
+common::StatusOr<LoadedInstance> LoadInstance(const InstanceSpec& spec) {
+  LoadedInstance loaded;
+  if (spec.kind == "gfcm") {
+    const data::CompactReadMode mode = spec.backend == "mmap"
+                                           ? data::CompactReadMode::kMmap
+                                           : data::CompactReadMode::kInMemory;
+    GF_ASSIGN_OR_RETURN(data::CompactRatingMatrix compact,
+                        data::LoadCompactBinary(spec.path, mode));
+    if (spec.backend == "dense") {
+      loaded.dense = std::make_shared<const data::RatingMatrix>(
+          compact.ToMatrix());
+    } else {
+      loaded.compact = std::make_shared<const data::CompactRatingMatrix>(
+          std::move(compact));
+    }
+    return loaded;
+  }
+  GF_ASSIGN_OR_RETURN(data::RatingMatrix dense, BuildInstance(spec));
+  if (spec.backend == "compact") {
+    loaded.compact = std::make_shared<const data::CompactRatingMatrix>(
+        data::CompactRatingMatrix::FromMatrix(dense, spec.qbits));
+  } else {
+    loaded.dense =
+        std::make_shared<const data::RatingMatrix>(std::move(dense));
+  }
+  return loaded;
+}
+
 std::int64_t ApproximateMatrixBytes(const data::RatingMatrix& matrix) {
-  return matrix.num_ratings() *
-             static_cast<std::int64_t>(sizeof(data::RatingEntry)) +
-         (static_cast<std::int64_t>(matrix.num_users()) + 1) *
-             static_cast<std::int64_t>(sizeof(std::size_t));
+  // Historically hand-priced as entries + offsets; ByteSize() is that
+  // same figure computed by the matrix itself, kept exact by the
+  // static_asserts on sizeof(RatingEntry).
+  return matrix.ByteSize();
 }
 
 InstanceCache::InstanceCache(std::int64_t capacity_bytes)
     : capacity_bytes_(capacity_bytes) {}
 
-common::StatusOr<std::shared_ptr<const data::RatingMatrix>>
-InstanceCache::GetOrBuild(
+common::StatusOr<LoadedInstance> InstanceCache::GetOrBuild(
     const std::string& key,
-    const std::function<common::StatusOr<data::RatingMatrix>()>& build) {
+    const std::function<common::StatusOr<LoadedInstance>()>& build) {
   {
     std::lock_guard<std::mutex> lock(mu_);
     const auto it = index_.find(key);
@@ -63,39 +110,37 @@ InstanceCache::GetOrBuild(
       // Refresh recency: splice the entry to the front of the LRU list.
       lru_.splice(lru_.begin(), lru_, it->second);
       ++stats_.hits;
-      return it->second->matrix;
+      return it->second->instance;
     }
   }
   // Build outside the lock so a slow file load or large generation does
   // not stall concurrent requests for already-cached instances. Two
-  // racing first requests may both build the matrix; the loser's copy is
-  // dropped.
-  GF_ASSIGN_OR_RETURN(data::RatingMatrix built, build());
-  auto matrix =
-      std::make_shared<const data::RatingMatrix>(std::move(built));
+  // racing first requests may both build the instance; the loser's copy
+  // is dropped.
+  GF_ASSIGN_OR_RETURN(LoadedInstance built, build());
   std::lock_guard<std::mutex> lock(mu_);
   const auto it = index_.find(key);
   if (it != index_.end()) {
     lru_.splice(lru_.begin(), lru_, it->second);
     ++stats_.hits;
-    return it->second->matrix;
+    return it->second->instance;
   }
   Entry entry;
   entry.key = key;
-  entry.matrix = matrix;
-  entry.bytes = ApproximateMatrixBytes(*matrix);
+  entry.instance = built;
+  entry.bytes = built.ChargedBytes();
   lru_.push_front(std::move(entry));
   index_[key] = lru_.begin();
   stats_.bytes += lru_.front().bytes;
   ++stats_.misses;
   EvictLocked();
-  return matrix;
+  return built;
 }
 
-common::StatusOr<std::shared_ptr<const data::RatingMatrix>>
-InstanceCache::Get(const InstanceSpec& spec) {
+common::StatusOr<LoadedInstance> InstanceCache::Get(
+    const InstanceSpec& spec) {
   return GetOrBuild(spec.CanonicalKey(),
-                    [&spec] { return BuildInstance(spec); });
+                    [&spec] { return LoadInstance(spec); });
 }
 
 common::StatusOr<InstanceCache::EpochInstance> InstanceCache::GetEpoch(
@@ -103,7 +148,13 @@ common::StatusOr<InstanceCache::EpochInstance> InstanceCache::GetEpoch(
     std::span<const core::PopulationDelta> deltas) {
   EpochInstance epoch;
   epoch.key = EpochKey(spec, deltas);
-  GF_ASSIGN_OR_RETURN(epoch.base, Get(spec));
+  GF_ASSIGN_OR_RETURN(const LoadedInstance loaded, Get(spec));
+  if (loaded.dense == nullptr) {
+    return common::Status::InvalidArgument(
+        "delta streams require the dense backend (instance backend is \"" +
+        spec.backend + "\")");
+  }
+  epoch.base = loaded.dense;
   // The fold is cheap (no matrix copy) and delta sequences are small, so
   // it is re-validated per call — only the materialised matrix is cached.
   GF_ASSIGN_OR_RETURN(core::AppliedDeltas applied,
@@ -115,10 +166,19 @@ common::StatusOr<InstanceCache::EpochInstance> InstanceCache::GetEpoch(
     epoch.shares_base = true;
   } else {
     const data::RatingMatrix& base = *epoch.base;
-    GF_ASSIGN_OR_RETURN(epoch.matrix,
-                        GetOrBuild(epoch.key, [&base, &applied] {
-                          return core::MaterializeDeltas(base, applied);
-                        }));
+    GF_ASSIGN_OR_RETURN(
+        const LoadedInstance materialized,
+        GetOrBuild(epoch.key,
+                   [&base, &applied]() -> common::StatusOr<LoadedInstance> {
+                     GF_ASSIGN_OR_RETURN(
+                         data::RatingMatrix matrix,
+                         core::MaterializeDeltas(base, applied));
+                     LoadedInstance built;
+                     built.dense = std::make_shared<const data::RatingMatrix>(
+                         std::move(matrix));
+                     return built;
+                   }));
+    epoch.matrix = materialized.dense;
   }
   epoch.active_users = std::move(applied.active_users);
   return epoch;
@@ -156,9 +216,9 @@ void InstanceCache::EvictLocked() {
   auto it = lru_.end();
   while (stats_.bytes > capacity_bytes_ && it != lru_.begin()) {
     --it;
-    // Pinned entries (a request still holds the matrix) are skipped; the
-    // cache's own reference is the 1 in the comparison.
-    if (it->matrix.use_count() > 1) continue;
+    // Pinned entries (a request still holds the instance) are skipped;
+    // the cache's own reference is the 1 in the comparison.
+    if (it->instance.UseCount() > 1) continue;
     stats_.bytes -= it->bytes;
     ++stats_.evictions;
     index_.erase(it->key);

@@ -17,24 +17,65 @@
 #include <string>
 #include <vector>
 
+#include "common/logging.h"
 #include "common/status.h"
 #include "core/delta.h"
+#include "data/compact_matrix.h"
 #include "data/rating_matrix.h"
+#include "data/rating_store.h"
 #include "serve/protocol.h"
 
 namespace groupform::serve {
 
-/// Loads or generates the matrix `spec` describes, with no caching.
-/// INVALID_ARGUMENT for malformed inline ratings or an unknown kind,
-/// NOT_FOUND (from the loaders) for a missing file.
+/// Builds the *dense* matrix a non-"gfcm" `spec` describes (ignoring
+/// `spec.backend`), with no caching. INVALID_ARGUMENT for malformed
+/// inline ratings, kind "gfcm" (which has no dense build — use
+/// LoadInstance), or an unknown kind; NOT_FOUND (from the loaders) for a
+/// missing file.
 common::StatusOr<data::RatingMatrix> BuildInstance(const InstanceSpec& spec);
+
+/// One loaded instance behind a storage backend (DESIGN.md §14.4):
+/// exactly one of `dense` / `compact` is set. backend "dense" →
+/// `dense`; "compact" and "mmap" → `compact` (in-RAM quantized cells vs
+/// a zero-copy map of the GFCM file).
+struct LoadedInstance {
+  std::shared_ptr<const data::RatingMatrix> dense;
+  std::shared_ptr<const data::CompactRatingMatrix> compact;
+
+  /// The read-side view solvers consume (whichever backend is set).
+  data::RatingStore Store() const {
+    GF_CHECK(dense != nullptr || compact != nullptr)
+        << "LoadedInstance has no backend";
+    if (dense != nullptr) return data::RatingStore(*dense);
+    return data::RatingStore(*compact);
+  }
+
+  /// Bytes the cache charges against its budget: the exact heap
+  /// footprint (ByteSize) for in-RAM backends; an mmap-backed instance
+  /// charges only its fixed resident overhead — the kernel owns the
+  /// payload pages and reclaims them under memory pressure, which is how
+  /// serverd serves instances larger than GF_SERVE_CACHE_MB
+  /// (DESIGN.md §14.3).
+  std::int64_t ChargedBytes() const;
+
+  /// Outstanding references to the stored object (the cache's pinning
+  /// probe; the cache's own reference counts as 1).
+  long UseCount() const;
+};
+
+/// Loads `spec` into the backend it names, with no caching: kind "gfcm"
+/// reads the GFCM file (mmapped for backend "mmap", copied in for
+/// "compact", dequantized for "dense"); every other kind builds the
+/// dense matrix and, for backend "compact", quantizes it at spec.qbits.
+common::StatusOr<LoadedInstance> LoadInstance(const InstanceSpec& spec);
 
 /// Thread-safe LRU cache of loaded instances.
 ///
-/// Eviction contract (DESIGN.md §12.3): entries are charged their
-/// approximate in-memory size (CSR entries + row offsets); when the total
+/// Eviction contract (DESIGN.md §12.3, §14.3): entries are charged their
+/// exact in-memory size (LoadedInstance::ChargedBytes — mmap-backed
+/// entries charge only their fixed resident overhead); when the total
 /// exceeds the byte budget, least-recently-used entries are dropped —
-/// except *pinned* entries, i.e. matrices currently referenced by an
+/// except *pinned* entries, i.e. instances currently referenced by an
 /// in-flight request (observable as shared_ptr use_count > 1), which are
 /// never evicted; the budget is therefore a soft limit while requests
 /// hold large instances. A single instance larger than the whole budget
@@ -44,11 +85,10 @@ class InstanceCache {
   /// `capacity_bytes` <= 0 means unlimited.
   explicit InstanceCache(std::int64_t capacity_bytes);
 
-  /// The cached matrix for `spec`, loading it on first use. A cache hit
-  /// refreshes the entry's recency. The returned shared_ptr pins the
-  /// entry for as long as the caller holds it.
-  common::StatusOr<std::shared_ptr<const data::RatingMatrix>> Get(
-      const InstanceSpec& spec);
+  /// The cached instance for `spec`, loading it on first use. A cache
+  /// hit refreshes the entry's recency. The returned shared_ptrs pin the
+  /// entry for as long as the caller holds them.
+  common::StatusOr<LoadedInstance> Get(const InstanceSpec& spec);
 
   /// A resolved instance epoch (DESIGN.md §13): the base instance plus a
   /// validated delta sequence.
@@ -66,7 +106,10 @@ class InstanceCache {
   };
 
   /// Resolves `spec` + `deltas` to an epoch, validating the sequence
-  /// (core::ApplyDeltas errors pass through) and materialising the
+  /// (core::ApplyDeltas errors pass through). Delta streams require the
+  /// dense backend — rerates rewrite cells a quantized instance cannot
+  /// represent exactly and mmap pages are immutable — so a non-dense
+  /// `spec.backend` answers INVALID_ARGUMENT here. Materialises the
   /// post-delta matrix at most once per epoch key. Copy-on-first-
   /// effective-delta: a fully cancelling sequence shares the base
   /// matrix's cache entry and inserts nothing, so concurrent
@@ -113,15 +156,15 @@ class InstanceCache {
  private:
   struct Entry {
     std::string key;
-    std::shared_ptr<const data::RatingMatrix> matrix;
+    LoadedInstance instance;
     std::int64_t bytes = 0;
   };
 
   /// Shared lookup/build/insert path of Get and GetEpoch: double-checked
   /// locking, `build` runs outside the lock.
-  common::StatusOr<std::shared_ptr<const data::RatingMatrix>> GetOrBuild(
+  common::StatusOr<LoadedInstance> GetOrBuild(
       const std::string& key,
-      const std::function<common::StatusOr<data::RatingMatrix>()>& build);
+      const std::function<common::StatusOr<LoadedInstance>()>& build);
 
   /// Drops unpinned LRU entries until within budget. Caller holds mu_.
   void EvictLocked();
@@ -144,8 +187,11 @@ class InstanceCache {
       solution_index_;
 };
 
-/// Approximate heap footprint of a loaded matrix: CSR entries plus row
-/// offsets. The cache charges entries with this size.
+/// Heap footprint of a loaded dense matrix. Kept for compatibility under
+/// its historical name, but no longer approximate: it delegates to
+/// data::RatingMatrix::ByteSize(), which prices the padded 16-byte
+/// RatingEntry cells plus the row offsets exactly (the figure the cache
+/// charges dense entries).
 std::int64_t ApproximateMatrixBytes(const data::RatingMatrix& matrix);
 
 }  // namespace groupform::serve

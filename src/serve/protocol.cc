@@ -453,8 +453,34 @@ StatusOr<InstanceSpec> ParseInstance(const JsonValue& value) {
                       FieldString(value, "kind", std::nullopt));
   GF_RETURN_IF_ERROR(CheckOneOf(
       "instance.kind", spec.kind,
-      {"inline", "synthetic", "dense", "csv", "movielens"}));
-  if (spec.kind == "csv" || spec.kind == "movielens") {
+      {"inline", "synthetic", "dense", "csv", "movielens", "gfcm"}));
+  // The storage backend (DESIGN.md §14.4). mmap needs a pre-packed file,
+  // so it is gated on kind "gfcm" (where it is also the default); qbits
+  // only varies the compact quantizer on built instances — a GFCM file
+  // carries its own width — and is normalised to 8 everywhere else so
+  // parse ∘ render stays the identity.
+  spec.backend = spec.kind == "gfcm" ? "mmap" : "dense";
+  GF_ASSIGN_OR_RETURN(spec.backend,
+                      FieldString(value, "backend", spec.backend));
+  GF_RETURN_IF_ERROR(CheckOneOf("instance.backend", spec.backend,
+                                {"dense", "compact", "mmap"}));
+  if (spec.backend == "mmap" && spec.kind != "gfcm") {
+    return Status::InvalidArgument(
+        "field \"instance.backend\": \"mmap\" requires kind \"gfcm\" (a "
+        "pre-packed compact file)");
+  }
+  if (spec.backend == "compact" && spec.kind != "gfcm") {
+    GF_ASSIGN_OR_RETURN(const long long qbits,
+                        FieldInt(value, "qbits", /*fallback=*/8,
+                                 /*min_value=*/8, /*max_value=*/16));
+    if (qbits != 8 && qbits != 16) {
+      return Status::InvalidArgument(
+          "field \"instance.qbits\": must be 8 or 16");
+    }
+    spec.qbits = static_cast<int>(qbits);
+  }
+  if (spec.kind == "csv" || spec.kind == "movielens" ||
+      spec.kind == "gfcm") {
     GF_ASSIGN_OR_RETURN(spec.path, FieldString(value, "path", std::nullopt));
     if (spec.path.empty()) {
       return Status::InvalidArgument("field \"instance.path\": empty");
@@ -640,7 +666,17 @@ StatusOr<ProblemSpec> ParseProblem(const JsonValue* value) {
 void RenderInstance(eval::JsonWriter& writer, const InstanceSpec& spec) {
   writer.BeginObject();
   writer.Key("kind").String(spec.kind);
-  if (spec.kind == "csv" || spec.kind == "movielens") {
+  // backend/qbits render only off their per-kind defaults, so every
+  // pre-backend request line (and its golden) renders unchanged.
+  const bool default_backend =
+      spec.backend == (spec.kind == "gfcm" ? "mmap" : "dense");
+  if (!default_backend) writer.Key("backend").String(spec.backend);
+  if (spec.backend == "compact" && spec.kind != "gfcm" &&
+      spec.qbits != 8) {
+    writer.Key("qbits").Int(spec.qbits);
+  }
+  if (spec.kind == "csv" || spec.kind == "movielens" ||
+      spec.kind == "gfcm") {
     writer.Key("path").String(spec.path);
     writer.EndObject();
     return;
@@ -693,18 +729,30 @@ StatusOr<eval::SweepCellState> CellStateFromString(const std::string& name) {
 }  // namespace
 
 std::string InstanceSpec::CanonicalKey() const {
-  if (kind == "csv" || kind == "movielens") {
-    return kind + ":" + path;
+  // The backend is part of the identity: the same spec loaded dense,
+  // compact-quantized, or mmapped is a different cached object (different
+  // bytes, different read path). Dense — every pre-backend spec — keeps
+  // its historical suffix-free key.
+  std::string backend_suffix;
+  if (kind == "gfcm") {
+    backend_suffix = ":" + backend;
+  } else if (backend == "compact") {
+    backend_suffix = common::StrFormat(":compact%d", qbits);
+  }
+  if (kind == "gfcm" || kind == "csv" || kind == "movielens") {
+    return kind + ":" + path + backend_suffix;
   }
   if (kind == "synthetic") {
     return common::StrFormat("synthetic:%s:%dx%d:s%llu", preset.c_str(),
                             users, items,
-                            static_cast<unsigned long long>(seed));
+                            static_cast<unsigned long long>(seed)) +
+           backend_suffix;
   }
   if (kind == "dense") {
     return common::StrFormat("dense:%dx%d:c%d:s%llu", users, items,
                              clusters,
-                             static_cast<unsigned long long>(seed));
+                             static_cast<unsigned long long>(seed)) +
+           backend_suffix;
   }
   // inline: content hash over shape, scale, and every triplet.
   std::size_t hash = 0x51ed2701a4f3c7b9ULL;
@@ -717,7 +765,8 @@ std::string InstanceSpec::CanonicalKey() const {
     common::HashCombineValue(hash, triplet.item);
     common::HashCombineValue(hash, triplet.rating);
   }
-  return common::StrFormat("inline:%dx%d:h%016zx", users, items, hash);
+  return common::StrFormat("inline:%dx%d:h%016zx", users, items, hash) +
+         backend_suffix;
 }
 
 std::string EpochKey(const InstanceSpec& spec,

@@ -47,8 +47,21 @@ inline constexpr char kResponseSchema[] = "groupform.response/1";
 /// (CanonicalKey) identifies the instance in the serving layer's cache, so
 /// thousands of requests naming the same spec share one loaded matrix.
 struct InstanceSpec {
-  /// "inline" | "synthetic" | "dense" | "csv" | "movielens".
+  /// "inline" | "synthetic" | "dense" | "csv" | "movielens" | "gfcm".
   std::string kind;
+
+  /// Storage backend the serving layer loads this instance into
+  /// (DESIGN.md §14.4): "dense" (CSR of RatingEntry cells, the default),
+  /// "compact" (quantized in-RAM cells), or "mmap" (zero-copy map of a
+  /// GFCM file — kind "gfcm" only, and that kind's default). Non-dense
+  /// backends answer `groupform.delta/1` with ERR(INVALID_ARGUMENT):
+  /// delta streams require the dense backend.
+  std::string backend = "dense";
+  /// backend "compact" on a generated/loaded kind: quantized cell width,
+  /// 8 or 16 bits. Normalised to 8 whenever it is not in play (dense and
+  /// mmap backends; kind "gfcm", whose width comes from the file), so
+  /// rendering stays canonical.
+  int qbits = 8;
 
   /// synthetic: generator preset, "yahoo" or "movielens".
   std::string preset = "yahoo";
@@ -61,6 +74,7 @@ struct InstanceSpec {
   std::uint64_t seed = 42;
 
   /// csv / movielens: server-side path to the ratings file.
+  /// gfcm: server-side path to a data::SaveCompactBinary (GFCM) file.
   std::string path;
 
   /// inline: explicit (user, item, rating) observations.

@@ -30,12 +30,11 @@ Response FailWith(Response response, eval::SweepCellState state,
   return response;
 }
 
-/// ProblemSpec → FormationProblem, via the shared token mappings in
-/// grouprec/semantics.h (the same ones the CLI flags use).
-common::StatusOr<core::FormationProblem> BuildProblem(
-    const ProblemSpec& spec, const data::RatingMatrix& matrix) {
-  core::FormationProblem problem;
-  problem.matrix = &matrix;
+/// ProblemSpec → FormationProblem knobs, via the shared token mappings
+/// in grouprec/semantics.h (the same ones the CLI flags use). The caller
+/// sets the rating backend before this runs Validate().
+common::Status FillProblem(const ProblemSpec& spec,
+                           core::FormationProblem& problem) {
   GF_ASSIGN_OR_RETURN(problem.semantics,
                       grouprec::SemanticsFromToken(spec.semantics));
   GF_ASSIGN_OR_RETURN(problem.aggregation,
@@ -45,7 +44,28 @@ common::StatusOr<core::FormationProblem> BuildProblem(
   problem.k = spec.k;
   problem.max_groups = spec.groups;
   problem.candidate_depth = spec.candidate_depth;
-  GF_RETURN_IF_ERROR(problem.Validate());
+  return problem.Validate();
+}
+
+common::StatusOr<core::FormationProblem> BuildProblem(
+    const ProblemSpec& spec, const data::RatingMatrix& matrix) {
+  core::FormationProblem problem;
+  problem.matrix = &matrix;
+  GF_RETURN_IF_ERROR(FillProblem(spec, problem));
+  return problem;
+}
+
+/// The backend-polymorphic overload of the fresh-request path: the
+/// problem reads whichever backend the cache loaded (dense, compact, or
+/// mmap), through the same FormationProblem::Store() seam the solvers
+/// use. `instance` must outlive the solve — the problem holds raw
+/// pointers into its shared_ptrs.
+common::StatusOr<core::FormationProblem> BuildProblem(
+    const ProblemSpec& spec, const LoadedInstance& instance) {
+  core::FormationProblem problem;
+  problem.matrix = instance.dense.get();
+  problem.compact = instance.compact.get();
+  GF_RETURN_IF_ERROR(FillProblem(spec, problem));
   return problem;
 }
 
@@ -171,28 +191,28 @@ Response Session::Execute(
     deadline = received_at + std::chrono::milliseconds(request.deadline_ms);
   }
 
-  auto matrix_or = cache_.Get(request.instance);
-  if (!matrix_or.ok()) {
+  auto loaded_or = cache_.Get(request.instance);
+  if (!loaded_or.ok()) {
     return FailWith(std::move(response), eval::SweepCellState::kErr,
-                    matrix_or.status());
+                    loaded_or.status());
   }
-  // The shared_ptr pins the cache entry for the whole execution.
-  const std::shared_ptr<const data::RatingMatrix> matrix =
-      *std::move(matrix_or);
+  // The shared_ptrs pin the cache entry for the whole execution.
+  const LoadedInstance loaded = *std::move(loaded_or);
+  const data::RatingStore store = loaded.Store();
 
   // The sweep engine's cap semantics: over-budget instances answer DNF
   // without running (the paper's "omitted" configurations).
   const std::int64_t user_cap =
       request.user_cap > 0 ? request.user_cap : config_.default_user_cap;
-  if (user_cap > 0 && matrix->num_users() > user_cap) {
+  if (user_cap > 0 && store.num_users() > user_cap) {
     return FailWith(
         std::move(response), eval::SweepCellState::kDnf,
         Status::ResourceExhausted(common::StrFormat(
             "instance has %d users, over the user_cap of %lld",
-            matrix->num_users(), static_cast<long long>(user_cap))));
+            store.num_users(), static_cast<long long>(user_cap))));
   }
 
-  auto problem_or = BuildProblem(request.problem, *matrix);
+  auto problem_or = BuildProblem(request.problem, loaded);
   if (!problem_or.ok()) {
     return FailWith(std::move(response), eval::SweepCellState::kErr,
                     problem_or.status());

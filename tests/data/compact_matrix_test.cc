@@ -1,0 +1,218 @@
+// The DESIGN.md §14 storage contract: quantized cells round-trip within
+// the documented tolerance (exactly, on integer-grid ratings), the GFCM
+// on-disk format round-trips through both read modes, and corrupt or
+// truncated files surface INVALID_ARGUMENT — never a GF_CHECK abort.
+#include "data/compact_matrix.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "data/binary_io.h"
+#include "data/rating_matrix.h"
+#include "data/synthetic.h"
+
+namespace groupform::data {
+namespace {
+
+RatingMatrix IntegerMatrix() {
+  RatingScale scale;  // 1..5
+  RatingMatrixBuilder builder(4, 6, scale);
+  EXPECT_TRUE(builder.AddRating(0, 0, 5.0).ok());
+  EXPECT_TRUE(builder.AddRating(0, 2, 3.0).ok());
+  EXPECT_TRUE(builder.AddRating(0, 5, 1.0).ok());
+  EXPECT_TRUE(builder.AddRating(1, 1, 4.0).ok());
+  EXPECT_TRUE(builder.AddRating(1, 2, 2.0).ok());
+  EXPECT_TRUE(builder.AddRating(3, 0, 1.0).ok());
+  EXPECT_TRUE(builder.AddRating(3, 4, 5.0).ok());
+  return std::move(builder).Build();
+}
+
+std::string TempPath(const std::string& stem) {
+  const char* dir = std::getenv("TMPDIR");
+  return std::string(dir != nullptr ? dir : "/tmp") + "/" + stem;
+}
+
+TEST(Quantization, IntegerGridRatingsRoundTripExactly) {
+  const RatingMatrix matrix = IntegerMatrix();
+  for (const int bits : {8, 16}) {
+    const auto compact = CompactRatingMatrix::FromMatrix(matrix, bits);
+    for (UserId u = 0; u < matrix.num_users(); ++u) {
+      for (const RatingEntry& entry : matrix.RatingsOf(u)) {
+        const auto got = compact.GetRating(u, entry.item);
+        ASSERT_TRUE(got.has_value());
+        EXPECT_EQ(*got, entry.rating)  // bitwise, not approximate
+            << "bits=" << bits << " u=" << u << " i=" << entry.item;
+      }
+    }
+  }
+}
+
+TEST(Quantization, FractionalRatingsStayWithinDocumentedTolerance) {
+  RatingScale scale;
+  RatingMatrixBuilder builder(1, 64, scale);
+  for (ItemId i = 0; i < 64; ++i) {
+    const Rating r = 1.0 + 4.0 * (static_cast<double>(i) / 63.0);
+    EXPECT_TRUE(builder.AddRating(0, i, r).ok());
+  }
+  const RatingMatrix matrix = std::move(builder).Build();
+  for (const int bits : {8, 16}) {
+    const auto compact = CompactRatingMatrix::FromMatrix(matrix, bits);
+    const double tolerance = compact.quant().max_roundtrip_error();
+    // The headline bound from DESIGN.md §14.2.
+    EXPECT_LE(tolerance, scale.range() / std::pow(2.0, bits - 1));
+    for (const RatingEntry& entry : matrix.RatingsOf(0)) {
+      const auto got = compact.GetRating(0, entry.item);
+      ASSERT_TRUE(got.has_value());
+      EXPECT_LE(std::abs(*got - entry.rating), tolerance);
+      EXPECT_TRUE(scale.Contains(*got));
+    }
+  }
+}
+
+TEST(Quantization, ToMatrixIsTheExactDequantization) {
+  const auto matrix = GenerateLatentFactor(MovieLensLikeConfig(12, 9, 5));
+  const auto compact = CompactRatingMatrix::FromMatrix(matrix, 8);
+  const RatingMatrix round = compact.ToMatrix();
+  ASSERT_EQ(round.num_users(), matrix.num_users());
+  ASSERT_EQ(round.num_items(), matrix.num_items());
+  ASSERT_EQ(round.num_ratings(), matrix.num_ratings());
+  for (UserId u = 0; u < round.num_users(); ++u) {
+    std::size_t i = 0;
+    const auto dense_row = matrix.RatingsOf(u);
+    for (const RatingEntry& entry : round.RatingsOf(u)) {
+      EXPECT_EQ(entry.item, dense_row[i].item);
+      // ToMatrix must equal the compact read path bit-for-bit.
+      EXPECT_EQ(entry.rating, *compact.GetRating(u, entry.item));
+      ++i;
+    }
+  }
+}
+
+TEST(Quantization, ItemStreamNarrowsForSmallCatalogues) {
+  const RatingMatrix small = IntegerMatrix();  // 6 items
+  EXPECT_EQ(CompactRatingMatrix::FromMatrix(small, 8).item_bits(), 16);
+  RatingScale scale;
+  RatingMatrixBuilder builder(1, 70'000, scale);
+  EXPECT_TRUE(builder.AddRating(0, 69'999, 3.0).ok());
+  const RatingMatrix wide = std::move(builder).Build();
+  EXPECT_EQ(CompactRatingMatrix::FromMatrix(wide, 8).item_bits(), 32);
+}
+
+TEST(CompactBinary, RoundTripsThroughBothReadModes) {
+  const auto matrix = GenerateLatentFactor(MovieLensLikeConfig(20, 15, 7));
+  const std::string path = TempPath("gfcm_roundtrip.gfcm");
+  for (const int bits : {8, 16}) {
+    const auto compact = CompactRatingMatrix::FromMatrix(matrix, bits);
+    ASSERT_TRUE(SaveCompactBinary(compact, path).ok());
+    for (const CompactReadMode mode :
+         {CompactReadMode::kInMemory, CompactReadMode::kMmap}) {
+      const auto loaded = LoadCompactBinary(path, mode);
+      ASSERT_TRUE(loaded.ok()) << loaded.status();
+      EXPECT_EQ(loaded->num_users(), compact.num_users());
+      EXPECT_EQ(loaded->num_items(), compact.num_items());
+      EXPECT_EQ(loaded->num_ratings(), compact.num_ratings());
+      EXPECT_EQ(loaded->rating_bits(), bits);
+      EXPECT_EQ(loaded->mmap_backed(), mode == CompactReadMode::kMmap);
+      for (UserId u = 0; u < matrix.num_users(); ++u) {
+        for (const RatingEntry& entry : matrix.RatingsOf(u)) {
+          EXPECT_EQ(loaded->GetRating(u, entry.item),
+                    compact.GetRating(u, entry.item));
+        }
+      }
+    }
+  }
+  std::remove(path.c_str());
+}
+
+TEST(CompactBinary, MmapChargesOnlyTheFixedOverhead) {
+  const auto compact = CompactRatingMatrix::FromMatrix(IntegerMatrix(), 8);
+  const std::string path = TempPath("gfcm_overhead.gfcm");
+  ASSERT_TRUE(SaveCompactBinary(compact, path).ok());
+  const auto mapped = LoadCompactBinary(path, CompactReadMode::kMmap);
+  ASSERT_TRUE(mapped.ok());
+  EXPECT_EQ(mapped->ResidentBytes(), kMmapResidentOverheadBytes);
+  EXPECT_EQ(mapped->ByteSize(), compact.ByteSize());
+  const auto in_ram = LoadCompactBinary(path, CompactReadMode::kInMemory);
+  ASSERT_TRUE(in_ram.ok());
+  EXPECT_EQ(in_ram->ResidentBytes(), in_ram->ByteSize());
+  std::remove(path.c_str());
+}
+
+TEST(CompactBinary, MissingFileIsNotFound) {
+  const auto loaded = LoadCompactBinary("/nonexistent/x.gfcm",
+                                        CompactReadMode::kMmap);
+  EXPECT_EQ(loaded.status().code(), common::StatusCode::kNotFound);
+}
+
+TEST(CompactBinary, TruncatedAndCorruptFilesAreInvalidArgument) {
+  const auto compact = CompactRatingMatrix::FromMatrix(IntegerMatrix(), 8);
+  const std::string path = TempPath("gfcm_corrupt.gfcm");
+  ASSERT_TRUE(SaveCompactBinary(compact, path).ok());
+  std::string bytes;
+  {
+    std::ifstream in(path, std::ios::binary);
+    bytes.assign(std::istreambuf_iterator<char>(in), {});
+  }
+  ASSERT_GT(bytes.size(), 64u);
+
+  const auto write_and_load = [&](const std::string& contents) {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(contents.data(),
+              static_cast<std::streamsize>(contents.size()));
+    out.close();
+    return LoadCompactBinary(path, CompactReadMode::kMmap).status();
+  };
+
+  // Truncations at every interesting boundary: inside the magic, inside
+  // the header, inside the payload.
+  for (const std::size_t keep : {std::size_t{2}, std::size_t{33},
+                                 bytes.size() - 1}) {
+    const auto status = write_and_load(bytes.substr(0, keep));
+    EXPECT_EQ(status.code(), common::StatusCode::kInvalidArgument)
+        << "keep=" << keep << ": " << status;
+  }
+  {  // Wrong magic.
+    std::string bad = bytes;
+    bad[0] = 'X';
+    EXPECT_EQ(write_and_load(bad).code(),
+              common::StatusCode::kInvalidArgument);
+  }
+  {  // Unsupported version.
+    std::string bad = bytes;
+    bad[4] = 9;
+    EXPECT_EQ(write_and_load(bad).code(),
+              common::StatusCode::kInvalidArgument);
+  }
+  {  // Out-of-grid quantized cell (last byte of the q stream).
+    std::string bad = bytes;
+    bad[bad.size() - 1] = '\x7f';  // biased 127 = unbiased 255 > intervals
+    EXPECT_EQ(write_and_load(bad).code(),
+              common::StatusCode::kInvalidArgument);
+  }
+  {  // Trailing garbage (size mismatch).
+    EXPECT_EQ(write_and_load(bytes + "junk").code(),
+              common::StatusCode::kInvalidArgument);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(CompactMatrix, CellWidthsAreWhatTheFormatPromises) {
+  static_assert(kCellBytesItem16Q8 == 3);
+  static_assert(kCellBytesItem16Q16 == 4);
+  static_assert(kCellBytesItem32Q8 == 5);
+  static_assert(kCellBytesItem32Q16 == 6);
+  const auto compact = CompactRatingMatrix::FromMatrix(IntegerMatrix(), 8);
+  // 6-item catalogue → 16-bit items + 8-bit cells: 3 bytes/cell + the
+  // 8-byte row offsets.
+  EXPECT_EQ(compact.ByteSize(),
+            compact.num_ratings() * kCellBytesItem16Q8 +
+                (compact.num_users() + 1) * 8);
+}
+
+}  // namespace
+}  // namespace groupform::data

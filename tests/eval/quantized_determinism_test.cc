@@ -1,0 +1,128 @@
+// The DESIGN.md §14 quantization contract, across the whole registry and
+// the thread matrix: for every registered solver at 1/2/8 threads,
+//
+//   (a) solving on the compact backend is bit-identical to solving on
+//       its exact dequantization (ToMatrix) through the dense path — the
+//       backend changes the storage, never the arithmetic; and
+//   (b) on integer-grid instances (explicit feedback, the paper's
+//       datasets) the quantizer round-trips exactly, so compact solves
+//       are bit-identical to dense solves of the *original* matrix.
+//
+// Like the parallel-determinism matrix, nothing here names an algorithm:
+// new solvers are pinned the moment they register.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "core/formation.h"
+#include "core/solver_registry.h"
+#include "data/compact_matrix.h"
+#include "data/synthetic.h"
+#include "solvers/builtin.h"
+
+namespace groupform {
+namespace {
+
+using core::FormationProblem;
+using core::FormationResult;
+
+void ExpectIdenticalResults(const FormationResult& a,
+                            const FormationResult& b) {
+  EXPECT_EQ(a.objective, b.objective);  // bitwise, not approximate
+  ASSERT_EQ(a.groups.size(), b.groups.size());
+  for (std::size_t g = 0; g < a.groups.size(); ++g) {
+    EXPECT_EQ(a.groups[g].members, b.groups[g].members) << "group " << g;
+    EXPECT_EQ(a.groups[g].satisfaction, b.groups[g].satisfaction);
+    EXPECT_EQ(a.groups[g].recommendation.items,
+              b.groups[g].recommendation.items);
+  }
+}
+
+FormationProblem BaseProblem() {
+  FormationProblem problem;
+  problem.semantics = grouprec::Semantics::kLeastMisery;
+  problem.aggregation = grouprec::Aggregation::kMin;
+  problem.k = 2;
+  problem.max_groups = 3;
+  return problem;
+}
+
+common::StatusOr<FormationResult> Solve(const std::string& solver,
+                                        const FormationProblem& problem) {
+  auto created = core::SolverRegistry::Global().Create(
+      solver, problem, core::SolverOptions());
+  if (!created.ok()) return created.status();
+  return (*created)->Solve(7);
+}
+
+class QuantizedDeterminismTest : public ::testing::Test {
+ protected:
+  void TearDown() override {
+    common::ThreadPool::SetDefaultThreadCount(0);
+  }
+};
+
+TEST_F(QuantizedDeterminismTest,
+       CompactEqualsItsDequantizationForEverySolverAndThreadCount) {
+  solvers::EnsureBuiltinSolversRegistered();
+  // Fractional ratings (integer_ratings = false) so the quantization is
+  // *not* a no-op: this pins the compact read path against the dense
+  // read of the same grid values, the strongest form of (a).
+  auto config = data::MovieLensLikeConfig(9, 8, /*seed=*/21);
+  config.integer_ratings = false;
+  const auto matrix = data::GenerateLatentFactor(config);
+  const auto compact = data::CompactRatingMatrix::FromMatrix(matrix, 8);
+  const data::RatingMatrix dequantized = compact.ToMatrix();
+
+  FormationProblem on_compact = BaseProblem();
+  on_compact.compact = &compact;
+  FormationProblem on_dequantized = BaseProblem();
+  on_dequantized.matrix = &dequantized;
+
+  for (const std::string& name : core::SolverRegistry::Global().Names()) {
+    for (const int threads : {1, 2, 8}) {
+      common::ThreadPool::SetDefaultThreadCount(threads);
+      const auto a = Solve(name, on_compact);
+      const auto b = Solve(name, on_dequantized);
+      ASSERT_TRUE(a.ok()) << name << ": " << a.status();
+      ASSERT_TRUE(b.ok()) << name << ": " << b.status();
+      SCOPED_TRACE(name + " @ " + std::to_string(threads) + " threads");
+      ExpectIdenticalResults(*a, *b);
+    }
+  }
+}
+
+TEST_F(QuantizedDeterminismTest,
+       IntegerInstancesSolveIdenticallyOnEveryBackend) {
+  solvers::EnsureBuiltinSolversRegistered();
+  // Integer-grid explicit feedback: quantization round-trips exactly, so
+  // compact (at both widths) must equal dense on the ORIGINAL matrix.
+  const auto matrix = data::GenerateLatentFactor(
+      data::MovieLensLikeConfig(9, 8, /*seed=*/33));
+  FormationProblem on_dense = BaseProblem();
+  on_dense.matrix = &matrix;
+
+  for (const int bits : {8, 16}) {
+    const auto compact = data::CompactRatingMatrix::FromMatrix(matrix, bits);
+    FormationProblem on_compact = BaseProblem();
+    on_compact.compact = &compact;
+    for (const std::string& name :
+         core::SolverRegistry::Global().Names()) {
+      for (const int threads : {1, 2, 8}) {
+        common::ThreadPool::SetDefaultThreadCount(threads);
+        const auto a = Solve(name, on_compact);
+        const auto b = Solve(name, on_dense);
+        ASSERT_TRUE(a.ok()) << name << ": " << a.status();
+        ASSERT_TRUE(b.ok()) << name << ": " << b.status();
+        SCOPED_TRACE(name + " q" + std::to_string(bits) + " @ " +
+                     std::to_string(threads) + " threads");
+        ExpectIdenticalResults(*a, *b);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace groupform

@@ -39,12 +39,13 @@ TEST(InstanceCache, HitsShareOneLoadedMatrix) {
   ASSERT_TRUE(first.ok()) << first.status();
   const auto second = cache.Get(spec);
   ASSERT_TRUE(second.ok()) << second.status();
-  EXPECT_EQ(first->get(), second->get());  // same matrix object
+  EXPECT_EQ(first->dense.get(), second->dense.get());  // same matrix object
   const auto stats = cache.stats();
   EXPECT_EQ(stats.misses, 1);
   EXPECT_EQ(stats.hits, 1);
   EXPECT_EQ(stats.entries, 1);
-  EXPECT_EQ(stats.bytes, ApproximateMatrixBytes(**first));
+  EXPECT_EQ(stats.bytes, ApproximateMatrixBytes(*first->dense));
+  EXPECT_EQ(stats.bytes, first->ChargedBytes());
 }
 
 TEST(InstanceCache, DistinctSpecsLoadDistinctEntries) {
@@ -53,7 +54,7 @@ TEST(InstanceCache, DistinctSpecsLoadDistinctEntries) {
   const auto b = cache.Get(DenseInline(6, 4, 4.0));  // one rating differs
   ASSERT_TRUE(a.ok());
   ASSERT_TRUE(b.ok());
-  EXPECT_NE(a->get(), b->get());
+  EXPECT_NE(a->dense.get(), b->dense.get());
   EXPECT_EQ(cache.stats().misses, 2);
   EXPECT_EQ(cache.stats().entries, 2);
 }
@@ -66,7 +67,7 @@ TEST(InstanceCache, EvictsLeastRecentlyUsedWithinBudget) {
   std::int64_t one_entry;
   {
     InstanceCache sizing(0);
-    one_entry = ApproximateMatrixBytes(**sizing.Get(spec_a));
+    one_entry = ApproximateMatrixBytes(*sizing.Get(spec_a)->dense);
   }
   InstanceCache cache(2 * one_entry);
   ASSERT_TRUE(cache.Get(spec_a).ok());
@@ -89,7 +90,7 @@ TEST(InstanceCache, PinnedEntriesAreNeverEvicted) {
   std::int64_t one_entry;
   {
     InstanceCache sizing(0);
-    one_entry = ApproximateMatrixBytes(**sizing.Get(spec_a));
+    one_entry = ApproximateMatrixBytes(*sizing.Get(spec_a)->dense);
   }
   // Budget of one entry: every insertion wants to evict everything else.
   InstanceCache cache(one_entry);
@@ -97,7 +98,7 @@ TEST(InstanceCache, PinnedEntriesAreNeverEvicted) {
   {
     auto pinned = cache.Get(spec_a);
     ASSERT_TRUE(pinned.ok());
-    held = std::move(pinned).value();  // the only outside reference to A
+    held = std::move(pinned)->dense;  // the only outside reference to A
   }
   ASSERT_TRUE(cache.Get(spec_b).ok());  // over budget, but A is pinned
   EXPECT_GE(cache.stats().bytes, one_entry);

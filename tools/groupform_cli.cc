@@ -34,10 +34,21 @@
 //                           add:U | remove:U | rerate:U:I:R
 //                           (e.g. --deltas remove:3,add:3,rerate:0:2:4.5)
 //       (plus every `request` flag: --host/--port/--raw/--dump/...)
+//   pack                quantize a dense instance (any data flag below)
+//                       into a GFCM compact file (DESIGN.md §14), servable
+//                       via `request --gfcm FILE` with zero-copy mmap.
+//       --qbits 8|16        quantized cell width (default 8)
+//       --output PATH       where to write the .gfcm file (required)
 //
 // Flags:
 //   --input PATH        user,item,rating CSV (ids re-indexed densely)
 //   --movielens PATH    MovieLens ratings.dat ("user::item::rating::ts")
+//   --gfcm PATH         (request/delta only) server-side GFCM file; the
+//                       server maps it zero-copy (--backend mmap, default)
+//   --backend NAME      (request/delta only) instance storage backend:
+//                       dense | compact | mmap (docs/PROTOCOL.md)
+//   --qbits 8|16        compact quantization width (with --backend compact
+//                       or the pack subcommand)
 //   --synthetic NAME    yahoo | movielens (shape via --users / --items)
 //   --users N --items M --seed S    synthetic shape (default 1000x500)
 //   --semantics lm|av   group recommendation semantics (default lm)
@@ -71,6 +82,8 @@
 #include "core/delta.h"
 #include "core/formation.h"
 #include "core/solver_registry.h"
+#include "data/binary_io.h"
+#include "data/compact_matrix.h"
 #include "data/dataset_stats.h"
 #include "data/loaders.h"
 #include "data/synthetic.h"
@@ -220,7 +233,10 @@ common::StatusOr<serve::Request> BuildRequest(
   request.id = flags.GetString("request-id", "");
   request.solver = flags.GetString("algorithm", "greedy");
   request.options = ParseSolverOptions(flags);
-  if (flags.Has("input")) {
+  if (flags.Has("gfcm")) {
+    request.instance.kind = "gfcm";
+    request.instance.path = flags.GetString("gfcm", "");
+  } else if (flags.Has("input")) {
     request.instance.kind = "csv";
     request.instance.path = flags.GetString("input", "");
   } else if (flags.Has("movielens")) {
@@ -236,6 +252,11 @@ common::StatusOr<serve::Request> BuildRequest(
     request.instance.seed =
         static_cast<std::uint64_t>(flags.GetInt("seed", 42));
   }
+  // Per-kind backend default mirrors the wire protocol: gfcm files map
+  // zero-copy unless the client opts out, everything else stays dense.
+  request.instance.backend = flags.GetString(
+      "backend", request.instance.kind == "gfcm" ? "mmap" : "dense");
+  request.instance.qbits = static_cast<int>(flags.GetInt("qbits", 8));
   request.problem.semantics = flags.GetString("semantics", "lm");
   request.problem.aggregation = flags.GetString("aggregation", "min");
   request.problem.missing = flags.GetString("missing", "rmin");
@@ -379,6 +400,49 @@ int RunDeltaCommand(const common::FlagParser& flags) {
   return DumpOrSendLine(flags, line);
 }
 
+/// The `pack` subcommand: quantize a dense instance into a GFCM file
+/// (DESIGN.md §14) that groupform_serverd can map zero-copy.
+int RunPackCommand(const common::FlagParser& flags) {
+  const std::string out = flags.GetString("output", "");
+  if (out.empty()) {
+    std::fprintf(stderr, "pack: --output PATH is required\n");
+    return 2;
+  }
+  const int qbits = static_cast<int>(flags.GetInt("qbits", 8));
+  if (qbits != 8 && qbits != 16) {
+    std::fprintf(stderr, "pack: --qbits must be 8 or 16, got %d\n", qbits);
+    return 2;
+  }
+  const auto matrix = LoadData(flags);
+  if (!matrix.ok()) {
+    std::fprintf(stderr, "loading data: %s\n",
+                 matrix.status().ToString().c_str());
+    return 1;
+  }
+  const auto compact = data::CompactRatingMatrix::FromMatrix(*matrix, qbits);
+  if (const auto status = data::SaveCompactBinary(compact, out);
+      !status.ok()) {
+    std::fprintf(stderr, "writing %s: %s\n", out.c_str(),
+                 status.ToString().c_str());
+    return 1;
+  }
+  std::printf(
+      "packed %d users x %d items (%lld ratings) at q%d\n"
+      "  dense bytes:   %lld (%.1f per user)\n"
+      "  compact bytes: %lld (%.1f per user, %.2fx smaller)\n"
+      "  max round-trip error: %.3g\nwrote %s\n",
+      matrix->num_users(), matrix->num_items(),
+      static_cast<long long>(matrix->num_ratings()), qbits,
+      static_cast<long long>(matrix->ByteSize()),
+      static_cast<double>(matrix->ByteSize()) / matrix->num_users(),
+      static_cast<long long>(compact.ByteSize()),
+      static_cast<double>(compact.ByteSize()) / compact.num_users(),
+      static_cast<double>(matrix->ByteSize()) /
+          static_cast<double>(compact.ByteSize()),
+      compact.quant().max_roundtrip_error(), out.c_str());
+  return 0;
+}
+
 void PrintHelp() {
   std::printf(
       "groupform_cli — recommendation-aware group formation "
@@ -390,10 +454,16 @@ void PrintHelp() {
       "            groupform_serverd (--host H --port P, docs/PROTOCOL.md)\n"
       "            delta               send one groupform.delta/1 line\n"
       "            (--deltas add:U,remove:U,rerate:U:I:R plus request "
-      "flags)"
+      "flags)\n"
+      "            pack --output F.gfcm   quantize a dense instance into\n"
+      "            a compact GFCM file (--qbits 8|16; serve it with\n"
+      "            `request --gfcm F.gfcm [--backend mmap|compact|dense]`)"
       "\n\n"
       "data:      --input ratings.csv | --movielens ratings.dat |\n"
       "           --synthetic yahoo|movielens --users N --items M --seed S\n"
+      "           --gfcm file.gfcm (request/delta; server-side path)\n"
+      "backend:   --backend dense|compact|mmap --qbits 8|16 "
+      "(request/delta)\n"
       "problem:   --semantics lm|av --aggregation max|min|sum --k N\n"
       "           --groups N --missing rmin|zero|skip --candidate-depth D\n"
       "execution: --threads N (default GF_THREADS env, else hardware)\n"
@@ -437,6 +507,9 @@ int RealMain(int argc, char** argv) {
   }
   if (!flags.positional().empty() && flags.positional()[0] == "delta") {
     return RunDeltaCommand(flags);
+  }
+  if (!flags.positional().empty() && flags.positional()[0] == "pack") {
+    return RunPackCommand(flags);
   }
 
   const auto matrix = LoadData(flags);

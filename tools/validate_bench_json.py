@@ -14,7 +14,14 @@ Default (bench) mode checks, for every BENCH_*.json in DIR
     state is OK/DNF/ERR, every OK cell's "values" row matches the sweep's
     declared "metrics" columns (the delta_vs_resolve trajectory snapshot
     rides on this), and no sweep reports ERR cells while the document
-    claims all_ok.
+    claims all_ok;
+  * BENCH_scale_*.json additionally carries the storage-backend report
+    (DESIGN.md §14.5): a "scale" object with positive users/items/ratings,
+    a backends array covering at least dense/compact8/mmap with numeric
+    size and throughput fields, topk_identical true on every backend
+    (compact scans return the same top-k lists as dense), and
+    reduction_dense_over_compact8 >= 4 — the PR-7 headline is a ratio of
+    per-user byte costs, so it holds at smoke scale too.
 
 --protocol mode validates newline-delimited groupform.response/1 streams
 captured from groupform_serverd (docs/PROTOCOL.md): every line must parse,
@@ -89,6 +96,58 @@ def validate_sweep(path, sweep):
     return ok
 
 
+REQUIRED_SCALE_BACKENDS = {"dense", "compact8", "mmap"}
+
+SCALE_BACKEND_NUMERIC_KEYS = [
+    "bytes",
+    "charged_bytes",
+    "bytes_per_user",
+    "load_seconds",
+    "scan_cells_per_sec",
+]
+
+MIN_SCALE_REDUCTION = 4.0
+
+
+def validate_scale(path, doc):
+    scale = doc.get("scale")
+    if not isinstance(scale, dict):
+        return fail(path, "scale bench without a scale object")
+    ok = True
+    for key in ("users", "items", "ratings", "file_bytes"):
+        value = scale.get(key)
+        if not isinstance(value, int) or value <= 0:
+            ok = fail(path, f"scale.{key} must be a positive integer")
+    backends = scale.get("backends")
+    if not isinstance(backends, list) or not backends:
+        return fail(path, "scale.backends must be a non-empty array")
+    names = set()
+    for backend in backends:
+        name = backend.get("name")
+        if not isinstance(name, str) or not name:
+            ok = fail(path, "scale backend without a name")
+            continue
+        names.add(name)
+        for key in SCALE_BACKEND_NUMERIC_KEYS:
+            if not isinstance(backend.get(key), (int, float)):
+                ok = fail(path, f"backend {name}: missing numeric {key!r}")
+        if backend.get("topk_identical") is not True:
+            ok = fail(path, f"backend {name}: topk_identical is not true")
+    missing = sorted(REQUIRED_SCALE_BACKENDS - names)
+    if missing:
+        ok = fail(path, f"scale.backends missing: {', '.join(missing)}")
+    reduction = scale.get("reduction_dense_over_compact8")
+    if not isinstance(reduction, (int, float)):
+        ok = fail(path, "scale without numeric reduction_dense_over_compact8")
+    elif reduction < MIN_SCALE_REDUCTION:
+        ok = fail(
+            path,
+            f"reduction_dense_over_compact8 is {reduction:.2f}, "
+            f"below the required {MIN_SCALE_REDUCTION}x",
+        )
+    return ok
+
+
 def validate_file(path, required_solvers):
     try:
         doc = json.loads(path.read_text())
@@ -104,6 +163,8 @@ def validate_file(path, required_solvers):
     sweeps = doc.get("sweeps", [])
     for sweep in sweeps:
         ok = validate_sweep(path, sweep) and ok
+    if path.name.startswith("BENCH_scale_"):
+        ok = validate_scale(path, doc) and ok
     if sweeps and doc.get("all_ok") and any(
         cell.get("state") == "ERR"
         for sweep in sweeps
