@@ -778,9 +778,11 @@ std::string EpochKey(const InstanceSpec& spec,
                                     core::DeltaSequenceHash(deltas)));
 }
 
-common::StatusOr<Request> ParseRequestLine(const std::string& line) {
-  JsonParser parser(line);
-  GF_ASSIGN_OR_RETURN(const JsonValue root, parser.Parse());
+namespace {
+
+/// The request parser, factored off the line entry point so batch
+/// elements (already-parsed JSON objects) reuse it without reparsing.
+common::StatusOr<Request> ParseRequestDoc(const JsonValue& root) {
   if (root.type != JsonValue::Type::kObject) {
     return Status::InvalidArgument("request is not a JSON object");
   }
@@ -850,6 +852,14 @@ common::StatusOr<Request> ParseRequestLine(const std::string& line) {
   GF_ASSIGN_OR_RETURN(request.record_seconds,
                       FieldBool(root, "record_seconds", false));
   return request;
+}
+
+}  // namespace
+
+common::StatusOr<Request> ParseRequestLine(const std::string& line) {
+  JsonParser parser(line);
+  GF_ASSIGN_OR_RETURN(const JsonValue root, parser.Parse());
+  return ParseRequestDoc(root);
 }
 
 std::string RenderRequest(const Request& request) {
@@ -945,9 +955,9 @@ std::string RenderResponse(const Response& response) {
   return writer.str();
 }
 
-common::StatusOr<Response> ParseResponseLine(const std::string& line) {
-  JsonParser parser(line);
-  GF_ASSIGN_OR_RETURN(const JsonValue root, parser.Parse());
+namespace {
+
+common::StatusOr<Response> ParseResponseDoc(const JsonValue& root) {
   if (root.type != JsonValue::Type::kObject) {
     return Status::InvalidArgument("response is not a JSON object");
   }
@@ -1033,6 +1043,273 @@ common::StatusOr<Response> ParseResponseLine(const std::string& line) {
   GF_ASSIGN_OR_RETURN(response.seconds,
                       FieldDouble(root, "seconds", -1.0));
   return response;
+}
+
+/// Prefixes a parse error with the batch element it came from.
+Status AtElement(const char* what, std::size_t index, const Status& status) {
+  return Status(status.code(),
+                common::StrFormat("%s[%zu]: ", what, index) +
+                    std::string(status.message()));
+}
+
+common::StatusOr<BatchRequest> ParseBatchRequestDoc(const JsonValue& root) {
+  if (root.type != JsonValue::Type::kObject) {
+    return Status::InvalidArgument("batch is not a JSON object");
+  }
+  GF_ASSIGN_OR_RETURN(const std::string schema,
+                      FieldString(root, "schema", std::nullopt));
+  if (schema != kBatchRequestSchema) {
+    return Status::InvalidArgument(
+        common::StrFormat("field \"schema\": expected \"%s\", got \"%s\"",
+                          kBatchRequestSchema, schema.c_str()));
+  }
+  BatchRequest batch;
+  GF_ASSIGN_OR_RETURN(batch.id, FieldString(root, "id", std::string()));
+  const JsonValue* requests = root.Find("requests");
+  if (requests == nullptr || requests->type != JsonValue::Type::kArray) {
+    return Status::InvalidArgument(
+        "missing required array field \"requests\"");
+  }
+  if (requests->array.empty()) {
+    return Status::InvalidArgument("field \"requests\": empty batch");
+  }
+  if (requests->array.size() > static_cast<std::size_t>(kMaxBatchRequests)) {
+    return Status::InvalidArgument(common::StrFormat(
+        "field \"requests\": %zu elements exceed the batch limit of %d",
+        requests->array.size(), kMaxBatchRequests));
+  }
+  batch.requests.reserve(requests->array.size());
+  for (std::size_t i = 0; i < requests->array.size(); ++i) {
+    // A nested batch fails ParseRequestDoc's schema check, so batches
+    // never recurse.
+    common::StatusOr<Request> element = ParseRequestDoc(requests->array[i]);
+    if (!element.ok()) {
+      return AtElement("requests", i, element.status());
+    }
+    batch.requests.push_back(*std::move(element));
+  }
+  return batch;
+}
+
+}  // namespace
+
+common::StatusOr<Response> ParseResponseLine(const std::string& line) {
+  JsonParser parser(line);
+  GF_ASSIGN_OR_RETURN(const JsonValue root, parser.Parse());
+  return ParseResponseDoc(root);
+}
+
+common::StatusOr<BatchRequest> ParseBatchRequestLine(const std::string& line) {
+  JsonParser parser(line);
+  GF_ASSIGN_OR_RETURN(const JsonValue root, parser.Parse());
+  return ParseBatchRequestDoc(root);
+}
+
+std::string RenderBatchRequest(const BatchRequest& batch) {
+  eval::JsonWriter writer;
+  writer.BeginObject();
+  writer.Key("schema").String(kBatchRequestSchema);
+  writer.Key("id").String(batch.id);
+  writer.Key("requests").BeginArray();
+  for (const Request& request : batch.requests) {
+    writer.Raw(RenderRequest(request));
+  }
+  writer.EndArray();
+  writer.EndObject();
+  return writer.str();
+}
+
+std::string RenderBatchResponse(const BatchResponse& batch) {
+  eval::JsonWriter writer;
+  writer.BeginObject();
+  writer.Key("schema").String(kBatchResponseSchema);
+  writer.Key("id").String(batch.id);
+  writer.Key("responses").BeginArray();
+  for (const Response& response : batch.responses) {
+    writer.Raw(RenderResponse(response));
+  }
+  writer.EndArray();
+  writer.EndObject();
+  return writer.str();
+}
+
+common::StatusOr<BatchResponse> ParseBatchResponseLine(
+    const std::string& line) {
+  JsonParser parser(line);
+  GF_ASSIGN_OR_RETURN(const JsonValue root, parser.Parse());
+  if (root.type != JsonValue::Type::kObject) {
+    return Status::InvalidArgument("batch response is not a JSON object");
+  }
+  GF_ASSIGN_OR_RETURN(const std::string schema,
+                      FieldString(root, "schema", std::nullopt));
+  if (schema != kBatchResponseSchema) {
+    return Status::InvalidArgument(
+        common::StrFormat("field \"schema\": expected \"%s\", got \"%s\"",
+                          kBatchResponseSchema, schema.c_str()));
+  }
+  BatchResponse batch;
+  GF_ASSIGN_OR_RETURN(batch.id, FieldString(root, "id", std::string()));
+  const JsonValue* responses = root.Find("responses");
+  if (responses == nullptr || responses->type != JsonValue::Type::kArray) {
+    return Status::InvalidArgument(
+        "missing required array field \"responses\"");
+  }
+  batch.responses.reserve(responses->array.size());
+  for (std::size_t i = 0; i < responses->array.size(); ++i) {
+    common::StatusOr<Response> element =
+        ParseResponseDoc(responses->array[i]);
+    if (!element.ok()) {
+      return AtElement("responses", i, element.status());
+    }
+    batch.responses.push_back(*std::move(element));
+  }
+  return batch;
+}
+
+common::StatusOr<AnyRequest> ParseAnyRequestLine(const std::string& line) {
+  JsonParser parser(line);
+  GF_ASSIGN_OR_RETURN(const JsonValue root, parser.Parse());
+  if (root.type != JsonValue::Type::kObject) {
+    return Status::InvalidArgument("request is not a JSON object");
+  }
+  GF_ASSIGN_OR_RETURN(const std::string schema,
+                      FieldString(root, "schema", std::nullopt));
+  AnyRequest any;
+  if (schema == kBatchRequestSchema) {
+    any.is_batch = true;
+    GF_ASSIGN_OR_RETURN(any.batch, ParseBatchRequestDoc(root));
+    return any;
+  }
+  GF_ASSIGN_OR_RETURN(any.request, ParseRequestDoc(root));
+  return any;
+}
+
+// ---------------------------------------------------------------------------
+// GFB1 frame codec
+
+namespace {
+
+void PutU32Le(std::string& out, std::uint32_t value) {
+  out.push_back(static_cast<char>(value & 0xff));
+  out.push_back(static_cast<char>((value >> 8) & 0xff));
+  out.push_back(static_cast<char>((value >> 16) & 0xff));
+  out.push_back(static_cast<char>((value >> 24) & 0xff));
+}
+
+std::uint32_t GetU32Le(std::string_view bytes) {
+  return static_cast<std::uint32_t>(static_cast<unsigned char>(bytes[0])) |
+         (static_cast<std::uint32_t>(static_cast<unsigned char>(bytes[1]))
+          << 8) |
+         (static_cast<std::uint32_t>(static_cast<unsigned char>(bytes[2]))
+          << 16) |
+         (static_cast<std::uint32_t>(static_cast<unsigned char>(bytes[3]))
+          << 24);
+}
+
+}  // namespace
+
+std::string EncodeFrame(FrameType type, std::uint16_t credits,
+                        std::string_view payload) {
+  std::string out;
+  out.reserve(kFrameHeaderBytes + payload.size());
+  PutU32Le(out, static_cast<std::uint32_t>(payload.size()));
+  out.push_back(static_cast<char>(type));
+  out.push_back(0);  // flags: must be 0 in GFB1
+  out.push_back(static_cast<char>(credits & 0xff));
+  out.push_back(static_cast<char>((credits >> 8) & 0xff));
+  out.append(payload);
+  return out;
+}
+
+FrameDecodeResult DecodeFrame(std::string_view buffer,
+                              std::size_t max_payload_bytes, Frame* frame,
+                              std::size_t* consumed, std::string* error) {
+  *consumed = 0;
+  if (buffer.size() < kFrameHeaderBytes) {
+    // A header prefix can already prove the frame bad — check what we
+    // have so a garbage stream fails fast instead of stalling on
+    // kNeedMore forever.
+    if (buffer.size() >= 5) {
+      const auto type = static_cast<std::uint8_t>(buffer[4]);
+      if (type > static_cast<std::uint8_t>(FrameType::kBatchResponse)) {
+        *error = common::StrFormat("unknown frame type %u", type);
+        return FrameDecodeResult::kError;
+      }
+    }
+    if (buffer.size() >= 6 && buffer[5] != 0) {
+      *error = common::StrFormat(
+          "nonzero frame flags 0x%02x",
+          static_cast<unsigned>(static_cast<unsigned char>(buffer[5])));
+      return FrameDecodeResult::kError;
+    }
+    return FrameDecodeResult::kNeedMore;
+  }
+  const std::uint32_t payload_bytes = GetU32Le(buffer.substr(0, 4));
+  const auto type = static_cast<std::uint8_t>(buffer[4]);
+  if (type > static_cast<std::uint8_t>(FrameType::kBatchResponse)) {
+    *error = common::StrFormat("unknown frame type %u", type);
+    return FrameDecodeResult::kError;
+  }
+  if (buffer[5] != 0) {
+    *error = common::StrFormat(
+        "nonzero frame flags 0x%02x",
+        static_cast<unsigned>(static_cast<unsigned char>(buffer[5])));
+    return FrameDecodeResult::kError;
+  }
+  if (payload_bytes > max_payload_bytes) {
+    *error = common::StrFormat(
+        "frame payload of %u bytes exceeds the %zu-byte limit",
+        payload_bytes, max_payload_bytes);
+    return FrameDecodeResult::kError;
+  }
+  if (buffer.size() < kFrameHeaderBytes + payload_bytes) {
+    return FrameDecodeResult::kNeedMore;
+  }
+  frame->type = static_cast<FrameType>(type);
+  frame->credits = static_cast<std::uint16_t>(
+      static_cast<unsigned char>(buffer[6]) |
+      (static_cast<unsigned>(static_cast<unsigned char>(buffer[7])) << 8));
+  frame->payload.assign(buffer.substr(kFrameHeaderBytes, payload_bytes));
+  *consumed = kFrameHeaderBytes + payload_bytes;
+  return FrameDecodeResult::kFrame;
+}
+
+std::string RenderHello(const Hello& hello) {
+  eval::JsonWriter writer;
+  writer.BeginObject();
+  writer.Key("schema").String(kHelloSchema);
+  writer.Key("credits").Int(hello.credits);
+  writer.Key("max_frame_bytes").Int(hello.max_frame_bytes);
+  writer.Key("max_batch_requests").Int(hello.max_batch_requests);
+  writer.EndObject();
+  return writer.str();
+}
+
+common::StatusOr<Hello> ParseHelloPayload(const std::string& payload) {
+  JsonParser parser(payload);
+  GF_ASSIGN_OR_RETURN(const JsonValue root, parser.Parse());
+  if (root.type != JsonValue::Type::kObject) {
+    return Status::InvalidArgument("hello is not a JSON object");
+  }
+  GF_ASSIGN_OR_RETURN(const std::string schema,
+                      FieldString(root, "schema", std::nullopt));
+  if (schema != kHelloSchema) {
+    return Status::InvalidArgument(
+        common::StrFormat("field \"schema\": expected \"%s\", got \"%s\"",
+                          kHelloSchema, schema.c_str()));
+  }
+  Hello hello;
+  GF_ASSIGN_OR_RETURN(const long long credits,
+                      FieldInt(root, "credits", 0, /*min_value=*/1,
+                               kMaxInt32Field));
+  hello.credits = static_cast<int>(credits);
+  GF_ASSIGN_OR_RETURN(hello.max_frame_bytes,
+                      FieldInt(root, "max_frame_bytes", 0, /*min_value=*/1));
+  GF_ASSIGN_OR_RETURN(const long long max_batch,
+                      FieldInt(root, "max_batch_requests", kMaxBatchRequests,
+                               /*min_value=*/1, kMaxInt32Field));
+  hello.max_batch_requests = static_cast<int>(max_batch);
+  return hello;
 }
 
 }  // namespace groupform::serve

@@ -25,10 +25,28 @@
 // fixed order with the library's number formatting, so parse ∘ render is
 // the identity on rendered lines and byte-level golden diffs are
 // meaningful.
+//
+// Two envelope layers ride on top of the per-request documents
+// (DESIGN.md §15):
+//
+//   * `groupform.batch/1` — an ordered array of request/delta documents
+//     executed as one unit; the `groupform.batchresponse/1` answer holds
+//     one response document per element, in order, with the per-element
+//     OK/DNF/ERR semantics unchanged. Batches are ordinary JSON lines on
+//     the newline wire and a dedicated frame type on the binary wire.
+//   * the GFB1 binary frame — a length-prefixed header (magic-sniffed on
+//     the first bytes of a TCP connection; newline-JSON remains the
+//     canonical/golden default) whose payloads are exactly the canonical
+//     JSON documents above, so binary ≡ JSON response-for-response by
+//     construction. Response frames carry explicit credit grants — the
+//     per-stream backpressure contract (the client stops sending at
+//     zero credits).
 
+#include <cstddef>
 #include <cstdint>
 #include <span>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "common/status.h"
@@ -203,6 +221,138 @@ std::string RenderResponse(const Response& response);
 /// Parses one response line (the loopback client and the round-trip tests
 /// are the consumers). INVALID_ARGUMENT on malformed lines.
 common::StatusOr<Response> ParseResponseLine(const std::string& line);
+
+// ---------------------------------------------------------------------------
+// Batch envelope (DESIGN.md §15.2)
+
+inline constexpr char kBatchRequestSchema[] = "groupform.batch/1";
+inline constexpr char kBatchResponseSchema[] = "groupform.batchresponse/1";
+
+/// Upper bound on elements per batch; larger batches answer
+/// ERR(INVALID_ARGUMENT) without executing anything.
+inline constexpr int kMaxBatchRequests = 4096;
+
+/// One `groupform.batch/1`: an ordered array of request/delta documents
+/// executed as a unit (one ThreadPool job, batch-local instance pinning)
+/// while keeping per-element response semantics.
+struct BatchRequest {
+  /// Client-chosen correlation id for the envelope, echoed verbatim.
+  std::string id;
+  /// The elements, each an ordinary Request (is_delta selects the delta
+  /// form exactly as for single lines). Never empty, never nested.
+  std::vector<Request> requests;
+};
+
+/// The matching `groupform.batchresponse/1`: responses.size() ==
+/// requests.size(), element i answering request i.
+struct BatchResponse {
+  std::string id;
+  std::vector<Response> responses;
+};
+
+/// Parses one batch line. INVALID_ARGUMENT on a malformed envelope, an
+/// empty or oversized requests array, or any malformed element (the error
+/// names the element index); a batch inside a batch is malformed.
+common::StatusOr<BatchRequest> ParseBatchRequestLine(const std::string& line);
+
+/// Canonical one-line rendering: schema, id, then each element's full
+/// RenderRequest document in order. ParseBatchRequestLine is its inverse.
+std::string RenderBatchRequest(const BatchRequest& batch);
+
+std::string RenderBatchResponse(const BatchResponse& batch);
+common::StatusOr<BatchResponse> ParseBatchResponseLine(
+    const std::string& line);
+
+/// One request *or* batch line, parsed by schema — the serving layer's
+/// single dispatch point, so both wires accept both shapes.
+struct AnyRequest {
+  bool is_batch = false;
+  Request request;   // valid when !is_batch
+  BatchRequest batch;  // valid when is_batch
+};
+common::StatusOr<AnyRequest> ParseAnyRequestLine(const std::string& line);
+
+// ---------------------------------------------------------------------------
+// GFB1 binary frame codec (DESIGN.md §15.1)
+//
+// A connection whose first four bytes are exactly "GFB1" speaks frames;
+// anything else is the newline-JSON wire. After the magic, every unit in
+// both directions is one frame:
+//
+//   offset size  field
+//   0      4     payload length N, unsigned little-endian
+//   4      1     frame type (FrameType)
+//   5      1     flags — must be 0 in GFB1; nonzero is a codec error
+//   6      2     credit grant, unsigned little-endian (server→client)
+//   8      N     payload: one canonical JSON document, no newline
+//
+// Payloads are exactly the canonical JSON documents of the newline wire,
+// which is what makes binary ≡ JSON response-for-response a structural
+// property rather than a test aspiration.
+
+inline constexpr char kFrameMagic[4] = {'G', 'F', 'B', '1'};
+inline constexpr std::size_t kFrameMagicBytes = 4;
+inline constexpr std::size_t kFrameHeaderBytes = 8;
+
+enum class FrameType : std::uint8_t {
+  /// Server→client, once, immediately after the magic: the payload is a
+  /// `groupform.hello/1` document announcing the credit window.
+  kHello = 0,
+  /// Client→server: payload is one `groupform.request/1` or
+  /// `groupform.delta/1` document. Consumes one credit.
+  kRequest = 1,
+  /// Server→client: payload is one `groupform.response/1` document. The
+  /// header's credit field grants credits back (1 per retired frame).
+  kResponse = 2,
+  /// Client→server: payload is one `groupform.batch/1` document. A batch
+  /// consumes one credit regardless of its element count.
+  kBatchRequest = 3,
+  /// Server→client: payload is one `groupform.batchresponse/1` document.
+  kBatchResponse = 4,
+};
+
+struct Frame {
+  FrameType type = FrameType::kRequest;
+  std::uint16_t credits = 0;
+  std::string payload;
+};
+
+/// Serialises header + payload (no magic; the magic is a once-per-
+/// connection preamble, not part of any frame).
+std::string EncodeFrame(FrameType type, std::uint16_t credits,
+                        std::string_view payload);
+
+enum class FrameDecodeResult {
+  kFrame,     // *frame holds a complete frame, *consumed bytes were used
+  kNeedMore,  // buffer holds a prefix of a valid frame; read more bytes
+  kError,     // unrecoverable codec error (bad type/flags/length);
+              // *error says why. Frame streams cannot resynchronise.
+};
+
+/// Decodes the frame starting at buffer[0]. Rejects unknown frame types,
+/// nonzero flags, and payloads larger than max_payload_bytes (callers
+/// pass the same kMaxRequestLineBytes bound the JSON wire enforces).
+FrameDecodeResult DecodeFrame(std::string_view buffer,
+                              std::size_t max_payload_bytes, Frame* frame,
+                              std::size_t* consumed, std::string* error);
+
+// ---------------------------------------------------------------------------
+// Hello document — the binary wire's opening credit grant.
+
+inline constexpr char kHelloSchema[] = "groupform.hello/1";
+
+struct Hello {
+  /// Initial credit window: how many request/batch frames the client may
+  /// have outstanding (sent, response not yet received).
+  int credits = 0;
+  /// Largest frame payload the server accepts.
+  std::int64_t max_frame_bytes = 0;
+  /// Largest batch element count the server accepts.
+  int max_batch_requests = kMaxBatchRequests;
+};
+
+std::string RenderHello(const Hello& hello);
+common::StatusOr<Hello> ParseHelloPayload(const std::string& payload);
 
 }  // namespace groupform::serve
 

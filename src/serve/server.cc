@@ -9,12 +9,15 @@
 #include <cerrno>
 #include <chrono>
 #include <condition_variable>
+#include <cstddef>
 #include <cstdlib>
 #include <cstring>
 #include <deque>
+#include <functional>
 #include <future>
 #include <memory>
 #include <mutex>
+#include <string_view>
 #include <thread>
 #include <utility>
 
@@ -45,17 +48,30 @@ long long EnvInt(const char* name, long long fallback, long long min_value,
 /// before sending the next request (the plain RPC pattern) sees its
 /// response even though the reader thread is still blocked reading.
 /// Enqueue/Drain belong to the stream's reader thread; only the writer
-/// thread calls write_line.
+/// thread calls write_item.
+///
+/// The first write failure latches: queued solves still retire (so Drain
+/// returns and a reader blocked in Enqueue wakes) but nothing further is
+/// written, Enqueue refuses new work, and the reader is expected to stop
+/// — a disconnected client must not keep consuming solver time
+/// (DESIGN.md §12.3).
 class PipelinedExecutor {
  public:
+  /// One retired response on its way out: the rendered payload plus the
+  /// shape the framed wire needs to pick a frame type.
+  struct Item {
+    std::string payload;
+    bool batch = false;
+  };
+
   PipelinedExecutor(Session& session, int max_inflight,
-                    std::function<void(const std::string&)> write_line)
+                    std::function<bool(const Item&)> write_item)
       : session_(session),
         // Resolved once: Shared() takes a global lock, which would
         // otherwise serialize every connection's per-request path.
         pool_(common::ThreadPool::Shared()),
         max_inflight_(max_inflight < 1 ? 1 : max_inflight),
-        write_line_(std::move(write_line)),
+        write_item_(std::move(write_item)),
         writer_([this] { WriterLoop(); }) {}
 
   ~PipelinedExecutor() {
@@ -67,19 +83,26 @@ class PipelinedExecutor {
     writer_.join();
   }
 
-  /// Queues one request line; blocks while the window is full.
-  void Enqueue(std::string line) {
+  /// Queues one request line (or batch envelope; `batch` only tags the
+  /// response's wire shape — HandleLine dispatches on the payload's own
+  /// schema); blocks while the window is full. Returns false without
+  /// queueing once a write has failed: the client is gone, so the reader
+  /// should stop feeding it.
+  bool Enqueue(std::string line, bool batch) {
     {
       std::unique_lock<std::mutex> lock(mu_);
       not_full_.wait(lock, [&] {
-        return static_cast<int>(window_.size()) < max_inflight_;
+        return write_failed_.load(std::memory_order_relaxed) ||
+               static_cast<int>(window_.size()) < max_inflight_;
       });
     }
-    auto slot = std::make_shared<std::string>();
+    if (write_failed_.load(std::memory_order_relaxed)) return false;
+    auto slot = std::make_shared<Item>();
+    slot->batch = batch;
     const auto received = std::chrono::steady_clock::now();
     auto future =
         pool_.Submit([this, slot, line = std::move(line), received] {
-          *slot = session_.HandleLine(line, received);
+          slot->payload = session_.HandleLine(line, received);
         });
     {
       std::lock_guard<std::mutex> lock(mu_);
@@ -87,9 +110,11 @@ class PipelinedExecutor {
       ++served_;
     }
     not_empty_.notify_one();
+    return true;
   }
 
-  /// Blocks until every queued response has been written.
+  /// Blocks until every queued response has been written (or discarded,
+  /// after a write failure).
   void Drain() {
     std::unique_lock<std::mutex> lock(mu_);
     not_full_.wait(lock, [&] { return window_.empty(); });
@@ -100,10 +125,15 @@ class PipelinedExecutor {
     return served_;
   }
 
+  /// True once any write has failed (EPIPE/ECONNRESET on the socket).
+  bool write_failed() const {
+    return write_failed_.load(std::memory_order_relaxed);
+  }
+
  private:
   void WriterLoop() {
     for (;;) {
-      std::pair<std::future<void>, std::shared_ptr<std::string>>* front;
+      std::pair<std::future<void>, std::shared_ptr<Item>>* front;
       {
         std::unique_lock<std::mutex> lock(mu_);
         not_empty_.wait(lock, [&] { return closed_ || !window_.empty(); });
@@ -120,14 +150,20 @@ class PipelinedExecutor {
       }
       try {
         front->first.get();
-        write_line_(*front->second);
+        if (!write_failed_.load(std::memory_order_relaxed) &&
+            !write_item_(*front->second)) {
+          write_failed_.store(true, std::memory_order_relaxed);
+        }
       } catch (const std::exception& error) {
         // HandleLine never throws, but the one-response-per-request
         // discipline must survive even a broken future.
         Response response;
         response.state = eval::SweepCellState::kErr;
         response.status = Status::Internal(error.what());
-        write_line_(RenderResponse(response));
+        if (!write_failed_.load(std::memory_order_relaxed) &&
+            !write_item_(Item{RenderResponse(response), false})) {
+          write_failed_.store(true, std::memory_order_relaxed);
+        }
       }
       {
         std::lock_guard<std::mutex> lock(mu_);
@@ -140,17 +176,17 @@ class PipelinedExecutor {
   Session& session_;
   common::ThreadPool& pool_;
   const int max_inflight_;
-  const std::function<void(const std::string&)> write_line_;
+  const std::function<bool(const Item&)> write_item_;
 
   mutable std::mutex mu_;
   std::condition_variable not_empty_;
   std::condition_variable not_full_;
   /// Front = oldest in-flight request; popped only after its response
   /// has been written.
-  std::deque<std::pair<std::future<void>, std::shared_ptr<std::string>>>
-      window_;
+  std::deque<std::pair<std::future<void>, std::shared_ptr<Item>>> window_;
   bool closed_ = false;
   long long served_ = 0;
+  std::atomic<bool> write_failed_{false};
   /// Declared last: the thread starts in the constructor's init list and
   /// must find every other member already constructed.
   std::thread writer_;
@@ -170,6 +206,22 @@ std::string OversizeLineResponse() {
       "request line exceeds the %lld-byte limit",
       static_cast<long long>(kMaxRequestLineBytes)));
   return RenderResponse(response);
+}
+
+/// The one ERR document a broken frame stream is answered with before the
+/// connection closes (frame streams cannot resynchronise past a codec
+/// error — docs/PROTOCOL.md).
+std::string CodecErrorResponse(const std::string& message) {
+  Response response;
+  response.state = eval::SweepCellState::kErr;
+  response.status = Status::InvalidArgument(message);
+  return RenderResponse(response);
+}
+
+/// Binary credit window: explicit knob, else the pipelining window.
+int EffectiveCreditWindow(const ServerConfig& config) {
+  return config.credit_window > 0 ? config.credit_window
+                                  : config.max_inflight;
 }
 
 bool SendAll(int fd, const std::string& data) {
@@ -194,6 +246,16 @@ ServerConfig ServerConfigFromEnv() {
       EnvInt("GF_SERVE_PORT", config.port, 0, 65535));
   config.max_inflight = static_cast<int>(
       EnvInt("GF_SERVE_MAX_INFLIGHT", config.max_inflight, 1, 1 << 20));
+  config.credit_window = static_cast<int>(
+      EnvInt("GF_SERVE_CREDITS", config.credit_window, 0, 1 << 20));
+  if (const char* wire = std::getenv("GF_SERVE_WIRE"); wire != nullptr) {
+    const std::string value = wire;
+    if (value == "json") {
+      config.wire = ServerConfig::Wire::kJson;
+    } else if (value == "binary") {
+      config.wire = ServerConfig::Wire::kBinary;
+    }  // anything else (including "auto") keeps the sniffing default
+  }
   return config;
 }
 
@@ -207,11 +269,13 @@ SessionConfig SessionConfigFromEnv() {
 
 long long ServePipe(Session& session, std::istream& in, std::ostream& out,
                     int max_inflight) {
-  PipelinedExecutor executor(session, max_inflight,
-                             [&out](const std::string& response) {
-                               out << response << '\n';
-                               out.flush();
-                             });
+  PipelinedExecutor executor(
+      session, max_inflight,
+      [&out](const PipelinedExecutor::Item& item) {
+        out << item.payload << '\n';
+        out.flush();
+        return true;  // iostream failure has no disconnect semantics
+      });
   std::string line;
   while (std::getline(in, line)) {
     if (!NormalizeLine(line)) continue;
@@ -221,7 +285,7 @@ long long ServePipe(Session& session, std::istream& in, std::ostream& out,
       out.flush();
       continue;
     }
-    executor.Enqueue(std::move(line));
+    executor.Enqueue(std::move(line), /*batch=*/false);
   }
   executor.Drain();
   return executor.served();
@@ -272,12 +336,17 @@ common::Status TcpServer::Start() {
     port_ = config_.port;
   }
   listen_fd_.store(fd);
+  started_.store(true);
   return Status::Ok();
 }
 
 common::Status TcpServer::Serve() {
   const int listen_fd = listen_fd_.load();
   if (listen_fd < 0) {
+    // Shutdown() may legitimately land between Start() and the serving
+    // thread entering Serve() (a signal right after startup, a test
+    // tearing down immediately): that is a clean no-op, not an error.
+    if (started_.load()) return Status::Ok();
     return Status::FailedPrecondition("Start() has not succeeded");
   }
   Status status;
@@ -331,18 +400,74 @@ void TcpServer::Shutdown() {
 }
 
 void TcpServer::HandleConnection(int fd) {
-  PipelinedExecutor executor(session_, config_.max_inflight,
-                             [fd](const std::string& response) {
-                               SendAll(fd, response + "\n");
-                             });
+  if (config_.wire == ServerConfig::Wire::kJson) {
+    // No sniffing at all: the pre-GFB1 behaviour, byte for byte.
+    HandleJsonConnection(fd, std::string(), /*recv_error=*/false,
+                         /*eof=*/false);
+    return;
+  }
+  // Wire negotiation (DESIGN.md §15.1): a connection whose first four
+  // bytes are exactly the GFB1 magic speaks frames; anything else —
+  // including any byte that rules the magic out early — is newline-JSON.
+  // JSON request lines open with '{' or whitespace, so the sniff never
+  // misclassifies a legal JSON client.
   std::string pending;
   char buffer[1 << 16];
-  bool overflowed = false;
+  bool binary = false;
+  bool recv_error = false;
+  bool eof = false;
   for (;;) {
+    if (pending.size() >= kFrameMagicBytes) {
+      binary =
+          std::memcmp(pending.data(), kFrameMagic, kFrameMagicBytes) == 0;
+      break;
+    }
+    if (!pending.empty() &&
+        std::memcmp(pending.data(), kFrameMagic, pending.size()) != 0) {
+      break;  // can no longer be a magic prefix: JSON
+    }
     const ssize_t n = ::recv(fd, buffer, sizeof(buffer), 0);
     if (n < 0 && errno == EINTR) continue;
-    if (n <= 0) break;
+    if (n < 0) {
+      recv_error = true;
+      break;
+    }
+    if (n == 0) {
+      eof = true;
+      break;
+    }
     pending.append(buffer, static_cast<std::size_t>(n));
+  }
+  if (binary) {
+    pending.erase(0, kFrameMagicBytes);
+    HandleFramedConnection(fd, std::move(pending));
+    return;
+  }
+  if (config_.wire == ServerConfig::Wire::kBinary) {
+    if (!recv_error) {
+      SendAll(fd, CodecErrorResponse(
+                      "this endpoint requires the GFB1 binary wire") +
+                      "\n");
+    }
+    ::close(fd);
+    return;
+  }
+  HandleJsonConnection(fd, std::move(pending), recv_error, eof);
+}
+
+void TcpServer::HandleJsonConnection(int fd, std::string pending,
+                                     bool recv_error, bool eof) {
+  PipelinedExecutor executor(
+      session_, config_.max_inflight,
+      [fd](const PipelinedExecutor::Item& item) {
+        return SendAll(fd, item.payload + "\n");
+      });
+  char buffer[1 << 16];
+  bool overflowed = false;
+  bool aborted = false;
+  // Process-then-recv: the wire sniff may have left whole lines in
+  // `pending`, and they must execute before the loop blocks in recv.
+  for (;;) {
     // Cursor + one erase per recv: per-line erase(0, …) would memmove
     // the whole remaining buffer for every line of a bulk client.
     std::size_t start = 0;
@@ -351,9 +476,15 @@ void TcpServer::HandleConnection(int fd) {
       std::string line = pending.substr(start, newline - start);
       start = newline + 1;
       if (!NormalizeLine(line)) continue;
-      executor.Enqueue(std::move(line));
+      if (!executor.Enqueue(std::move(line), /*batch=*/false)) {
+        // A write already failed: the client is gone, stop parsing and
+        // solving on its behalf.
+        aborted = true;
+        break;
+      }
     }
     pending.erase(0, start);
+    if (aborted) break;
     if (static_cast<std::int64_t>(pending.size()) > kMaxRequestLineBytes) {
       // A line that will never fit: answer once and stop reading.
       executor.Drain();
@@ -361,10 +492,103 @@ void TcpServer::HandleConnection(int fd) {
       overflowed = true;
       break;
     }
+    if (recv_error || eof) break;
+    const ssize_t n = ::recv(fd, buffer, sizeof(buffer), 0);
+    if (n < 0 && errno == EINTR) continue;
+    if (n < 0) {
+      // Torn connection (ECONNRESET and friends) — distinct from a clean
+      // EOF: whatever is left in `pending` may be a half-received
+      // request and must not execute.
+      recv_error = true;
+      break;
+    }
+    if (n == 0) {
+      eof = true;
+      continue;  // one more pass drains any final complete lines
+    }
+    pending.append(buffer, static_cast<std::size_t>(n));
   }
-  // A final unterminated line still counts as a request.
-  if (!overflowed && NormalizeLine(pending)) {
-    executor.Enqueue(std::move(pending));
+  // A final unterminated line still counts as a request — but only after
+  // a clean EOF (the half-close idiom of SendRequestLines). After a
+  // transport error the tail is torn, not truncated-on-purpose.
+  if (!overflowed && !aborted && !recv_error && NormalizeLine(pending)) {
+    executor.Enqueue(std::move(pending), /*batch=*/false);
+  }
+  executor.Drain();
+  ::close(fd);
+}
+
+void TcpServer::HandleFramedConnection(int fd, std::string pending) {
+  const int credits = EffectiveCreditWindow(config_);
+  Hello hello;
+  hello.credits = credits;
+  hello.max_frame_bytes = kMaxRequestLineBytes;
+  hello.max_batch_requests = kMaxBatchRequests;
+  if (!SendAll(fd, EncodeFrame(FrameType::kHello, 0, RenderHello(hello)))) {
+    ::close(fd);
+    return;
+  }
+  // The credit window doubles as the executor window, so a client that
+  // over-sends past zero credits degrades to TCP backpressure against
+  // the same bound instead of gaining queue depth.
+  PipelinedExecutor executor(
+      session_, credits, [fd](const PipelinedExecutor::Item& item) {
+        // Every retired response hands its window slot back: 1 credit.
+        return SendAll(fd, EncodeFrame(item.batch
+                                           ? FrameType::kBatchResponse
+                                           : FrameType::kResponse,
+                                       /*credits=*/1, item.payload));
+      });
+  char buffer[1 << 16];
+  bool done = false;
+  while (!done) {
+    // Drain every complete frame before blocking in recv.
+    std::size_t start = 0;
+    for (;;) {
+      Frame frame;
+      std::size_t consumed = 0;
+      std::string error;
+      const FrameDecodeResult result =
+          DecodeFrame(std::string_view(pending).substr(start),
+                      static_cast<std::size_t>(kMaxRequestLineBytes),
+                      &frame, &consumed, &error);
+      if (result == FrameDecodeResult::kNeedMore) break;
+      if (result == FrameDecodeResult::kError) {
+        // Frame streams cannot resynchronise: answer once, then close.
+        executor.Drain();
+        SendAll(fd, EncodeFrame(FrameType::kResponse, 0,
+                                CodecErrorResponse(error)));
+        done = true;
+        break;
+      }
+      start += consumed;
+      const bool batch = frame.type == FrameType::kBatchRequest;
+      if (frame.type != FrameType::kRequest && !batch) {
+        executor.Drain();
+        SendAll(fd, EncodeFrame(
+                        FrameType::kResponse, 0,
+                        CodecErrorResponse(common::StrFormat(
+                            "clients may not send frame type %u",
+                            static_cast<unsigned>(frame.type)))));
+        done = true;
+        break;
+      }
+      if (!executor.Enqueue(std::move(frame.payload), batch)) {
+        done = true;  // write failed: the client is gone
+        break;
+      }
+    }
+    pending.erase(0, start);
+    if (done) break;
+    const ssize_t n = ::recv(fd, buffer, sizeof(buffer), 0);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) {
+      // EOF or error: a partial frame in `pending` is incomplete by its
+      // own header, so — unlike the JSON wire's clean-EOF tail — it is
+      // dropped either way, never executed.
+      break;
+    }
+    pending.append(buffer, static_cast<std::size_t>(n));
   }
   executor.Drain();
   ::close(fd);

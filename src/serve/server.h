@@ -1,19 +1,29 @@
 #ifndef GROUPFORM_SERVE_SERVER_H_
 #define GROUPFORM_SERVE_SERVER_H_
 
-// The long-lived serving front-end (DESIGN.md §12.1): newline-delimited
-// JSON requests in, one response line per request out, in request order.
-// Two transports share the same session and protocol code:
+// The long-lived serving front-end (DESIGN.md §12.1, §15): requests in,
+// one response per request out, in request order. Two transports share
+// the same session and protocol code:
 //
 //   * pipe mode — stdin/stdout (or any iostream pair), the zero-config
 //     path CI's serve-smoke job and the golden tests drive;
 //   * TCP mode — a loopback/LAN listener with one OS thread per
 //     connection.
 //
-// Either way, each request line becomes one queued job on
+// TCP connections negotiate their wire by magic-sniffing the first bytes
+// (DESIGN.md §15.1): a connection opening with "GFB1" speaks the binary
+// frame codec with explicit credit-based backpressure (the server grants
+// credits in response frames; a well-behaved client stops sending at
+// zero, and an over-sending one degrades to TCP backpressure against the
+// same window); anything else is the canonical newline-JSON wire, whose
+// per-stream window stays max_inflight. Both wires accept single
+// `groupform.request/1`/`groupform.delta/1` documents and
+// `groupform.batch/1` envelopes.
+//
+// Either way, each request (or whole batch) becomes one queued job on
 // common::ThreadPool::Shared() (Submit): the solve runs serially inside
 // its job — the determinism reference path — and throughput comes from
-// many jobs in flight at once, bounded by max_inflight per stream.
+// many jobs in flight at once, bounded per stream by the window.
 
 #include <atomic>
 #include <condition_variable>
@@ -37,10 +47,21 @@ struct ServerConfig {
   /// Requests in flight per stream (pipelining window). 1 = strictly
   /// sequential.
   int max_inflight = 4;
+  /// Credit window announced to binary-wire clients (frames in flight
+  /// per stream); 0 = follow max_inflight. The window is both the
+  /// client-visible credit budget and the server-side executor bound, so
+  /// a client that ignores its credits gains nothing.
+  int credit_window = 0;
+  /// Which wires a connection may negotiate. kAuto sniffs per
+  /// connection; kJson skips sniffing entirely (the pre-GFB1 behaviour);
+  /// kBinary answers JSON openings with one ERR line and closes.
+  enum class Wire { kAuto, kJson, kBinary };
+  Wire wire = Wire::kAuto;
 };
 
-/// GF_SERVE_PORT / GF_SERVE_MAX_INFLIGHT, with the defaults above for
-/// unset or malformed values.
+/// GF_SERVE_PORT / GF_SERVE_MAX_INFLIGHT / GF_SERVE_CREDITS /
+/// GF_SERVE_WIRE (auto|json|binary), with the defaults above for unset
+/// or malformed values.
 ServerConfig ServerConfigFromEnv();
 
 /// GF_SERVE_CACHE_MB → SessionConfig (default 256 MB; 0 = unlimited).
@@ -79,6 +100,13 @@ class TcpServer {
 
  private:
   void HandleConnection(int fd);
+  /// The newline-JSON stream loop. `pending` carries bytes the wire
+  /// sniff already consumed; `recv_error`/`eof` say how the sniff ended
+  /// when it ended the connection itself.
+  void HandleJsonConnection(int fd, std::string pending, bool recv_error,
+                            bool eof);
+  /// The GFB1 frame loop; `pending` carries bytes read past the magic.
+  void HandleFramedConnection(int fd, std::string pending);
   /// Blocks until every connection thread has finished. Connection
   /// threads run detached (a long-lived server must not accumulate
   /// unjoined thread handles); this counter is how Serve() and the
@@ -89,6 +117,9 @@ class TcpServer {
   const ServerConfig config_;
   /// Atomic so the signal-handler path of Shutdown() cannot race Serve().
   std::atomic<int> listen_fd_{-1};
+  /// Distinguishes "Start() never succeeded" (Serve() is an error) from
+  /// "Shutdown() already closed the listener" (Serve() is a clean no-op).
+  std::atomic<bool> started_{false};
   int port_ = 0;
   std::mutex conn_mu_;
   std::condition_variable conn_cv_;

@@ -1,10 +1,12 @@
 #include "serve/session.h"
 
 #include <algorithm>
+#include <cstddef>
 #include <exception>
 #include <memory>
 #include <optional>
 #include <span>
+#include <unordered_map>
 #include <utility>
 #include <vector>
 
@@ -183,6 +185,22 @@ Session::Session(SessionConfig config)
 Response Session::Execute(
     const Request& request,
     std::chrono::steady_clock::time_point received_at) {
+  auto loaded_or = cache_.Get(request.instance);
+  if (!loaded_or.ok()) {
+    Response response;
+    response.id = request.id;
+    return FailWith(std::move(response), eval::SweepCellState::kErr,
+                    loaded_or.status());
+  }
+  // The shared_ptrs pin the cache entry for the whole execution.
+  const LoadedInstance loaded = *std::move(loaded_or);
+  return ExecuteLoaded(request, received_at, loaded);
+}
+
+Response Session::ExecuteLoaded(
+    const Request& request,
+    std::chrono::steady_clock::time_point received_at,
+    const LoadedInstance& loaded) {
   Response response;
   response.id = request.id;
 
@@ -191,13 +209,6 @@ Response Session::Execute(
     deadline = received_at + std::chrono::milliseconds(request.deadline_ms);
   }
 
-  auto loaded_or = cache_.Get(request.instance);
-  if (!loaded_or.ok()) {
-    return FailWith(std::move(response), eval::SweepCellState::kErr,
-                    loaded_or.status());
-  }
-  // The shared_ptrs pin the cache entry for the whole execution.
-  const LoadedInstance loaded = *std::move(loaded_or);
   const data::RatingStore store = loaded.Store();
 
   // The sweep engine's cap semantics: over-budget instances answer DNF
@@ -482,19 +493,61 @@ Response Session::ExecuteDelta(
   return response;
 }
 
+BatchResponse Session::ExecuteBatch(
+    const BatchRequest& batch,
+    std::chrono::steady_clock::time_point received_at) {
+  BatchResponse out;
+  out.id = batch.id;
+  out.responses.reserve(batch.requests.size());
+  // Batch-local pins: one cache round-trip per distinct spec, bounded so
+  // a pathological batch cannot pin an unbounded working set against the
+  // LRU's byte budget.
+  constexpr std::size_t kMaxPinnedInstances = 16;
+  std::unordered_map<std::string, LoadedInstance> pinned;
+  for (const Request& request : batch.requests) {
+    if (request.is_delta) {
+      out.responses.push_back(ExecuteDelta(request, received_at));
+      continue;
+    }
+    const std::string key = request.instance.CanonicalKey();
+    const auto it = pinned.find(key);
+    if (it != pinned.end()) {
+      out.responses.push_back(ExecuteLoaded(request, received_at, it->second));
+      continue;
+    }
+    auto loaded_or = cache_.Get(request.instance);
+    if (!loaded_or.ok()) {
+      Response response;
+      response.id = request.id;
+      out.responses.push_back(FailWith(std::move(response),
+                                       eval::SweepCellState::kErr,
+                                       loaded_or.status()));
+      continue;
+    }
+    LoadedInstance loaded = *std::move(loaded_or);
+    out.responses.push_back(ExecuteLoaded(request, received_at, loaded));
+    if (pinned.size() < kMaxPinnedInstances) {
+      pinned.emplace(key, std::move(loaded));
+    }
+  }
+  return out;
+}
+
 std::string Session::HandleLine(
     const std::string& line,
     std::chrono::steady_clock::time_point received_at) {
   Response response;
   try {
-    auto request_or = ParseRequestLine(line);
-    if (!request_or.ok()) {
+    auto any_or = ParseAnyRequestLine(line);
+    if (!any_or.ok()) {
       response.state = eval::SweepCellState::kErr;
-      response.status = request_or.status();
-    } else if (request_or->is_delta) {
-      response = ExecuteDelta(*request_or, received_at);
+      response.status = any_or.status();
+    } else if (any_or->is_batch) {
+      return RenderBatchResponse(ExecuteBatch(any_or->batch, received_at));
+    } else if (any_or->request.is_delta) {
+      response = ExecuteDelta(any_or->request, received_at);
     } else {
-      response = Execute(*request_or, received_at);
+      response = Execute(any_or->request, received_at);
     }
   } catch (const std::exception& error) {
     // Belt and braces: the library is Status-based, but a response line

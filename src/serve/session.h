@@ -59,9 +59,23 @@ class Session {
       std::chrono::steady_clock::time_point received_at =
           std::chrono::steady_clock::now());
 
+  /// Executes a parsed `groupform.batch/1` envelope: every element in
+  /// order, serially, inside the caller's thread — the server submits the
+  /// whole batch as ONE ThreadPool job, which is the submission
+  /// amortisation. Instances are additionally pinned batch-locally, so
+  /// consecutive elements naming the same spec pay the cache's lock and
+  /// lookup once. Element semantics are exactly the single-request ones:
+  /// responses[i] answers requests[i], with its own OK/DNF/ERR state.
+  BatchResponse ExecuteBatch(
+      const BatchRequest& batch,
+      std::chrono::steady_clock::time_point received_at =
+          std::chrono::steady_clock::now());
+
   /// Parse + Execute + render: one request line in, one response line out
-  /// (no trailing newline). Parse failures render as ERR responses with
-  /// an empty id. This is the function the server submits to the pool.
+  /// (no trailing newline). Dispatches on schema — `groupform.batch/1`
+  /// lines answer a `groupform.batchresponse/1` line; envelope-level
+  /// parse failures render as a single ERR response with an empty id.
+  /// This is the function the server submits to the pool.
   std::string HandleLine(
       const std::string& line,
       std::chrono::steady_clock::time_point received_at =
@@ -71,6 +85,13 @@ class Session {
   const SessionConfig& config() const { return config_; }
 
  private:
+  /// The fresh-request path after instance resolution; `loaded` pins the
+  /// cache entry for the duration (batch execution resolves once per
+  /// distinct spec and reuses the pin across elements).
+  Response ExecuteLoaded(const Request& request,
+                         std::chrono::steady_clock::time_point received_at,
+                         const LoadedInstance& loaded);
+
   const SessionConfig config_;
   InstanceCache cache_;
 };

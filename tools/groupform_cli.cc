@@ -21,6 +21,11 @@
 //                       data/problem/--algorithm flags below, or passed
 //                       verbatim with --raw 'JSON'.
 //       --host H --port P   server address (default 127.0.0.1, GF_SERVE_PORT)
+//       --wire json|binary  wire to speak: newline-JSON (default, the
+//                           canonical/golden form) or GFB1 binary frames
+//                           with credit backpressure (docs/PROTOCOL.md)
+//       --batch N           send N copies as one groupform.batch/1
+//                           envelope; prints one response line per element
 //       --request-id ID     correlation id echoed by the server
 //       --deadline-ms N     per-request wall-clock budget (0 = none)
 //       --user-cap N        DNF cap on instance size (0 = unlimited)
@@ -93,6 +98,7 @@
 #include "eval/weighted_objective.h"
 #include "exact/ip_model.h"
 #include "grouprec/semantics.h"
+#include "serve/client.h"
 #include "serve/protocol.h"
 #include "serve/server.h"
 #include "solvers/builtin.h"
@@ -276,31 +282,84 @@ common::StatusOr<serve::Request> BuildRequest(
 }
 
 /// Shared tail of the `request` and `delta` subcommands: print the line
-/// under --dump, otherwise send it and report the response. Exit 0 for
-/// OK/DNF (an expected omission), 1 for ERR or transport failure.
+/// under --dump, otherwise send it — over the wire --wire selects, as a
+/// --batch-sized groupform.batch/1 envelope when asked — and report the
+/// response(s), one line per element. Exit 0 when every response is
+/// OK/DNF (an expected omission), 1 for any ERR or transport failure.
 int DumpOrSendLine(const common::FlagParser& flags,
                    const std::string& line) {
+  const long long batch = flags.GetInt("batch", 1);
+  if (batch < 1 || batch > serve::kMaxBatchRequests) {
+    std::fprintf(stderr, "--batch must be in [1, %d], got %lld\n",
+                 serve::kMaxBatchRequests, batch);
+    return 2;
+  }
+  const std::string wire_name = flags.GetString("wire", "json");
+  if (wire_name != "json" && wire_name != "binary") {
+    std::fprintf(stderr, "--wire must be json or binary, got \"%s\"\n",
+                 wire_name.c_str());
+    return 2;
+  }
   if (flags.GetBool("dump", false)) {
-    std::printf("%s\n", line.c_str());
+    if (batch == 1) {
+      std::printf("%s\n", line.c_str());
+      return 0;
+    }
+    const auto request = serve::ParseRequestLine(line);
+    if (!request.ok()) {
+      std::fprintf(stderr, "building batch: %s\n",
+                   request.status().ToString().c_str());
+      return 2;
+    }
+    serve::BatchRequest envelope;
+    envelope.requests.assign(static_cast<std::size_t>(batch), *request);
+    std::printf("%s\n", serve::RenderBatchRequest(envelope).c_str());
     return 0;
   }
   const std::string host = flags.GetString("host", "127.0.0.1");
   const int port = static_cast<int>(
       flags.GetInt("port", serve::ServerConfigFromEnv().port));
-  const auto responses = serve::SendRequestLines(host, port, {line});
-  if (!responses.ok()) {
+  auto client = serve::WireClient::Connect(
+      host, port,
+      wire_name == "binary" ? serve::WireClient::Wire::kBinary
+                            : serve::WireClient::Wire::kJson);
+  if (!client.ok()) {
     std::fprintf(stderr, "request: %s\n",
-                 responses.status().ToString().c_str());
+                 client.status().ToString().c_str());
     return 1;
   }
-  std::printf("%s\n", (*responses)[0].c_str());
-  const auto parsed = serve::ParseResponseLine((*responses)[0]);
-  if (!parsed.ok()) {
-    std::fprintf(stderr, "unparseable response: %s\n",
-                 parsed.status().ToString().c_str());
-    return 1;
+  std::vector<std::string> responses;
+  if (batch == 1) {
+    auto response = client->Call(line);
+    if (!response.ok()) {
+      std::fprintf(stderr, "request: %s\n",
+                   response.status().ToString().c_str());
+      return 1;
+    }
+    responses.push_back(*std::move(response));
+  } else {
+    auto unpacked = client->CallBatch(
+        std::vector<std::string>(static_cast<std::size_t>(batch), line));
+    if (!unpacked.ok()) {
+      std::fprintf(stderr, "request: %s\n",
+                   unpacked.status().ToString().c_str());
+      return 1;
+    }
+    responses = *std::move(unpacked);
   }
-  return parsed->state == eval::SweepCellState::kErr ? 1 : 0;
+  int exit_code = 0;
+  for (const std::string& response : responses) {
+    std::printf("%s\n", response.c_str());
+    const auto parsed = serve::ParseResponseLine(response);
+    if (!parsed.ok()) {
+      std::fprintf(stderr, "unparseable response: %s\n",
+                   parsed.status().ToString().c_str());
+      exit_code = 1;
+    } else if (parsed->state == eval::SweepCellState::kErr) {
+      exit_code = 1;
+    }
+  }
+  return exit_code;
 }
 
 /// The `request` subcommand: loopback client for groupform_serverd.
@@ -451,7 +510,8 @@ void PrintHelp() {
       "            (--solvers A,B --json-dir DIR; `sweep` alone lists "
       "suites)\n"
       "            request             send one request to a running\n"
-      "            groupform_serverd (--host H --port P, docs/PROTOCOL.md)\n"
+      "            groupform_serverd (--host H --port P --wire json|binary\n"
+      "            --batch N, docs/PROTOCOL.md)\n"
       "            delta               send one groupform.delta/1 line\n"
       "            (--deltas add:U,remove:U,rerate:U:I:R plus request "
       "flags)\n"

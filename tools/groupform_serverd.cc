@@ -15,10 +15,19 @@
 //   groupform_serverd --port 0                # ephemeral port (printed)
 //   groupform_serverd --pipe < reqs.jsonl     # stdin/stdout, exit at EOF
 //
+// TCP connections negotiate their wire per connection (DESIGN.md §15):
+// a client opening with the GFB1 magic speaks length-prefixed binary
+// frames with credit-based backpressure; anything else is newline-JSON.
+// `groupform.batch/1` envelopes are accepted on both wires.
+//
 // Flags (each falls back to its environment knob, then the default):
 //   --pipe              serve stdin→stdout instead of TCP
 //   --port N            TCP port, 0 = ephemeral     (GF_SERVE_PORT, 4017)
 //   --max-inflight N    pipelining window per stream (GF_SERVE_MAX_INFLIGHT, 4)
+//   --credits N         binary-wire credit window, 0 = follow
+//                       --max-inflight               (GF_SERVE_CREDITS, 0)
+//   --wire MODE         auto | json | binary: which wires connections
+//                       may negotiate                (GF_SERVE_WIRE, auto)
 //   --cache-mb N        instance cache budget, 0 = unlimited
 //                                               (GF_SERVE_CACHE_MB, 256)
 //   --threads N         pool size (GF_THREADS, else hardware; 1 = serial)
@@ -71,6 +80,10 @@ int RealMain(int argc, char** argv) {
         "  --pipe            stdin/stdout mode (exit at EOF)\n"
         "  --port N          TCP port, 0 = ephemeral (GF_SERVE_PORT)\n"
         "  --max-inflight N  pipelining window (GF_SERVE_MAX_INFLIGHT)\n"
+        "  --credits N       binary-wire credit window, 0 = follow\n"
+        "                    --max-inflight (GF_SERVE_CREDITS)\n"
+        "  --wire MODE       auto|json|binary wire negotiation "
+        "(GF_SERVE_WIRE)\n"
         "  --cache-mb N      cache budget, 0 = unlimited "
         "(GF_SERVE_CACHE_MB)\n"
         "  --threads N       pool size (GF_THREADS)\n"
@@ -103,6 +116,29 @@ int RealMain(int argc, char** argv) {
     return 2;
   }
   server_config.max_inflight = static_cast<int>(max_inflight);
+  const long long credit_window =
+      flags.GetInt("credits", server_config.credit_window);
+  if (credit_window < 0 || credit_window > (1 << 20)) {
+    std::fprintf(stderr, "--credits must be in [0, %d], got %lld\n",
+                 1 << 20, credit_window);
+    return 2;
+  }
+  server_config.credit_window = static_cast<int>(credit_window);
+  if (flags.Has("wire")) {
+    const std::string wire = flags.GetString("wire", "auto");
+    if (wire == "json") {
+      server_config.wire = serve::ServerConfig::Wire::kJson;
+    } else if (wire == "binary") {
+      server_config.wire = serve::ServerConfig::Wire::kBinary;
+    } else if (wire == "auto") {
+      server_config.wire = serve::ServerConfig::Wire::kAuto;
+    } else {
+      std::fprintf(stderr,
+                   "--wire must be auto, json, or binary, got \"%s\"\n",
+                   wire.c_str());
+      return 2;
+    }
+  }
   serve::SessionConfig session_config = serve::SessionConfigFromEnv();
   if (flags.Has("cache-mb")) {
     const long long mb = flags.GetInt("cache-mb", 256);
@@ -140,10 +176,20 @@ int RealMain(int argc, char** argv) {
   g_server = &server;
   std::signal(SIGINT, HandleStopSignal);
   std::signal(SIGTERM, HandleStopSignal);
+  const char* wire_name =
+      server_config.wire == serve::ServerConfig::Wire::kJson ? "json"
+      : server_config.wire == serve::ServerConfig::Wire::kBinary
+          ? "binary"
+          : "auto";
   std::fprintf(stderr,
                "groupform_serverd: listening on 127.0.0.1:%d "
-               "(max_inflight=%d, cache_mb=%lld, threads=%d)\n",
+               "(max_inflight=%d, credits=%d, wire=%s, cache_mb=%lld, "
+               "threads=%d)\n",
                server.port(), server_config.max_inflight,
+               server_config.credit_window > 0
+                   ? server_config.credit_window
+                   : server_config.max_inflight,
+               wire_name,
                static_cast<long long>(session_config.cache_bytes) /
                    (1024 * 1024),
                common::ThreadPool::DefaultThreadCount());

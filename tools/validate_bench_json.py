@@ -21,7 +21,12 @@ Default (bench) mode checks, for every BENCH_*.json in DIR
     size and throughput fields, topk_identical true on every backend
     (compact scans return the same top-k lists as dense), and
     reduction_dense_over_compact8 >= 4 — the PR-7 headline is a ratio of
-    per-user byte costs, so it holds at smoke scale too.
+    per-user byte costs, so it holds at smoke scale too;
+  * BENCH_serve_*.json additionally carries the serving-load report
+    (DESIGN.md §15): a "serve" object whose rows each report
+    wire/mode/threads/requests/batch_size plus numeric rps and p50/p99
+    latencies, with binary/batch rps >= json/single rps at every thread
+    count.
 
 --protocol mode validates newline-delimited groupform.response/1 streams
 captured from groupform_serverd (docs/PROTOCOL.md): every line must parse,
@@ -148,6 +153,69 @@ def validate_scale(path, doc):
     return ok
 
 
+SERVE_ROW_WIRES = {"json", "binary"}
+SERVE_ROW_MODES = {"single", "batch"}
+
+SERVE_ROW_NUMERIC_KEYS = ["rps", "p50_ms", "p99_ms"]
+
+
+def validate_serve(path, doc):
+    """BENCH_serve_*.json: the serving-load report (DESIGN.md §15).
+
+    Requires a "serve" object with a non-empty rows array, each row fully
+    typed (wire/mode/threads/requests/batch_size plus numeric rps and
+    p50/p99 latencies), and — the tentpole headline — binary/batch
+    throughput at least json/single throughput at every reported thread
+    count (batching plus framing must not lose to the naive path).
+    """
+    serve = doc.get("serve")
+    if not isinstance(serve, dict):
+        return fail(path, "serve bench without a serve object")
+    ok = True
+    if not isinstance(serve.get("batch_size"), int) or serve["batch_size"] < 1:
+        ok = fail(path, "serve.batch_size must be a positive integer")
+    rows = serve.get("rows")
+    if not isinstance(rows, list) or not rows:
+        return fail(path, "serve.rows must be a non-empty array")
+    rps = {}  # (wire, mode, threads) -> rps
+    for index, row in enumerate(rows):
+        where = f"serve.rows[{index}]"
+        wire = row.get("wire")
+        mode = row.get("mode")
+        if wire not in SERVE_ROW_WIRES:
+            ok = fail(path, f"{where}: bad wire {wire!r}")
+        if mode not in SERVE_ROW_MODES:
+            ok = fail(path, f"{where}: bad mode {mode!r}")
+        for key in ("threads", "requests", "batch_size"):
+            if not isinstance(row.get(key), int) or row[key] < 1:
+                ok = fail(path, f"{where}: {key} must be a positive integer")
+        for key in SERVE_ROW_NUMERIC_KEYS:
+            value = row.get(key)
+            if not isinstance(value, (int, float)) or value < 0:
+                ok = fail(path, f"{where}: missing numeric {key!r}")
+        if ok:
+            rps[(wire, mode, row["threads"])] = row["rps"]
+    if not ok:
+        return ok
+    thread_counts = sorted({threads for (_, _, threads) in rps})
+    for threads in thread_counts:
+        json_single = rps.get(("json", "single", threads))
+        binary_batch = rps.get(("binary", "batch", threads))
+        if json_single is None or binary_batch is None:
+            ok = fail(
+                path,
+                f"threads={threads}: need both a json/single and a "
+                f"binary/batch row",
+            )
+        elif binary_batch < json_single:
+            ok = fail(
+                path,
+                f"threads={threads}: binary/batch {binary_batch:.0f} rps "
+                f"is below json/single {json_single:.0f} rps",
+            )
+    return ok
+
+
 def validate_file(path, required_solvers):
     try:
         doc = json.loads(path.read_text())
@@ -165,6 +233,8 @@ def validate_file(path, required_solvers):
         ok = validate_sweep(path, sweep) and ok
     if path.name.startswith("BENCH_scale_"):
         ok = validate_scale(path, doc) and ok
+    if path.name.startswith("BENCH_serve_"):
+        ok = validate_serve(path, doc) and ok
     if sweeps and doc.get("all_ok") and any(
         cell.get("state") == "ERR"
         for sweep in sweeps
