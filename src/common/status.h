@@ -22,6 +22,7 @@ enum class StatusCode {
   kUnimplemented,
   kInternal,
   kDataLoss,
+  kUnavailable,
 };
 
 /// Human-readable name of a status code ("OK", "INVALID_ARGUMENT", ...).
@@ -59,6 +60,9 @@ class Status {
   }
   static Status DataLoss(std::string msg) {
     return Status(StatusCode::kDataLoss, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -141,7 +141,8 @@ grouprec::GroupTopK BucketRecommendation(const FormationProblem& problem,
 
 FormationResult SelectAndAssemble(
     const FormationProblem& problem, const grouprec::GroupScorer& scorer,
-    std::vector<std::pair<double, const Bucket*>> scored) {
+    std::vector<std::pair<double, const Bucket*>> scored,
+    const ResidualRecommender* residual_recommender) {
   const bool lm = problem.semantics == Semantics::kLeastMisery;
   FormationResult result;
   const int ell = problem.max_groups;
@@ -273,7 +274,9 @@ FormationResult SelectAndAssemble(
     residual.members = std::move(residual_members);
     std::sort(residual.members.begin(), residual.members.end());
     residual.recommendation =
-        ComputeGroupList(problem, scorer, residual.members);
+        residual_recommender != nullptr && *residual_recommender
+            ? (*residual_recommender)(residual.members)
+            : ComputeGroupList(problem, scorer, residual.members);
     residual.satisfaction = AggregateListSatisfaction(
         problem, static_cast<int>(residual.members.size()),
         residual.recommendation);

@@ -1,0 +1,147 @@
+#include "core/distributed_greedy.h"
+
+#include <algorithm>
+#include <thread>
+#include <unordered_map>
+#include <utility>
+
+#include "common/strings.h"
+#include "core/bucketing.h"
+#include "core/greedy.h"
+
+namespace groupform::core {
+
+using common::Status;
+using common::StatusOr;
+using common::StrFormat;
+
+StatusOr<FormationResult> RunDistributedGreedy(
+    const FormationProblem& problem, const DistributedGreedyHooks& hooks) {
+  GF_RETURN_IF_ERROR(problem.Validate());
+  if (!hooks.user_topk) {
+    return Status::InvalidArgument("user_topk hook is required");
+  }
+  const data::RatingStore store = problem.Store();
+  const int n = store.num_users();
+  const std::int64_t num_items = store.num_items();
+
+  // Phase 1 (distributed): gather every user's personal top-k from the
+  // shard hook. Gathering is order-free; the bucket fold below is not.
+  const int shards = std::max(1, std::min(hooks.user_shards, n));
+  const auto shard_begin = [&](int s) {
+    return static_cast<UserId>(static_cast<std::int64_t>(n) * s / shards);
+  };
+  std::vector<std::vector<std::vector<data::RatingEntry>>> parts(
+      static_cast<std::size_t>(shards));
+  std::vector<Status> statuses(static_cast<std::size_t>(shards),
+                               Status::Ok());
+  // Hook calls are RPC waits, not compute, so they fan out on dedicated
+  // threads — NOT the shared ThreadPool (the hook must be thread-safe;
+  // the broker's is). Two reasons pool jobs are wrong here: the solve
+  // usually runs *inside* a pool job (the serving executor), where a
+  // nested ParallelFor degrades to serial and would quietly
+  // un-distribute the fan-out; and an in-process worker (tests,
+  // broker-behind-broker) needs pool threads to answer the very calls
+  // the fan-out is blocked on.
+  const auto run_shard = [&](int s) {
+    const std::size_t i = static_cast<std::size_t>(s);
+    const UserId begin = shard_begin(s);
+    const UserId end = shard_begin(s + 1);
+    auto part_or = hooks.user_topk(begin, end);
+    if (!part_or.ok()) {
+      statuses[i] = part_or.status();
+      return;
+    }
+    if (part_or->size() != static_cast<std::size_t>(end - begin)) {
+      statuses[i] = Status::DataLoss(
+          StrFormat("user_topk shard [%d, %d) returned %zu lists, "
+                    "expected %d",
+                    begin, end, part_or->size(), end - begin));
+      return;
+    }
+    parts[i] = *std::move(part_or);
+  };
+  if (shards == 1) {
+    run_shard(0);
+  } else {
+    std::vector<std::thread> threads;
+    threads.reserve(static_cast<std::size_t>(shards));
+    for (int s = 0; s < shards; ++s) threads.emplace_back(run_shard, s);
+    for (std::thread& thread : threads) thread.join();
+  }
+  for (const Status& status : statuses) GF_RETURN_IF_ERROR(status);
+
+  // Bucket fold, local, in ascending user order — exactly GreedyFormer's
+  // hash pass, with the hook-supplied lists standing in for
+  // recsys::TopKList. AV accumulation sums ratings, so user order is the
+  // determinism contract here.
+  std::unordered_map<BucketKey, Bucket, BucketKeyHash> buckets;
+  buckets.reserve(static_cast<std::size_t>(n) * 2);
+  UserId u = 0;
+  for (const auto& part : parts) {
+    for (const auto& topk : part) {
+      BucketKey key = MakeBucketKey(problem, topk);
+      Bucket& bucket = buckets[std::move(key)];
+      AccumulateMember(problem, topk, bucket);
+      bucket.members.push_back(u);
+      ++u;
+    }
+  }
+
+  const grouprec::GroupScorer scorer = problem.MakeScorer();
+  std::vector<std::pair<double, const Bucket*>> scored;
+  scored.reserve(buckets.size());
+  for (const auto& [key, bucket] : buckets) {
+    scored.emplace_back(BucketScore(problem, bucket), &bucket);
+  }
+
+  // Phase 2 (distributed, best-effort): the residual group's catalogue
+  // scan, split into item ranges and merged exactly. Any shard failure
+  // falls back to the local scan — same bytes, just no fan-out.
+  ResidualRecommender residual;
+  const bool shard_residual = hooks.group_topk_range &&
+                              hooks.residual_shard_items > 0 &&
+                              problem.candidate_depth == 0;
+  if (shard_residual) {
+    residual = [&](std::span<const UserId> members) -> grouprec::GroupTopK {
+      const std::int64_t width = hooks.residual_shard_items;
+      const std::size_t num_shards =
+          static_cast<std::size_t>((num_items + width - 1) / width);
+      std::vector<grouprec::GroupTopK> partials(num_shards);
+      std::vector<char> failed(num_shards, 0);
+      const auto run_range = [&](std::size_t i) {
+        const std::int64_t b = static_cast<std::int64_t>(i) * width;
+        auto partial = hooks.group_topk_range(
+            members, static_cast<ItemId>(b),
+            static_cast<ItemId>(std::min(b + width, num_items)));
+        if (!partial.ok()) {
+          failed[i] = 1;
+          return;
+        }
+        partials[i] = *std::move(partial);
+      };
+      // Same dedicated-thread fan-out as phase 1, same rationale.
+      if (num_shards == 1) {
+        run_range(0);
+      } else {
+        std::vector<std::thread> threads;
+        threads.reserve(num_shards);
+        for (std::size_t i = 0; i < num_shards; ++i) {
+          threads.emplace_back(run_range, i);
+        }
+        for (std::thread& thread : threads) thread.join();
+      }
+      for (const char f : failed) {
+        if (f) return ComputeGroupList(problem, scorer, members);
+      }
+      return MergeShardTopK(partials, problem.k);
+    };
+  }
+
+  FormationResult result = SelectAndAssemble(
+      problem, scorer, std::move(scored), residual ? &residual : nullptr);
+  result.algorithm = GreedyFormer::AlgorithmName(problem);
+  return result;
+}
+
+}  // namespace groupform::core

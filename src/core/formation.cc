@@ -190,28 +190,38 @@ std::vector<GroupScore> ScoreGroups(
             static_cast<ItemId>(shard.end));
       });
 
-  // Serial merge, shards in index order. Exact: an item in the global
-  // top-k is necessarily in its own shard's top-k, and re-sorting the
-  // union under the library tie rule (a strict total order, items being
-  // unique) reproduces the unsharded sequence.
-  std::vector<grouprec::ScoredItem> merged;
+  // Serial merge, shards in index order (MergeShardTopK).
   for (std::size_t i = 0; i < shards.size();) {
     const std::size_t g = shards[i].group;
-    merged.clear();
-    for (; i < shards.size() && shards[i].group == g; ++i) {
-      const auto& items = partials[i].items;
-      merged.insert(merged.end(), items.begin(), items.end());
-    }
-    std::sort(merged.begin(), merged.end(), grouprec::BetterScoredItem);
-    if (merged.size() > static_cast<std::size_t>(problem.k)) {
-      merged.resize(static_cast<std::size_t>(problem.k));
-    }
+    const std::size_t first = i;
+    while (i < shards.size() && shards[i].group == g) ++i;
     GroupScore& out = scores[g];
-    out.list.items = merged;
+    out.list = MergeShardTopK(
+        std::span<const grouprec::GroupTopK>(partials).subspan(first,
+                                                               i - first),
+        problem.k);
     out.satisfaction = AggregateListSatisfaction(
         problem, static_cast<int>(groups[g].size()), out.list);
   }
   return scores;
+}
+
+grouprec::GroupTopK MergeShardTopK(
+    std::span<const grouprec::GroupTopK> partials, int k) {
+  grouprec::GroupTopK merged;
+  for (const grouprec::GroupTopK& partial : partials) {
+    merged.items.insert(merged.items.end(), partial.items.begin(),
+                        partial.items.end());
+  }
+  // Exact: an item in the global top-k is necessarily in its own shard's
+  // top-k, and re-sorting the union under the library tie rule (a strict
+  // total order, items being unique) reproduces the unsharded sequence.
+  std::sort(merged.items.begin(), merged.items.end(),
+            grouprec::BetterScoredItem);
+  if (merged.items.size() > static_cast<std::size_t>(k)) {
+    merged.items.resize(static_cast<std::size_t>(k));
+  }
+  return merged;
 }
 
 double MissingSlotScore(const FormationProblem& problem, int group_size) {

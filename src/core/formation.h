@@ -144,6 +144,17 @@ std::vector<GroupScore> ScoreGroups(
     std::span<const std::vector<UserId>> groups,
     const ScoreGroupsOptions& options = ScoreGroupsOptions());
 
+/// The exact merge of per-shard partial top-k lists (PR 3, DESIGN.md
+/// §10.3): concatenate the partials in shard index order, re-sort under
+/// the library tie rule (grouprec::BetterScoredItem — score desc, item
+/// asc, a strict total order because items are unique across disjoint
+/// shards), truncate to k. Exact because an item in the global top-k is
+/// necessarily in its own shard's top-k. Shared by ScoreGroups'
+/// within-group sharding and the fleet broker's scatter/gather residual
+/// merge, so both paths are literally the same code.
+grouprec::GroupTopK MergeShardTopK(
+    std::span<const grouprec::GroupTopK> partials, int k);
+
 /// The score of a conceptual list slot no rated item can fill: the value an
 /// item unrated by every group member receives under the problem's missing
 /// policy and semantics.

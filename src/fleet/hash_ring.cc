@@ -1,0 +1,62 @@
+#include "fleet/hash_ring.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "common/strings.h"
+
+namespace groupform::fleet {
+
+std::uint64_t HashRing::HashKey(std::string_view key) {
+  // FNV-1a: stable across platforms and standard libraries, unlike
+  // std::hash — ring placement is part of the fleet's determinism
+  // contract.
+  std::uint64_t hash = 0xcbf29ce484222325ull;
+  for (const char c : key) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 0x100000001b3ull;
+  }
+  // Raw FNV-1a has almost no avalanche on trailing-byte differences:
+  // cache keys ending in a counter ("…:s41", "…:s42") land within a few
+  // multiples of the FNV prime of each other — one tiny arc of the ring,
+  // one worker. The murmur3 finalizer spreads them (and the virtual-node
+  // points, which share the "worker-i#j" shape) uniformly.
+  hash ^= hash >> 33;
+  hash *= 0xff51afd7ed558ccdull;
+  hash ^= hash >> 33;
+  hash *= 0xc4ceb9fe1a85ec53ull;
+  hash ^= hash >> 33;
+  return hash;
+}
+
+HashRing::HashRing(int num_workers, int virtual_nodes)
+    : num_workers_(num_workers) {
+  GF_CHECK(num_workers >= 1) << "HashRing needs at least one worker";
+  GF_CHECK(virtual_nodes >= 1) << "HashRing needs at least one point";
+  points_.reserve(static_cast<std::size_t>(num_workers) *
+                  static_cast<std::size_t>(virtual_nodes));
+  for (int worker = 0; worker < num_workers; ++worker) {
+    for (int node = 0; node < virtual_nodes; ++node) {
+      points_.push_back(
+          {HashKey(common::StrFormat("worker-%d#%d", worker, node)),
+           worker});
+    }
+  }
+  // Hash ties (vanishingly rare) break toward the lower worker id so the
+  // ring stays a deterministic function of its parameters.
+  std::sort(points_.begin(), points_.end(),
+            [](const Point& a, const Point& b) {
+              return a.hash != b.hash ? a.hash < b.hash
+                                      : a.worker < b.worker;
+            });
+}
+
+int HashRing::WorkerFor(std::string_view key) const {
+  const std::uint64_t hash = HashKey(key);
+  const auto it = std::lower_bound(
+      points_.begin(), points_.end(), hash,
+      [](const Point& point, std::uint64_t h) { return point.hash < h; });
+  return it != points_.end() ? it->worker : points_.front().worker;
+}
+
+}  // namespace groupform::fleet

@@ -1,0 +1,45 @@
+#ifndef GROUPFORM_FLEET_HASH_RING_H_
+#define GROUPFORM_FLEET_HASH_RING_H_
+
+// Consistent hashing for the broker's instance-affinity routing
+// (DESIGN.md §16.2): instance cache keys map to workers through a ring
+// of virtual nodes, so resizing the fleet from N to N+1 workers moves
+// only ~1/(N+1) of the keyspace — the other workers' instance caches
+// stay warm. The ring is deterministic: the same (num_workers,
+// virtual_nodes) pair routes every key identically in every process.
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+namespace groupform::fleet {
+
+class HashRing {
+ public:
+  /// A ring over workers [0, num_workers), each contributing
+  /// `virtual_nodes` points. num_workers must be >= 1.
+  explicit HashRing(int num_workers, int virtual_nodes = 64);
+
+  /// The worker owning `key`: the first ring point clockwise of the
+  /// key's hash.
+  int WorkerFor(std::string_view key) const;
+
+  int num_workers() const { return num_workers_; }
+
+  /// The stable 64-bit key hash the ring positions against (FNV-1a with
+  /// a murmur3 finalizer mix — exposed so tests can reason about
+  /// placement, and pinned by test so placement never drifts).
+  static std::uint64_t HashKey(std::string_view key);
+
+ private:
+  struct Point {
+    std::uint64_t hash = 0;
+    int worker = 0;
+  };
+  std::vector<Point> points_;  // sorted by hash
+  int num_workers_ = 1;
+};
+
+}  // namespace groupform::fleet
+
+#endif  // GROUPFORM_FLEET_HASH_RING_H_

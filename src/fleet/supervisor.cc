@@ -1,0 +1,223 @@
+#include "fleet/supervisor.h"
+
+#include <fcntl.h>
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <thread>
+#include <utility>
+
+#include "common/strings.h"
+#include "serve/client.h"
+
+namespace groupform::fleet {
+
+using common::Status;
+using common::StatusOr;
+using common::StrFormat;
+
+namespace {
+
+/// Reads the port a worker published, or -1 while the file is still
+/// missing or empty (the worker writes it only after its listener is
+/// bound).
+int ReadPortFile(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  if (f == nullptr) return -1;
+  int port = -1;
+  if (std::fscanf(f, "%d", &port) != 1) port = -1;
+  std::fclose(f);
+  return port > 0 && port <= 65535 ? port : -1;
+}
+
+}  // namespace
+
+std::string WorkerFleet::DefaultServerdPath() {
+  char buffer[4096];
+  const ssize_t len =
+      ::readlink("/proc/self/exe", buffer, sizeof(buffer) - 1);
+  if (len <= 0) return "groupform_serverd";
+  buffer[len] = '\0';
+  std::string path(buffer);
+  const std::size_t slash = path.find_last_of('/');
+  if (slash == std::string::npos) return "groupform_serverd";
+  return path.substr(0, slash + 1) + "groupform_serverd";
+}
+
+StatusOr<WorkerFleet> WorkerFleet::Spawn(const Options& options) {
+  if (options.num_workers < 1) {
+    return Status::InvalidArgument(StrFormat(
+        "num_workers must be >= 1, got %d", options.num_workers));
+  }
+  const std::string serverd = options.serverd_path.empty()
+                                  ? DefaultServerdPath()
+                                  : options.serverd_path;
+  if (::access(serverd.c_str(), X_OK) != 0) {
+    return Status::NotFound(
+        StrFormat("groupform_serverd not executable at %s: %s",
+                  serverd.c_str(), std::strerror(errno)));
+  }
+
+  WorkerFleet fleet;
+  for (int i = 0; i < options.num_workers; ++i) {
+    std::string port_file = StrFormat(
+        "/tmp/groupform_worker_%d_%d_XXXXXX", static_cast<int>(::getpid()),
+        i);
+    const int tmp_fd = ::mkstemp(port_file.data());
+    if (tmp_fd < 0) {
+      fleet.Stop();
+      return Status::Internal(
+          StrFormat("mkstemp(%s): %s", port_file.c_str(),
+                    std::strerror(errno)));
+    }
+    ::close(tmp_fd);
+    // The worker overwrites the (empty) file once bound; the poll below
+    // keys on "holds a parseable port", not existence.
+    ::unlink(port_file.c_str());
+
+    std::vector<std::string> args = {serverd, "--port", "0", "--port-file",
+                                     port_file};
+    if (options.threads > 0) {
+      args.push_back("--threads");
+      args.push_back(StrFormat("%d", options.threads));
+    }
+    if (options.cache_mb >= 0) {
+      args.push_back("--cache-mb");
+      args.push_back(StrFormat("%lld", options.cache_mb));
+    }
+
+    const pid_t pid = ::fork();
+    if (pid < 0) {
+      fleet.Stop();
+      return Status::Internal(
+          StrFormat("fork worker %d: %s", i, std::strerror(errno)));
+    }
+    if (pid == 0) {
+      // Child: exec the worker. Its stderr diagnostics pass through; a
+      // failed exec must not return into the parent's code.
+      std::vector<char*> argv;
+      argv.reserve(args.size() + 1);
+      for (std::string& arg : args) argv.push_back(arg.data());
+      argv.push_back(nullptr);
+      ::execv(serverd.c_str(), argv.data());
+      std::fprintf(stderr, "execv(%s): %s\n", serverd.c_str(),
+                   std::strerror(errno));
+      ::_exit(127);
+    }
+    fleet.pids_.push_back(pid);
+    fleet.port_files_.push_back(port_file);
+  }
+
+  // Wait for every worker to publish its bound port.
+  const auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::milliseconds(options.spawn_timeout_ms);
+  fleet.endpoints_.resize(fleet.pids_.size());
+  for (std::size_t i = 0; i < fleet.pids_.size(); ++i) {
+    for (;;) {
+      const int port = ReadPortFile(fleet.port_files_[i]);
+      if (port > 0) {
+        fleet.endpoints_[i] = Endpoint{"127.0.0.1", port};
+        break;
+      }
+      int wait_status = 0;
+      if (::waitpid(fleet.pids_[i], &wait_status, WNOHANG) ==
+          fleet.pids_[i]) {
+        fleet.pids_[i] = -1;  // already reaped
+        fleet.Stop();
+        return Status::Internal(StrFormat(
+            "worker %zu exited during startup (status %d)", i,
+            wait_status));
+      }
+      if (std::chrono::steady_clock::now() > deadline) {
+        fleet.Stop();
+        return Status::Unavailable(StrFormat(
+            "worker %zu did not publish a port within %d ms", i,
+            options.spawn_timeout_ms));
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+  }
+  return fleet;
+}
+
+WorkerFleet::WorkerFleet(WorkerFleet&& other) noexcept
+    : pids_(std::move(other.pids_)),
+      endpoints_(std::move(other.endpoints_)),
+      port_files_(std::move(other.port_files_)) {
+  other.pids_.clear();
+  other.port_files_.clear();
+}
+
+WorkerFleet& WorkerFleet::operator=(WorkerFleet&& other) noexcept {
+  if (this != &other) {
+    Stop();
+    pids_ = std::move(other.pids_);
+    endpoints_ = std::move(other.endpoints_);
+    port_files_ = std::move(other.port_files_);
+    other.pids_.clear();
+    other.port_files_.clear();
+  }
+  return *this;
+}
+
+WorkerFleet::~WorkerFleet() { Stop(); }
+
+Status WorkerFleet::HealthCheck() const {
+  for (std::size_t i = 0; i < endpoints_.size(); ++i) {
+    auto client_or = serve::WireClient::Connect(
+        endpoints_[i].host, endpoints_[i].port,
+        serve::WireClient::Wire::kBinary);
+    if (!client_or.ok()) {
+      return Status(client_or.status().code(),
+                    StrFormat("worker %zu (port %d): %s", i,
+                              endpoints_[i].port,
+                              client_or.status().message().c_str()));
+    }
+  }
+  return Status::Ok();
+}
+
+Status WorkerFleet::Kill(int index) {
+  if (index < 0 || index >= static_cast<int>(pids_.size())) {
+    return Status::InvalidArgument(
+        StrFormat("worker index %d outside the fleet [0, %zu)", index,
+                  pids_.size()));
+  }
+  const pid_t pid = pids_[static_cast<std::size_t>(index)];
+  if (pid <= 0) return Status::Ok();  // already gone
+  if (::kill(pid, SIGKILL) != 0 && errno != ESRCH) {
+    return Status::Internal(
+        StrFormat("kill(%d): %s", static_cast<int>(pid),
+                  std::strerror(errno)));
+  }
+  int wait_status = 0;
+  ::waitpid(pid, &wait_status, 0);
+  pids_[static_cast<std::size_t>(index)] = -1;
+  return Status::Ok();
+}
+
+void WorkerFleet::Stop() {
+  for (const pid_t pid : pids_) {
+    if (pid > 0) ::kill(pid, SIGTERM);
+  }
+  for (pid_t& pid : pids_) {
+    if (pid > 0) {
+      int wait_status = 0;
+      ::waitpid(pid, &wait_status, 0);
+      pid = -1;
+    }
+  }
+  for (const std::string& file : port_files_) {
+    ::unlink(file.c_str());
+  }
+  port_files_.clear();
+}
+
+}  // namespace groupform::fleet

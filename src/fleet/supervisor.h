@@ -1,0 +1,79 @@
+#ifndef GROUPFORM_FLEET_SUPERVISOR_H_
+#define GROUPFORM_FLEET_SUPERVISOR_H_
+
+// Worker-process supervision for the broker (DESIGN.md §16.4): spawns N
+// groupform_serverd processes on ephemeral ports, learns each bound port
+// through --port-file, health-checks the fleet with a binary-wire
+// handshake (the server's hello frame doubles as a liveness probe), and
+// tears everything down with SIGTERM + waitpid. Process-level only —
+// per-request failure policy (retry once, then ERR(UNAVAILABLE)) lives
+// in the broker session.
+
+#include <sys/types.h>
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "fleet/transport.h"
+
+namespace groupform::fleet {
+
+class WorkerFleet {
+ public:
+  struct Options {
+    /// Path to the groupform_serverd binary; empty resolves to the
+    /// sibling of the calling executable (/proc/self/exe's directory).
+    std::string serverd_path;
+    int num_workers = 2;
+    /// Per-worker --threads; 0 leaves the worker's own default.
+    int threads = 0;
+    /// Per-worker --cache-mb; negative leaves the worker's own default.
+    long long cache_mb = -1;
+    /// How long Spawn waits for every worker to publish its port.
+    int spawn_timeout_ms = 15000;
+  };
+
+  /// Spawns the workers and blocks until each has published its bound
+  /// port. On any failure the already-spawned workers are torn down
+  /// before the error returns.
+  static common::StatusOr<WorkerFleet> Spawn(const Options& options);
+
+  WorkerFleet(WorkerFleet&& other) noexcept;
+  WorkerFleet& operator=(WorkerFleet&& other) noexcept;
+  WorkerFleet(const WorkerFleet&) = delete;
+  WorkerFleet& operator=(const WorkerFleet&) = delete;
+  ~WorkerFleet();
+
+  /// One loopback endpoint per live worker, in spawn order.
+  const std::vector<Endpoint>& endpoints() const { return endpoints_; }
+
+  /// Connects to every worker on the binary wire and reads its hello
+  /// frame — the protocol-level "is this worker actually serving" probe.
+  common::Status HealthCheck() const;
+
+  /// SIGTERM + waitpid on every worker, idempotent. Also runs on
+  /// destruction.
+  void Stop();
+
+  /// Sends SIGKILL to worker `index` and reaps it — the failure-
+  /// injection hook the worker-kill tests use. The endpoint stays in the
+  /// list (the broker's per-request degrade policy is the subject under
+  /// test, not the supervisor's bookkeeping).
+  common::Status Kill(int index);
+
+  /// The conventional sibling path of groupform_serverd next to the
+  /// currently running executable.
+  static std::string DefaultServerdPath();
+
+ private:
+  WorkerFleet() = default;
+
+  std::vector<pid_t> pids_;
+  std::vector<Endpoint> endpoints_;
+  std::vector<std::string> port_files_;
+};
+
+}  // namespace groupform::fleet
+
+#endif  // GROUPFORM_FLEET_SUPERVISOR_H_

@@ -1,0 +1,56 @@
+#include "fleet/transport.h"
+
+#include <utility>
+
+#include "common/logging.h"
+#include "common/strings.h"
+
+namespace groupform::fleet {
+
+using common::Status;
+using common::StatusOr;
+
+TcpTransport::TcpTransport(std::vector<Endpoint> endpoints,
+                           serve::WireClient::Wire wire)
+    : endpoints_(std::move(endpoints)), wire_(wire) {
+  GF_CHECK(!endpoints_.empty()) << "TcpTransport needs at least one worker";
+  slots_.reserve(endpoints_.size());
+  for (std::size_t i = 0; i < endpoints_.size(); ++i) {
+    slots_.push_back(std::make_unique<Slot>());
+  }
+}
+
+StatusOr<std::string> TcpTransport::Call(int worker,
+                                         const std::string& line) {
+  if (worker < 0 || worker >= num_workers()) {
+    return Status::InvalidArgument(
+        common::StrFormat("worker %d outside the fleet [0, %d)", worker,
+                          num_workers()));
+  }
+  Slot& slot = *slots_[static_cast<std::size_t>(worker)];
+  const Endpoint& endpoint = endpoints_[static_cast<std::size_t>(worker)];
+  std::lock_guard<std::mutex> lock(slot.mu);
+  if (!slot.client.has_value()) {
+    auto client_or =
+        serve::WireClient::Connect(endpoint.host, endpoint.port, wire_);
+    if (!client_or.ok()) return client_or.status();
+    slot.client.emplace(std::move(*client_or));
+  }
+  auto response_or = slot.client->Call(line);
+  if (!response_or.ok()) {
+    // A failed connection is not resumable mid-stream (responses would
+    // no longer pair with requests); drop it and let the next call — or
+    // the broker's retry — reconnect.
+    slot.client.reset();
+  }
+  return response_or;
+}
+
+void TcpTransport::Reset(int worker) {
+  if (worker < 0 || worker >= num_workers()) return;
+  Slot& slot = *slots_[static_cast<std::size_t>(worker)];
+  std::lock_guard<std::mutex> lock(slot.mu);
+  slot.client.reset();
+}
+
+}  // namespace groupform::fleet

@@ -1,0 +1,77 @@
+#ifndef GROUPFORM_FLEET_TRANSPORT_H_
+#define GROUPFORM_FLEET_TRANSPORT_H_
+
+// The broker's worker-call seam (DESIGN.md §16.1), split goby3-style
+// from the session logic: BrokerSession decides *what* to send to
+// *which* worker, a Transport decides *how* it gets there. The
+// production TcpTransport pools one persistent serve::WireClient per
+// worker; tests substitute in-process fakes to exercise routing and
+// failure policy without sockets.
+
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "serve/client.h"
+
+namespace groupform::fleet {
+
+/// Where one worker listens.
+struct Endpoint {
+  std::string host = "127.0.0.1";
+  int port = 0;
+};
+
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  /// One RPC round trip: sends a canonical request document to `worker`
+  /// and returns its canonical response document. Any transport-level
+  /// failure (connect, send, short read) is a non-OK status; the broker
+  /// layers its retry/degrade policy on top.
+  virtual common::StatusOr<std::string> Call(int worker,
+                                             const std::string& line) = 0;
+
+  /// Drops any cached connection to `worker`, so the next Call starts
+  /// from a fresh connect. Called by the broker between retry attempts.
+  virtual void Reset(int /*worker*/) {}
+
+  virtual int num_workers() const = 0;
+};
+
+/// Persistent-connection TCP transport over serve::WireClient, one
+/// pooled connection per worker, lazily established. Thread-safe: a
+/// per-worker mutex serialises calls sharing a connection (WireClient is
+/// single-threaded by contract), while calls to different workers run
+/// concurrently. A failed call closes its connection — the next call
+/// reconnects, which is also how a respawned worker is picked up.
+class TcpTransport : public Transport {
+ public:
+  TcpTransport(std::vector<Endpoint> endpoints,
+               serve::WireClient::Wire wire);
+
+  common::StatusOr<std::string> Call(int worker,
+                                     const std::string& line) override;
+  void Reset(int worker) override;
+  int num_workers() const override {
+    return static_cast<int>(endpoints_.size());
+  }
+
+ private:
+  struct Slot {
+    std::mutex mu;
+    std::optional<serve::WireClient> client;  // guarded by mu
+  };
+
+  std::vector<Endpoint> endpoints_;
+  serve::WireClient::Wire wire_;
+  std::vector<std::unique_ptr<Slot>> slots_;
+};
+
+}  // namespace groupform::fleet
+
+#endif  // GROUPFORM_FLEET_TRANSPORT_H_

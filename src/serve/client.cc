@@ -74,9 +74,22 @@ common::StatusOr<WireClient> WireClient::Connect(const std::string& host,
     ::close(fd);
     return Status::InvalidArgument("not an IPv4 address: " + host);
   }
-  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
-    const Status status = Status::Internal(common::StrFormat(
-        "connect(%s:%d): %s", host.c_str(), port, std::strerror(errno)));
+  int rc;
+  do {
+    rc = ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
+    // A connect interrupted by a signal keeps progressing in the kernel;
+    // the retried call reports EISCONN once the handshake lands.
+  } while (rc < 0 && (errno == EINTR || errno == EALREADY));
+  if (rc < 0 && errno == EISCONN) rc = 0;
+  if (rc < 0) {
+    const std::string message = common::StrFormat(
+        "connect(%s:%d): %s", host.c_str(), port, std::strerror(errno));
+    // A refused connection means "no process is listening there" — the
+    // dead-worker signal the broker's retry policy keys on — so it gets
+    // UNAVAILABLE rather than the generic INTERNAL of other socket errors.
+    const Status status = errno == ECONNREFUSED
+                              ? Status::Unavailable(message)
+                              : Status::Internal(message);
     ::close(fd);
     return status;
   }

@@ -1,0 +1,31 @@
+#ifndef GROUPFORM_SERVE_LINE_HANDLER_H_
+#define GROUPFORM_SERVE_LINE_HANDLER_H_
+
+#include <chrono>
+#include <string>
+
+namespace groupform::serve {
+
+/// The transport/session seam (DESIGN.md §16.1): everything the wire
+/// layer (ServePipe, TcpServer, the GFB1 frame loop) needs from whatever
+/// answers requests. One request line (or frame payload) in, one
+/// response line out — the transports never look inside either. Session
+/// is the in-process implementation; fleet::BrokerSession forwards to a
+/// worker fleet through the same interface, which is what makes the
+/// broker protocol-transparent by construction.
+class LineHandler {
+ public:
+  virtual ~LineHandler() = default;
+
+  /// Answers one request line with one response line (no trailing
+  /// newline). Must never throw and never fail: every outcome, including
+  /// unparseable input, is a rendered `groupform.response/1` (or
+  /// batchresponse) line. Called concurrently from many pool jobs.
+  virtual std::string HandleLine(
+      const std::string& line,
+      std::chrono::steady_clock::time_point received_at) = 0;
+};
+
+}  // namespace groupform::serve
+
+#endif  // GROUPFORM_SERVE_LINE_HANDLER_H_

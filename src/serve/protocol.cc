@@ -711,7 +711,7 @@ StatusOr<common::StatusCode> StatusCodeFromString(const std::string& name) {
         common::StatusCode::kFailedPrecondition,
         common::StatusCode::kResourceExhausted,
         common::StatusCode::kUnimplemented, common::StatusCode::kInternal,
-        common::StatusCode::kDataLoss}) {
+        common::StatusCode::kDataLoss, common::StatusCode::kUnavailable}) {
     if (name == common::StatusCodeToString(code)) return code;
   }
   return Status::InvalidArgument("unknown status code \"" + name + "\"");
@@ -1133,6 +1133,125 @@ std::string RenderBatchResponse(const BatchResponse& batch) {
   return writer.str();
 }
 
+namespace {
+
+std::string RenderEnvelopeFromDocs(const char* schema, const char* key,
+                                   const std::string& id,
+                                   std::span<const std::string> docs) {
+  eval::JsonWriter writer;
+  writer.BeginObject();
+  writer.Key("schema").String(schema);
+  writer.Key("id").String(id);
+  writer.Key(key).BeginArray();
+  for (const std::string& doc : docs) {
+    writer.Raw(doc);
+  }
+  writer.EndArray();
+  writer.EndObject();
+  return writer.str();
+}
+
+// A raw scan over a canonical envelope, not a JSON parse: the whole
+// point is returning each element's bytes untouched. The canonical
+// renderer fixes the key order, so the prefix is literal; the id value
+// is walked escape-aware (ids are client-chosen and may contain
+// anything, but an unescaped '"' cannot appear inside a JSON string).
+StatusOr<std::vector<std::string>> SplitEnvelopeDocs(
+    const std::string& line, const char* schema, const char* key) {
+  const std::string prefix =
+      common::StrFormat("{\"schema\":\"%s\",\"id\":\"", schema);
+  const std::string array_key = common::StrFormat(",\"%s\":[", key);
+  const auto malformed = [schema] {
+    return Status::InvalidArgument(
+        common::StrFormat("not a canonical %s envelope", schema));
+  };
+  if (line.compare(0, prefix.size(), prefix) != 0) {
+    return malformed();
+  }
+  std::size_t pos = prefix.size();
+  bool escape = false;
+  while (pos < line.size()) {
+    const char c = line[pos++];
+    if (escape) {
+      escape = false;
+    } else if (c == '\\') {
+      escape = true;
+    } else if (c == '"') {
+      break;
+    }
+  }
+  if (line.compare(pos, array_key.size(), array_key) != 0) {
+    return malformed();
+  }
+  pos += array_key.size();
+  std::vector<std::string> docs;
+  if (pos < line.size() && line[pos] == ']') {
+    ++pos;
+  } else {
+    std::size_t start = pos;
+    int depth = 0;
+    bool in_string = false;
+    escape = false;
+    for (; pos < line.size(); ++pos) {
+      const char c = line[pos];
+      if (in_string) {
+        if (escape) {
+          escape = false;
+        } else if (c == '\\') {
+          escape = true;
+        } else if (c == '"') {
+          in_string = false;
+        }
+        continue;
+      }
+      if (c == '"') {
+        in_string = true;
+      } else if (c == '{' || c == '[') {
+        ++depth;
+      } else if (c == '}' || c == ']') {
+        if (depth == 0) {
+          if (c != ']' || pos == start) return malformed();
+          docs.push_back(line.substr(start, pos - start));
+          ++pos;
+          break;
+        }
+        --depth;
+      } else if (c == ',' && depth == 0) {
+        if (pos == start) return malformed();
+        docs.push_back(line.substr(start, pos - start));
+        start = pos + 1;
+      }
+    }
+    if (in_string || depth != 0) return malformed();
+  }
+  if (line.compare(pos, std::string::npos, "}") != 0) return malformed();
+  return docs;
+}
+
+}  // namespace
+
+std::string RenderBatchResponseFromDocs(
+    const std::string& id, std::span<const std::string> response_docs) {
+  return RenderEnvelopeFromDocs(kBatchResponseSchema, "responses", id,
+                                response_docs);
+}
+
+common::StatusOr<std::vector<std::string>> SplitBatchResponseDocs(
+    const std::string& line) {
+  return SplitEnvelopeDocs(line, kBatchResponseSchema, "responses");
+}
+
+std::string RenderBatchRequestFromDocs(
+    const std::string& id, std::span<const std::string> request_docs) {
+  return RenderEnvelopeFromDocs(kBatchRequestSchema, "requests", id,
+                                request_docs);
+}
+
+common::StatusOr<std::vector<std::string>> SplitBatchRequestDocs(
+    const std::string& line) {
+  return SplitEnvelopeDocs(line, kBatchRequestSchema, "requests");
+}
+
 common::StatusOr<BatchResponse> ParseBatchResponseLine(
     const std::string& line) {
   JsonParser parser(line);
@@ -1166,6 +1285,244 @@ common::StatusOr<BatchResponse> ParseBatchResponseLine(
   return batch;
 }
 
+// ---------------------------------------------------------------------------
+// Shard verbs (DESIGN.md §16.3)
+
+namespace {
+
+void RenderShardList(eval::JsonWriter& writer, const ShardList& list) {
+  writer.BeginObject();
+  writer.Key("items").BeginArray();
+  for (const ItemId item : list.items) writer.Int(item);
+  writer.EndArray();
+  writer.Key("scores").BeginArray();
+  for (const double score : list.scores) writer.Number(score);
+  writer.EndArray();
+  writer.EndObject();
+}
+
+StatusOr<ShardList> ParseShardList(const char* key, const JsonValue& value) {
+  if (value.type != JsonValue::Type::kObject) {
+    return WrongType(key, value, "object");
+  }
+  const JsonValue* items = value.Find("items");
+  const JsonValue* scores = value.Find("scores");
+  if (items == nullptr || items->type != JsonValue::Type::kArray ||
+      scores == nullptr || scores->type != JsonValue::Type::kArray) {
+    return Status::InvalidArgument(common::StrFormat(
+        "field \"%s\": expected \"items\" and \"scores\" arrays", key));
+  }
+  if (items->array.size() != scores->array.size()) {
+    return Status::InvalidArgument(common::StrFormat(
+        "field \"%s\": %zu items vs %zu scores", key, items->array.size(),
+        scores->array.size()));
+  }
+  ShardList list;
+  list.items.reserve(items->array.size());
+  list.scores.reserve(scores->array.size());
+  for (const JsonValue& element : items->array) {
+    GF_ASSIGN_OR_RETURN(const std::int32_t item, IdFromNumber(element, key));
+    list.items.push_back(item);
+  }
+  for (const JsonValue& element : scores->array) {
+    if (element.type != JsonValue::Type::kNumber) {
+      return WrongType(key, element, "number");
+    }
+    list.scores.push_back(element.number);
+  }
+  return list;
+}
+
+common::StatusOr<ShardRequest> ParseShardRequestDoc(const JsonValue& root) {
+  if (root.type != JsonValue::Type::kObject) {
+    return Status::InvalidArgument("shard request is not a JSON object");
+  }
+  GF_ASSIGN_OR_RETURN(const std::string schema,
+                      FieldString(root, "schema", std::nullopt));
+  if (schema != kShardRequestSchema) {
+    return Status::InvalidArgument(
+        common::StrFormat("field \"schema\": expected \"%s\", got \"%s\"",
+                          kShardRequestSchema, schema.c_str()));
+  }
+  ShardRequest request;
+  GF_ASSIGN_OR_RETURN(request.id, FieldString(root, "id", std::string()));
+  GF_ASSIGN_OR_RETURN(request.phase,
+                      FieldString(root, "phase", std::nullopt));
+  GF_RETURN_IF_ERROR(
+      CheckOneOf("phase", request.phase, {"topk_users", "topk_items"}));
+  const JsonValue* instance = root.Find("instance");
+  if (instance == nullptr) {
+    return Status::InvalidArgument("missing required field \"instance\"");
+  }
+  GF_ASSIGN_OR_RETURN(request.instance, ParseInstance(*instance));
+  GF_ASSIGN_OR_RETURN(request.problem, ParseProblem(root.Find("problem")));
+  if (request.phase == "topk_users") {
+    GF_ASSIGN_OR_RETURN(const long long begin,
+                        FieldInt(root, "user_begin", 0, /*min_value=*/0,
+                                 kMaxInt32Field));
+    GF_ASSIGN_OR_RETURN(const long long end,
+                        FieldInt(root, "user_end", 0, /*min_value=*/0,
+                                 kMaxInt32Field));
+    if (end < begin) {
+      return Status::InvalidArgument(common::StrFormat(
+          "field \"user_end\": %lld is before user_begin %lld", end, begin));
+    }
+    request.user_begin = static_cast<std::int32_t>(begin);
+    request.user_end = static_cast<std::int32_t>(end);
+    return request;
+  }
+  const JsonValue* members = root.Find("members");
+  if (members == nullptr || members->type != JsonValue::Type::kArray) {
+    return Status::InvalidArgument(
+        "missing required array field \"members\" (phase topk_items)");
+  }
+  request.members.reserve(members->array.size());
+  for (const JsonValue& element : members->array) {
+    GF_ASSIGN_OR_RETURN(const std::int32_t user,
+                        IdFromNumber(element, "members"));
+    request.members.push_back(user);
+  }
+  GF_ASSIGN_OR_RETURN(const long long begin,
+                      FieldInt(root, "item_begin", 0, /*min_value=*/0,
+                               kMaxInt32Field));
+  GF_ASSIGN_OR_RETURN(const long long end,
+                      FieldInt(root, "item_end", 0, /*min_value=*/0,
+                               kMaxInt32Field));
+  if (end < begin) {
+    return Status::InvalidArgument(common::StrFormat(
+        "field \"item_end\": %lld is before item_begin %lld", end, begin));
+  }
+  request.item_begin = static_cast<std::int32_t>(begin);
+  request.item_end = static_cast<std::int32_t>(end);
+  return request;
+}
+
+}  // namespace
+
+common::StatusOr<ShardRequest> ParseShardRequestLine(
+    const std::string& line) {
+  JsonParser parser(line);
+  GF_ASSIGN_OR_RETURN(const JsonValue root, parser.Parse());
+  return ParseShardRequestDoc(root);
+}
+
+std::string RenderShardRequest(const ShardRequest& request) {
+  eval::JsonWriter writer;
+  writer.BeginObject();
+  writer.Key("schema").String(kShardRequestSchema);
+  writer.Key("id").String(request.id);
+  writer.Key("phase").String(request.phase);
+  writer.Key("instance");
+  RenderInstance(writer, request.instance);
+  writer.Key("problem").BeginObject();
+  writer.Key("semantics").String(request.problem.semantics);
+  writer.Key("aggregation").String(request.problem.aggregation);
+  writer.Key("missing").String(request.problem.missing);
+  writer.Key("k").Int(request.problem.k);
+  writer.Key("groups").Int(request.problem.groups);
+  writer.Key("candidate_depth").Int(request.problem.candidate_depth);
+  writer.EndObject();
+  if (request.phase == "topk_items") {
+    writer.Key("members").BeginArray();
+    for (const UserId user : request.members) writer.Int(user);
+    writer.EndArray();
+    writer.Key("item_begin").Int(request.item_begin);
+    writer.Key("item_end").Int(request.item_end);
+  } else {
+    writer.Key("user_begin").Int(request.user_begin);
+    writer.Key("user_end").Int(request.user_end);
+  }
+  writer.EndObject();
+  return writer.str();
+}
+
+std::string RenderShardResponse(const ShardResponse& response) {
+  eval::JsonWriter writer;
+  writer.BeginObject();
+  writer.Key("schema").String(kShardResponseSchema);
+  writer.Key("id").String(response.id);
+  writer.Key("state").String(response.ok ? "OK" : "ERR");
+  if (!response.ok) {
+    writer.Key("code").String(
+        common::StatusCodeToString(response.status.code()));
+    writer.Key("message").String(response.status.message());
+    writer.EndObject();
+    return writer.str();
+  }
+  writer.Key("phase").String(response.phase);
+  if (response.phase == "topk_items") {
+    writer.Key("list");
+    RenderShardList(writer, response.list);
+  } else {
+    writer.Key("users").BeginArray();
+    for (const ShardList& list : response.users) {
+      RenderShardList(writer, list);
+    }
+    writer.EndArray();
+  }
+  writer.EndObject();
+  return writer.str();
+}
+
+common::StatusOr<ShardResponse> ParseShardResponseLine(
+    const std::string& line) {
+  JsonParser parser(line);
+  GF_ASSIGN_OR_RETURN(const JsonValue root, parser.Parse());
+  if (root.type != JsonValue::Type::kObject) {
+    return Status::InvalidArgument("shard response is not a JSON object");
+  }
+  GF_ASSIGN_OR_RETURN(const std::string schema,
+                      FieldString(root, "schema", std::nullopt));
+  if (schema != kShardResponseSchema) {
+    return Status::InvalidArgument(
+        common::StrFormat("field \"schema\": expected \"%s\", got \"%s\"",
+                          kShardResponseSchema, schema.c_str()));
+  }
+  ShardResponse response;
+  GF_ASSIGN_OR_RETURN(response.id, FieldString(root, "id", std::string()));
+  GF_ASSIGN_OR_RETURN(const std::string state,
+                      FieldString(root, "state", std::nullopt));
+  if (state == "ERR") {
+    response.ok = false;
+    GF_ASSIGN_OR_RETURN(const std::string code,
+                        FieldString(root, "code", std::nullopt));
+    GF_ASSIGN_OR_RETURN(const common::StatusCode parsed,
+                        StatusCodeFromString(code));
+    GF_ASSIGN_OR_RETURN(const std::string message,
+                        FieldString(root, "message", std::string()));
+    response.status = common::Status(parsed, message);
+    return response;
+  }
+  if (state != "OK") {
+    return Status::InvalidArgument("field \"state\": expected OK or ERR");
+  }
+  GF_ASSIGN_OR_RETURN(response.phase,
+                      FieldString(root, "phase", std::nullopt));
+  GF_RETURN_IF_ERROR(
+      CheckOneOf("phase", response.phase, {"topk_users", "topk_items"}));
+  if (response.phase == "topk_items") {
+    const JsonValue* list = root.Find("list");
+    if (list == nullptr) {
+      return Status::InvalidArgument("missing required field \"list\"");
+    }
+    GF_ASSIGN_OR_RETURN(response.list, ParseShardList("list", *list));
+    return response;
+  }
+  const JsonValue* users = root.Find("users");
+  if (users == nullptr || users->type != JsonValue::Type::kArray) {
+    return Status::InvalidArgument(
+        "missing required array field \"users\"");
+  }
+  response.users.reserve(users->array.size());
+  for (std::size_t i = 0; i < users->array.size(); ++i) {
+    common::StatusOr<ShardList> list =
+        ParseShardList("users", users->array[i]);
+    if (!list.ok()) return AtElement("users", i, list.status());
+    response.users.push_back(*std::move(list));
+  }
+  return response;
+}
+
 common::StatusOr<AnyRequest> ParseAnyRequestLine(const std::string& line) {
   JsonParser parser(line);
   GF_ASSIGN_OR_RETURN(const JsonValue root, parser.Parse());
@@ -1178,6 +1535,11 @@ common::StatusOr<AnyRequest> ParseAnyRequestLine(const std::string& line) {
   if (schema == kBatchRequestSchema) {
     any.is_batch = true;
     GF_ASSIGN_OR_RETURN(any.batch, ParseBatchRequestDoc(root));
+    return any;
+  }
+  if (schema == kShardRequestSchema) {
+    any.is_shard = true;
+    GF_ASSIGN_OR_RETURN(any.shard, ParseShardRequestDoc(root));
     return any;
   }
   GF_ASSIGN_OR_RETURN(any.request, ParseRequestDoc(root));

@@ -64,9 +64,9 @@ class PipelinedExecutor {
     bool batch = false;
   };
 
-  PipelinedExecutor(Session& session, int max_inflight,
+  PipelinedExecutor(LineHandler& handler, int max_inflight,
                     std::function<bool(const Item&)> write_item)
-      : session_(session),
+      : handler_(handler),
         // Resolved once: Shared() takes a global lock, which would
         // otherwise serialize every connection's per-request path.
         pool_(common::ThreadPool::Shared()),
@@ -102,7 +102,7 @@ class PipelinedExecutor {
     const auto received = std::chrono::steady_clock::now();
     auto future =
         pool_.Submit([this, slot, line = std::move(line), received] {
-          slot->payload = session_.HandleLine(line, received);
+          slot->payload = handler_.HandleLine(line, received);
         });
     {
       std::lock_guard<std::mutex> lock(mu_);
@@ -173,7 +173,7 @@ class PipelinedExecutor {
     }
   }
 
-  Session& session_;
+  LineHandler& handler_;
   common::ThreadPool& pool_;
   const int max_inflight_;
   const std::function<bool(const Item&)> write_item_;
@@ -267,10 +267,10 @@ SessionConfig SessionConfigFromEnv() {
   return config;
 }
 
-long long ServePipe(Session& session, std::istream& in, std::ostream& out,
+long long ServePipe(LineHandler& handler, std::istream& in, std::ostream& out,
                     int max_inflight) {
   PipelinedExecutor executor(
-      session, max_inflight,
+      handler, max_inflight,
       [&out](const PipelinedExecutor::Item& item) {
         out << item.payload << '\n';
         out.flush();
@@ -291,8 +291,8 @@ long long ServePipe(Session& session, std::istream& in, std::ostream& out,
   return executor.served();
 }
 
-TcpServer::TcpServer(Session& session, ServerConfig config)
-    : session_(session), config_(config) {}
+TcpServer::TcpServer(LineHandler& handler, ServerConfig config)
+    : handler_(handler), config_(config) {}
 
 TcpServer::~TcpServer() {
   Shutdown();
@@ -458,7 +458,7 @@ void TcpServer::HandleConnection(int fd) {
 void TcpServer::HandleJsonConnection(int fd, std::string pending,
                                      bool recv_error, bool eof) {
   PipelinedExecutor executor(
-      session_, config_.max_inflight,
+      handler_, config_.max_inflight,
       [fd](const PipelinedExecutor::Item& item) {
         return SendAll(fd, item.payload + "\n");
       });
@@ -532,7 +532,7 @@ void TcpServer::HandleFramedConnection(int fd, std::string pending) {
   // over-sends past zero credits degrades to TCP backpressure against
   // the same bound instead of gaining queue depth.
   PipelinedExecutor executor(
-      session_, credits, [fd](const PipelinedExecutor::Item& item) {
+      handler_, credits, [fd](const PipelinedExecutor::Item& item) {
         // Every retired response hands its window slot back: 1 credit.
         return SendAll(fd, EncodeFrame(item.batch
                                            ? FrameType::kBatchResponse

@@ -35,6 +35,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "serve/line_handler.h"
 #include "serve/session.h"
 
 namespace groupform::serve {
@@ -76,8 +77,8 @@ inline constexpr std::int64_t kMaxRequestLineBytes = 64ll * 1024 * 1024;
 /// request line to `out` in request order (responses are flushed as they
 /// retire, so a pipelined client sees them stream). Empty lines are
 /// ignored. Returns the number of requests served.
-long long ServePipe(Session& session, std::istream& in, std::ostream& out,
-                    int max_inflight);
+long long ServePipe(LineHandler& handler, std::istream& in,
+                    std::ostream& out, int max_inflight);
 
 /// TCP mode. Start() binds and listens; Serve() accepts until Shutdown()
 /// closes the listener (each connection gets its own thread running the
@@ -85,7 +86,7 @@ long long ServePipe(Session& session, std::istream& in, std::ostream& out,
 /// handler; in-flight connections drain before Serve() returns.
 class TcpServer {
  public:
-  TcpServer(Session& session, ServerConfig config);
+  TcpServer(LineHandler& handler, ServerConfig config);
   ~TcpServer();
 
   TcpServer(const TcpServer&) = delete;
@@ -113,7 +114,7 @@ class TcpServer {
   /// destructor wait them out.
   void WaitForConnections();
 
-  Session& session_;
+  LineHandler& handler_;
   const ServerConfig config_;
   /// Atomic so the signal-handler path of Shutdown() cannot race Serve().
   std::atomic<int> listen_fd_{-1};

@@ -1,0 +1,200 @@
+// The broker's failure policy (DESIGN.md §16.5): a dead worker answers
+// its requests with ERR(UNAVAILABLE) after the bounded retry — the
+// stream never hangs — and a worker that comes back is picked up on the
+// next call through a fresh connection. Also pins the client-side
+// mapping this rests on: connecting to a closed port is UNAVAILABLE,
+// not a generic I/O error.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+#include "common/thread_pool.h"
+#include "fleet/broker.h"
+#include "fleet/transport.h"
+#include "serve/client.h"
+#include "serve/protocol.h"
+#include "serve/server.h"
+#include "serve/session.h"
+#include "solvers/builtin.h"
+
+namespace groupform::fleet {
+namespace {
+
+serve::Request SmallRequest(const std::string& id) {
+  serve::Request request;
+  request.id = id;
+  request.solver = "greedy";
+  request.instance.kind = "dense";
+  request.instance.users = 6;
+  request.instance.items = 4;
+  request.instance.clusters = 2;
+  request.instance.seed = 11;
+  request.problem.k = 2;
+  request.problem.groups = 2;
+  return request;
+}
+
+class BrokerFailureTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    solvers::EnsureBuiltinSolversRegistered();
+    common::ThreadPool::SetDefaultThreadCount(2);
+  }
+  void TearDown() override {
+    common::ThreadPool::SetDefaultThreadCount(0);
+  }
+};
+
+TEST_F(BrokerFailureTest, ConnectToClosedPortIsUnavailable) {
+  // Bind-then-close so the port is known free: nothing listens on it.
+  int closed_port = 0;
+  {
+    serve::Session session;
+    serve::ServerConfig config;
+    config.port = 0;
+    serve::TcpServer server(session, config);
+    ASSERT_TRUE(server.Start().ok());
+    closed_port = server.port();
+    server.Shutdown();
+  }
+  const auto client_or = serve::WireClient::Connect(
+      "127.0.0.1", closed_port, serve::WireClient::Wire::kBinary);
+  ASSERT_FALSE(client_or.ok());
+  EXPECT_EQ(client_or.status().code(), common::StatusCode::kUnavailable)
+      << client_or.status();
+}
+
+TEST_F(BrokerFailureTest, DeadWorkerAnswersErrUnavailableWithoutHanging) {
+  serve::Session session;
+  serve::ServerConfig config;
+  config.port = 0;
+  config.max_inflight = 4;
+  auto server = std::make_unique<serve::TcpServer>(session, config);
+  ASSERT_TRUE(server->Start().ok());
+  serve::TcpServer* raw = server.get();
+  std::thread serving([raw] {
+    const auto status = raw->Serve();
+    EXPECT_TRUE(status.ok()) << status.ToString();
+  });
+  const int port = server->port();
+
+  TcpTransport transport({{"127.0.0.1", port}},
+                         serve::WireClient::Wire::kBinary);
+  BrokerConfig broker_config;
+  broker_config.retries = 1;
+  broker_config.backoff_ms = 1;
+  BrokerSession broker(broker_config, transport);
+  const auto now = std::chrono::steady_clock::now();
+
+  // Alive: an ordinary OK round trip through the fleet.
+  const std::string ok_line =
+      broker.HandleLine(serve::RenderRequest(SmallRequest("alive")), now);
+  const auto ok_response = serve::ParseResponseLine(ok_line);
+  ASSERT_TRUE(ok_response.ok()) << ok_response.status();
+  EXPECT_EQ(ok_response->state, eval::SweepCellState::kOk);
+
+  // Kill the only worker. (The pooled connection must drop first:
+  // TcpServer::Serve drains connections before returning, and a SIGKILLed
+  // process — the real dead-worker case, supervisor_test — closes its
+  // sockets as a side effect.) Every subsequent request must answer —
+  // not hang — with ERR(UNAVAILABLE) after the single bounded retry.
+  transport.Reset(0);
+  server->Shutdown();
+  serving.join();
+  server.reset();
+
+  for (const char* id : {"down-1", "down-2"}) {
+    const std::string err_line =
+        broker.HandleLine(serve::RenderRequest(SmallRequest(id)), now);
+    const auto err_response = serve::ParseResponseLine(err_line);
+    ASSERT_TRUE(err_response.ok()) << err_response.status();
+    EXPECT_EQ(err_response->id, id);
+    EXPECT_EQ(err_response->state, eval::SweepCellState::kErr);
+    EXPECT_EQ(err_response->status.code(),
+              common::StatusCode::kUnavailable)
+        << err_response->status;
+  }
+
+  // A replacement worker on the same port is picked up by the next call
+  // (the transport reconnects from scratch after a failure).
+  serve::Session session2;
+  serve::ServerConfig config2;
+  config2.port = port;
+  config2.max_inflight = 4;
+  serve::TcpServer revived(session2, config2);
+  ASSERT_TRUE(revived.Start().ok());
+  std::thread serving2([&revived] {
+    const auto status = revived.Serve();
+    EXPECT_TRUE(status.ok()) << status.ToString();
+  });
+  const std::string back_line =
+      broker.HandleLine(serve::RenderRequest(SmallRequest("back")), now);
+  const auto back_response = serve::ParseResponseLine(back_line);
+  ASSERT_TRUE(back_response.ok()) << back_response.status();
+  EXPECT_EQ(back_response->state, eval::SweepCellState::kOk);
+  transport.Reset(0);  // release the connection so Serve() can drain
+  revived.Shutdown();
+  serving2.join();
+}
+
+TEST_F(BrokerFailureTest, OtherWorkersUnaffectedByOneDeadWorker) {
+  // Two workers; kill one; every request still answers (OK when routed
+  // to the live worker, ERR(UNAVAILABLE) when routed to the dead one),
+  // and at least one of a spread of instance keys lands on each side.
+  std::vector<std::unique_ptr<serve::Session>> sessions;
+  std::vector<std::unique_ptr<serve::TcpServer>> servers;
+  std::vector<std::thread> serving;
+  for (int i = 0; i < 2; ++i) {
+    sessions.push_back(std::make_unique<serve::Session>());
+    serve::ServerConfig config;
+    config.port = 0;
+    config.max_inflight = 4;
+    servers.push_back(
+        std::make_unique<serve::TcpServer>(*sessions.back(), config));
+    ASSERT_TRUE(servers.back()->Start().ok());
+    serve::TcpServer* raw = servers.back().get();
+    serving.emplace_back([raw] { (void)raw->Serve(); });
+  }
+  TcpTransport transport({{"127.0.0.1", servers[0]->port()},
+                          {"127.0.0.1", servers[1]->port()}},
+                         serve::WireClient::Wire::kBinary);
+  BrokerConfig broker_config;
+  broker_config.retries = 1;
+  broker_config.backoff_ms = 1;
+  BrokerSession broker(broker_config, transport);
+  const auto now = std::chrono::steady_clock::now();
+
+  servers[1]->Shutdown();
+  serving[1].join();
+  servers[1].reset();
+
+  int ok = 0, unavailable = 0;
+  for (std::uint64_t seed = 0; seed < 8; ++seed) {
+    serve::Request request = SmallRequest("spread");
+    request.instance.seed = 100 + seed;  // distinct cache keys
+    const std::string line =
+        broker.HandleLine(serve::RenderRequest(request), now);
+    const auto response = serve::ParseResponseLine(line);
+    ASSERT_TRUE(response.ok()) << response.status();
+    if (response->state == eval::SweepCellState::kOk) {
+      ++ok;
+    } else {
+      EXPECT_EQ(response->status.code(), common::StatusCode::kUnavailable);
+      ++unavailable;
+    }
+  }
+  EXPECT_GT(ok, 0);
+  EXPECT_GT(unavailable, 0);
+  transport.Reset(0);  // release the connection so Serve() can drain
+  transport.Reset(1);
+  servers[0]->Shutdown();
+  serving[0].join();
+}
+
+}  // namespace
+}  // namespace groupform::fleet

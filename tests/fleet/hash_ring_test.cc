@@ -1,0 +1,109 @@
+// The routing ring's three contracts (DESIGN.md §16.2): deterministic
+// placement, every worker owns a usable share of the keyspace, and
+// growing the fleet N→N+1 moves only ~1/(N+1) of the keys.
+#include "fleet/hash_ring.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/strings.h"
+
+namespace groupform::fleet {
+namespace {
+
+std::vector<std::string> SampleKeys(int count) {
+  std::vector<std::string> keys;
+  keys.reserve(static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    keys.push_back(common::StrFormat("dense:u%d:i%d:s%d", 100 + i,
+                                     40 + i % 7, i * 31));
+  }
+  return keys;
+}
+
+TEST(HashRingTest, DeterministicAcrossInstances) {
+  const HashRing a(4), b(4);
+  for (const std::string& key : SampleKeys(200)) {
+    EXPECT_EQ(a.WorkerFor(key), b.WorkerFor(key)) << key;
+  }
+}
+
+TEST(HashRingTest, HashKeyIsPinned) {
+  // Pinned constants (FNV-1a + murmur3 finalizer): the routing hash may
+  // never drift across stdlib or compiler versions, or a rolling fleet
+  // restart reshuffles every cache.
+  EXPECT_EQ(HashRing::HashKey(""), 0xefd01f60ba992926ull);
+  EXPECT_EQ(HashRing::HashKey("a"), 0x82a2a958a9bece5bull);
+  EXPECT_EQ(HashRing::HashKey("groupform"), HashRing::HashKey("groupform"));
+  EXPECT_NE(HashRing::HashKey("groupform"), HashRing::HashKey("groupforn"));
+}
+
+TEST(HashRingTest, TrailingCounterKeysSpread) {
+  // The regression that motivated the finalizer: cache keys that differ
+  // only in a trailing counter ("…:s100", "…:s101", …) must not pile
+  // onto one worker (raw FNV-1a put all of them within a few multiples
+  // of the prime — one arc, one worker).
+  const int workers = 2;
+  const HashRing ring(workers);
+  std::vector<int> hits(workers, 0);
+  for (int seed = 0; seed < 64; ++seed) {
+    ++hits[static_cast<std::size_t>(
+        ring.WorkerFor(common::StrFormat("dense:6x4:c2:s%d", seed)))];
+  }
+  for (int worker = 0; worker < workers; ++worker) {
+    EXPECT_GT(hits[static_cast<std::size_t>(worker)], 8) << worker;
+  }
+}
+
+TEST(HashRingTest, SingleWorkerOwnsEverything) {
+  const HashRing ring(1);
+  for (const std::string& key : SampleKeys(50)) {
+    EXPECT_EQ(ring.WorkerFor(key), 0);
+  }
+}
+
+TEST(HashRingTest, EveryWorkerOwnsAShare) {
+  const int workers = 4;
+  const HashRing ring(workers);
+  std::vector<int> hits(workers, 0);
+  const auto keys = SampleKeys(1000);
+  for (const std::string& key : keys) {
+    const int worker = ring.WorkerFor(key);
+    ASSERT_GE(worker, 0);
+    ASSERT_LT(worker, workers);
+    ++hits[static_cast<std::size_t>(worker)];
+  }
+  // With 64 virtual nodes each, no worker should be starved or hog the
+  // ring; a loose band keeps this a contract, not a flake.
+  for (int worker = 0; worker < workers; ++worker) {
+    EXPECT_GT(hits[static_cast<std::size_t>(worker)], 50) << worker;
+    EXPECT_LT(hits[static_cast<std::size_t>(worker)], 600) << worker;
+  }
+}
+
+TEST(HashRingTest, GrowingTheFleetMovesAboutOneOverNKeys) {
+  for (const int n : {2, 4, 8}) {
+    const HashRing before(n), after(n + 1);
+    const auto keys = SampleKeys(2000);
+    int moved = 0;
+    for (const std::string& key : keys) {
+      const int from = before.WorkerFor(key);
+      const int to = after.WorkerFor(key);
+      if (from != to) {
+        ++moved;
+        // Consistent hashing only ever moves keys *to* the new worker;
+        // a key hopping between surviving workers would mean the ring
+        // is really modular hashing in disguise.
+        EXPECT_EQ(to, n) << key;
+      }
+    }
+    const double expected = static_cast<double>(keys.size()) / (n + 1);
+    EXPECT_GT(moved, expected * 0.5) << "n=" << n;
+    EXPECT_LT(moved, expected * 2.0) << "n=" << n;
+  }
+}
+
+}  // namespace
+}  // namespace groupform::fleet

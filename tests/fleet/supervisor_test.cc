@@ -1,0 +1,142 @@
+// WorkerFleet against the real groupform_serverd binary: spawn on
+// ephemeral ports, health-check over the binary wire, serve a request
+// end-to-end through a broker, SIGKILL a worker and watch the broker
+// degrade to ERR(UNAVAILABLE). Skips (not fails) when the serverd
+// binary isn't built next to the test tree.
+#include "fleet/supervisor.h"
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <string>
+
+#include "common/status.h"
+#include "common/thread_pool.h"
+#include "fleet/broker.h"
+#include "fleet/transport.h"
+#include "serve/protocol.h"
+#include "solvers/builtin.h"
+
+namespace groupform::fleet {
+namespace {
+
+/// build/tests/<test> → build/tools/groupform_serverd, or "" if absent.
+std::string ServerdPath() {
+  char buffer[4096];
+  const ssize_t len =
+      ::readlink("/proc/self/exe", buffer, sizeof(buffer) - 1);
+  if (len <= 0) return "";
+  std::string path(buffer, static_cast<std::size_t>(len));
+  const std::size_t slash = path.find_last_of('/');
+  if (slash == std::string::npos) return "";
+  path = path.substr(0, slash) + "/../tools/groupform_serverd";
+  return ::access(path.c_str(), X_OK) == 0 ? path : "";
+}
+
+serve::Request SmallRequest(const std::string& id, std::uint64_t seed) {
+  serve::Request request;
+  request.id = id;
+  request.solver = "greedy";
+  request.instance.kind = "dense";
+  request.instance.users = 6;
+  request.instance.items = 4;
+  request.instance.clusters = 2;
+  request.instance.seed = seed;
+  request.problem.k = 2;
+  request.problem.groups = 2;
+  return request;
+}
+
+class SupervisorTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    solvers::EnsureBuiltinSolversRegistered();
+    if (ServerdPath().empty()) {
+      GTEST_SKIP() << "groupform_serverd not built; skipping";
+    }
+  }
+  void TearDown() override {
+    common::ThreadPool::SetDefaultThreadCount(0);
+  }
+};
+
+TEST_F(SupervisorTest, SpawnHealthCheckServeKillStop) {
+  WorkerFleet::Options options;
+  options.serverd_path = ServerdPath();
+  options.num_workers = 2;
+  options.threads = 1;  // keep the 2-worker fleet cheap on small boxes
+  auto fleet_or = WorkerFleet::Spawn(options);
+  ASSERT_TRUE(fleet_or.ok()) << fleet_or.status();
+  WorkerFleet fleet = std::move(*fleet_or);
+  ASSERT_EQ(fleet.endpoints().size(), 2u);
+  for (const Endpoint& endpoint : fleet.endpoints()) {
+    EXPECT_GT(endpoint.port, 0);
+  }
+  ASSERT_TRUE(fleet.HealthCheck().ok());
+
+  TcpTransport transport(fleet.endpoints(),
+                         serve::WireClient::Wire::kBinary);
+  BrokerConfig config;
+  config.retries = 1;
+  config.backoff_ms = 1;
+  BrokerSession broker(config, transport);
+  const auto now = std::chrono::steady_clock::now();
+
+  // Both workers answer real solves through the broker.
+  int per_worker_ok[2] = {0, 0};
+  for (std::uint64_t seed = 0; seed < 6; ++seed) {
+    const serve::Request request = SmallRequest("s", 50 + seed);
+    const auto response = serve::ParseResponseLine(
+        broker.HandleLine(serve::RenderRequest(request), now));
+    ASSERT_TRUE(response.ok()) << response.status();
+    EXPECT_EQ(response->state, eval::SweepCellState::kOk)
+        << response->status;
+    ++per_worker_ok[broker.ring().WorkerFor(
+        request.instance.CanonicalKey())];
+  }
+  EXPECT_GT(per_worker_ok[0] + per_worker_ok[1], 0);
+
+  // SIGKILL worker 0; keys it owns must degrade to ERR(UNAVAILABLE)
+  // while worker 1 keeps answering OK.
+  ASSERT_TRUE(fleet.Kill(0).ok());
+  int ok = 0, unavailable = 0;
+  for (std::uint64_t seed = 0; seed < 8; ++seed) {
+    const serve::Request request = SmallRequest("k", 80 + seed);
+    const auto response = serve::ParseResponseLine(
+        broker.HandleLine(serve::RenderRequest(request), now));
+    ASSERT_TRUE(response.ok()) << response.status();
+    const int owner =
+        broker.ring().WorkerFor(request.instance.CanonicalKey());
+    if (owner == 0) {
+      EXPECT_EQ(response->state, eval::SweepCellState::kErr);
+      EXPECT_EQ(response->status.code(),
+                common::StatusCode::kUnavailable)
+          << response->status;
+      ++unavailable;
+    } else {
+      EXPECT_EQ(response->state, eval::SweepCellState::kOk)
+          << response->status;
+      ++ok;
+    }
+  }
+  EXPECT_EQ(ok + unavailable, 8);
+
+  // Workers drain client connections before exiting on SIGTERM; release
+  // the broker's pooled connections so Stop()'s waitpid can complete.
+  transport.Reset(0);
+  transport.Reset(1);
+  fleet.Stop();  // idempotent with the destructor
+}
+
+TEST_F(SupervisorTest, SpawnFailsCleanlyOnBadBinary) {
+  WorkerFleet::Options options;
+  options.serverd_path = "/nonexistent/groupform_serverd";
+  options.num_workers = 1;
+  options.spawn_timeout_ms = 2000;
+  const auto fleet_or = WorkerFleet::Spawn(options);
+  EXPECT_FALSE(fleet_or.ok());
+}
+
+}  // namespace
+}  // namespace groupform::fleet

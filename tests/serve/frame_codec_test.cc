@@ -235,6 +235,74 @@ TEST(BatchEnvelope, BatchResponseRoundTrips) {
   EXPECT_EQ(RenderBatchResponse(*parsed), line);
 }
 
+TEST(BatchEnvelope, SplitReturnsElementDocsVerbatim) {
+  // The broker's gather path: the splice inverse must hand back exactly
+  // the bytes the worker rendered, id escapes and nested structure
+  // notwithstanding.
+  Response ok;
+  ok.id = "a";
+  ok.solver = "greedy";
+  ok.objective = 1.0 / 3.0;  // a float whose formatting must not drift
+  ok.num_groups = 2;
+  Response err;
+  err.id = "tricky\"],\\id";
+  err.state = eval::SweepCellState::kErr;
+  err.status = common::Status::NotFound("missing [brace, \"quote\"]");
+  const std::vector<std::string> docs = {RenderResponse(ok),
+                                         RenderResponse(err)};
+  const std::string line =
+      RenderBatchResponseFromDocs("id with \"quotes\" and ]},", docs);
+  const auto split = SplitBatchResponseDocs(line);
+  ASSERT_TRUE(split.ok()) << split.status();
+  ASSERT_EQ(split->size(), docs.size());
+  EXPECT_EQ((*split)[0], docs[0]);
+  EXPECT_EQ((*split)[1], docs[1]);
+}
+
+TEST(BatchEnvelope, RequestSpliceRoundTripsThroughTheParser) {
+  // The scatter side: a canonical batch line splits into verbatim
+  // element docs, and sub-envelopes spliced from any subset of them
+  // parse back to the matching Request subset.
+  BatchRequest batch;
+  batch.id = "b-9";
+  batch.requests.push_back(SmallRequest("a"));
+  batch.requests.push_back(SmallRequest("b"));
+  batch.requests.push_back(SmallRequest("c"));
+  const std::string line = RenderBatchRequest(batch);
+  const auto split = SplitBatchRequestDocs(line);
+  ASSERT_TRUE(split.ok()) << split.status();
+  ASSERT_EQ(split->size(), 3u);
+  EXPECT_EQ((*split)[1], RenderRequest(batch.requests[1]));
+  const std::vector<std::string> subset = {(*split)[2], (*split)[0]};
+  const auto sub = ParseBatchRequestLine(
+      RenderBatchRequestFromDocs(batch.id, subset));
+  ASSERT_TRUE(sub.ok()) << sub.status();
+  ASSERT_EQ(sub->requests.size(), 2u);
+  EXPECT_EQ(sub->id, "b-9");
+  EXPECT_EQ(sub->requests[0].id, "c");
+  EXPECT_EQ(sub->requests[1].id, "a");
+}
+
+TEST(BatchEnvelope, SplitRejectsNonCanonicalEnvelopes) {
+  for (const std::string bad : {
+           std::string("{\"schema\":\"groupform.response/1\"}"),
+           std::string("{\"schema\":\"groupform.batchresponse/1\","
+                       "\"responses\":[],\"id\":\"x\"}"),  // wrong order
+           std::string("{\"schema\":\"groupform.batchresponse/1\","
+                       "\"id\":\"x\",\"responses\":[{}"),  // truncated
+           std::string("{\"schema\":\"groupform.batchresponse/1\","
+                       "\"id\":\"x\",\"responses\":[{},]}"),  // empty elt
+           std::string(""),
+       }) {
+    EXPECT_FALSE(SplitBatchResponseDocs(bad).ok()) << bad;
+  }
+  const auto empty = SplitBatchResponseDocs(
+      "{\"schema\":\"groupform.batchresponse/1\",\"id\":\"\","
+      "\"responses\":[]}");
+  ASSERT_TRUE(empty.ok()) << empty.status();
+  EXPECT_TRUE(empty->empty());
+}
+
 TEST(BatchEnvelope, ParseAnyDispatchesOnSchema) {
   const auto single = ParseAnyRequestLine(RenderRequest(SmallRequest("s")));
   ASSERT_TRUE(single.ok()) << single.status();

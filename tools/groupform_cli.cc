@@ -26,6 +26,12 @@
 //                           with credit backpressure (docs/PROTOCOL.md)
 //       --batch N           send N copies as one groupform.batch/1
 //                           envelope; prints one response line per element
+//       --repeat N          send the request (or batch) N times over one
+//                           persistent connection — the multi-request
+//                           client-reuse path (default 1)
+//       --keep-alive        with --repeat: pipeline the repeats through
+//                           the credit/window machinery instead of
+//                           waiting out each round trip
 //       --request-id ID     correlation id echoed by the server
 //       --deadline-ms N     per-request wall-clock budget (0 = none)
 //       --user-cap N        DNF cap on instance size (0 = unlimited)
@@ -283,15 +289,22 @@ common::StatusOr<serve::Request> BuildRequest(
 
 /// Shared tail of the `request` and `delta` subcommands: print the line
 /// under --dump, otherwise send it — over the wire --wire selects, as a
-/// --batch-sized groupform.batch/1 envelope when asked — and report the
-/// response(s), one line per element. Exit 0 when every response is
-/// OK/DNF (an expected omission), 1 for any ERR or transport failure.
+/// --batch-sized groupform.batch/1 envelope when asked, --repeat times
+/// over one persistent connection — and report the response(s), one line
+/// per element. Exit 0 when every response is OK/DNF (an expected
+/// omission), 1 for any ERR or transport failure.
 int DumpOrSendLine(const common::FlagParser& flags,
                    const std::string& line) {
   const long long batch = flags.GetInt("batch", 1);
   if (batch < 1 || batch > serve::kMaxBatchRequests) {
     std::fprintf(stderr, "--batch must be in [1, %d], got %lld\n",
                  serve::kMaxBatchRequests, batch);
+    return 2;
+  }
+  const long long repeat = flags.GetInt("repeat", 1);
+  if (repeat < 1 || repeat > 1000000) {
+    std::fprintf(stderr, "--repeat must be in [1, 1000000], got %lld\n",
+                 repeat);
     return 2;
   }
   const std::string wire_name = flags.GetString("wire", "json");
@@ -328,24 +341,45 @@ int DumpOrSendLine(const common::FlagParser& flags,
                  client.status().ToString().c_str());
     return 1;
   }
+  // All --repeat sends reuse this one connection. --keep-alive
+  // additionally pipelines them (requests stream ahead of responses as
+  // far as the server's window allows); without it every send is a
+  // strict round trip, still on the same socket.
   std::vector<std::string> responses;
   if (batch == 1) {
-    auto response = client->Call(line);
-    if (!response.ok()) {
-      std::fprintf(stderr, "request: %s\n",
-                   response.status().ToString().c_str());
-      return 1;
+    if (repeat > 1 && flags.GetBool("keep-alive", false)) {
+      auto pipelined = client->CallPipelined(
+          std::vector<std::string>(static_cast<std::size_t>(repeat), line));
+      if (!pipelined.ok()) {
+        std::fprintf(stderr, "request: %s\n",
+                     pipelined.status().ToString().c_str());
+        return 1;
+      }
+      responses = *std::move(pipelined);
+    } else {
+      for (long long i = 0; i < repeat; ++i) {
+        auto response = client->Call(line);
+        if (!response.ok()) {
+          std::fprintf(stderr, "request: %s\n",
+                       response.status().ToString().c_str());
+          return 1;
+        }
+        responses.push_back(*std::move(response));
+      }
     }
-    responses.push_back(*std::move(response));
   } else {
-    auto unpacked = client->CallBatch(
-        std::vector<std::string>(static_cast<std::size_t>(batch), line));
-    if (!unpacked.ok()) {
-      std::fprintf(stderr, "request: %s\n",
-                   unpacked.status().ToString().c_str());
-      return 1;
+    for (long long i = 0; i < repeat; ++i) {
+      auto unpacked = client->CallBatch(
+          std::vector<std::string>(static_cast<std::size_t>(batch), line));
+      if (!unpacked.ok()) {
+        std::fprintf(stderr, "request: %s\n",
+                     unpacked.status().ToString().c_str());
+        return 1;
+      }
+      for (std::string& response : *unpacked) {
+        responses.push_back(std::move(response));
+      }
     }
-    responses = *std::move(unpacked);
   }
   int exit_code = 0;
   for (const std::string& response : responses) {
@@ -511,7 +545,7 @@ void PrintHelp() {
       "suites)\n"
       "            request             send one request to a running\n"
       "            groupform_serverd (--host H --port P --wire json|binary\n"
-      "            --batch N, docs/PROTOCOL.md)\n"
+      "            --batch N --repeat N --keep-alive, docs/PROTOCOL.md)\n"
       "            delta               send one groupform.delta/1 line\n"
       "            (--deltas add:U,remove:U,rerate:U:I:R plus request "
       "flags)\n"

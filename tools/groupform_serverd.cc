@@ -32,6 +32,8 @@
 //                                               (GF_SERVE_CACHE_MB, 256)
 //   --threads N         pool size (GF_THREADS, else hardware; 1 = serial)
 //   --user-cap N        server-wide DNF cap for requests that set none
+//   --port-file PATH    write the bound TCP port to PATH once listening
+//                       (how a supervisor learns an ephemeral port)
 //
 // SIGINT/SIGTERM stop the TCP listener; in-flight requests drain first.
 // Diagnostics go to stderr; stdout carries only protocol traffic.
@@ -87,7 +89,8 @@ int RealMain(int argc, char** argv) {
         "  --cache-mb N      cache budget, 0 = unlimited "
         "(GF_SERVE_CACHE_MB)\n"
         "  --threads N       pool size (GF_THREADS)\n"
-        "  --user-cap N      default DNF cap for requests that set none\n");
+        "  --user-cap N      default DNF cap for requests that set none\n"
+        "  --port-file PATH  write the bound TCP port to PATH\n");
     return 0;
   }
   if (flags.Has("threads")) {
@@ -176,6 +179,19 @@ int RealMain(int argc, char** argv) {
   g_server = &server;
   std::signal(SIGINT, HandleStopSignal);
   std::signal(SIGTERM, HandleStopSignal);
+  if (flags.Has("port-file")) {
+    // Written after Start() bound the listener, so a supervisor that
+    // polls for this file can connect as soon as it reads the port.
+    const std::string port_file = flags.GetString("port-file", "");
+    std::FILE* f = std::fopen(port_file.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "groupform_serverd: cannot write --port-file %s\n",
+                   port_file.c_str());
+      return 1;
+    }
+    std::fprintf(f, "%d\n", server.port());
+    std::fclose(f);
+  }
   const char* wire_name =
       server_config.wire == serve::ServerConfig::Wire::kJson ? "json"
       : server_config.wire == serve::ServerConfig::Wire::kBinary

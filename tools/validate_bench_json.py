@@ -26,7 +26,12 @@ Default (bench) mode checks, for every BENCH_*.json in DIR
     (DESIGN.md §15): a "serve" object whose rows each report
     wire/mode/threads/requests/batch_size plus numeric rps and p50/p99
     latencies, with binary/batch rps >= json/single rps at every thread
-    count.
+    count;
+  * BENCH_fleet_*.json additionally carries the broker-fleet scaling
+    report (DESIGN.md §16): a "fleet" object whose rows each report
+    workers/wire/mode/requests/batch_size plus numeric rps and p50/p99
+    latencies, with fleet (2+ worker) rps >= single-worker rps for every
+    wire x mode.
 
 --protocol mode validates newline-delimited groupform.response/1 streams
 captured from groupform_serverd (docs/PROTOCOL.md): every line must parse,
@@ -216,6 +221,75 @@ def validate_serve(path, doc):
     return ok
 
 
+FLEET_ROW_WIRES = {"json", "binary"}
+FLEET_ROW_MODES = {"single", "batch"}
+
+FLEET_ROW_NUMERIC_KEYS = ["rps", "p50_ms", "p99_ms"]
+
+
+def validate_fleet(path, doc):
+    """BENCH_fleet_*.json: the broker-fleet scaling report (DESIGN.md §16).
+
+    Requires a "fleet" object with a non-empty rows array, each row fully
+    typed (workers/wire/mode/requests/batch_size plus numeric rps and
+    p50/p99 latencies), and — the tentpole headline — for every wire ×
+    mode, throughput at 2+ workers at least the single-worker (workers=1)
+    throughput: the fleet's aggregate instance cache must pay for the
+    broker tier.
+    """
+    fleet = doc.get("fleet")
+    if not isinstance(fleet, dict):
+        return fail(path, "fleet bench without a fleet object")
+    ok = True
+    for key in ("batch_size", "client_threads", "worker_cache_bytes"):
+        if not isinstance(fleet.get(key), int) or fleet[key] < 1:
+            ok = fail(path, f"fleet.{key} must be a positive integer")
+    rows = fleet.get("rows")
+    if not isinstance(rows, list) or not rows:
+        return fail(path, "fleet.rows must be a non-empty array")
+    rps = {}  # (wire, mode, workers) -> rps
+    for index, row in enumerate(rows):
+        where = f"fleet.rows[{index}]"
+        wire = row.get("wire")
+        mode = row.get("mode")
+        if wire not in FLEET_ROW_WIRES:
+            ok = fail(path, f"{where}: bad wire {wire!r}")
+        if mode not in FLEET_ROW_MODES:
+            ok = fail(path, f"{where}: bad mode {mode!r}")
+        for key in ("workers", "requests", "batch_size"):
+            if not isinstance(row.get(key), int) or row[key] < 1:
+                ok = fail(path, f"{where}: {key} must be a positive integer")
+        for key in FLEET_ROW_NUMERIC_KEYS:
+            value = row.get(key)
+            if not isinstance(value, (int, float)) or value < 0:
+                ok = fail(path, f"{where}: missing numeric {key!r}")
+        if ok:
+            rps[(wire, mode, row["workers"])] = row["rps"]
+    if not ok:
+        return ok
+    for wire in sorted({w for (w, _, _) in rps}):
+        for mode in sorted({m for (_, m, _) in rps}):
+            single = rps.get((wire, mode, 1))
+            fleet_best = max(
+                (r for (w, m, n), r in rps.items()
+                 if w == wire and m == mode and n > 1),
+                default=None,
+            )
+            if single is None or fleet_best is None:
+                ok = fail(
+                    path,
+                    f"{wire}/{mode}: need a workers=1 row and at least "
+                    f"one workers>1 row",
+                )
+            elif fleet_best < single:
+                ok = fail(
+                    path,
+                    f"{wire}/{mode}: fleet best {fleet_best:.0f} rps is "
+                    f"below single-worker {single:.0f} rps",
+                )
+    return ok
+
+
 def validate_file(path, required_solvers):
     try:
         doc = json.loads(path.read_text())
@@ -235,6 +309,8 @@ def validate_file(path, required_solvers):
         ok = validate_scale(path, doc) and ok
     if path.name.startswith("BENCH_serve_"):
         ok = validate_serve(path, doc) and ok
+    if path.name.startswith("BENCH_fleet_"):
+        ok = validate_fleet(path, doc) and ok
     if sweeps and doc.get("all_ok") and any(
         cell.get("state") == "ERR"
         for sweep in sweeps
@@ -256,6 +332,7 @@ STATUS_CODES = [
     "UNIMPLEMENTED",
     "INTERNAL",
     "DATA_LOSS",
+    "UNAVAILABLE",
 ]
 
 METRIC_KEYS = [
