@@ -1,0 +1,19 @@
+// Constrained formation vs the unconstrained GRD bound — the constraint
+// extension's quality artifact (DESIGN.md §17), not a paper figure.
+// Three panels on one shared quality matrix: per-group capacity, link-
+// pair load (must-link + cannot-link), and the fairness floor. Every
+// panel also runs plain greedy on the *same* constrained instance; it
+// ignores problem.constraints, so its objective is the unconstrained
+// upper reference the snapshot validator gates the constrained series
+// against (constrained objective <= greedy objective per x).
+//
+// Columns: objective (all panels) | floor violations (floor panel — the
+// residual count of users below min_user_sat, recomputed from the
+// partition). GF_BENCH_JSON=<dir> writes BENCH_constrained_ablation.json;
+// the checked-in snapshot lives at
+// bench/snapshots/BENCH_constrained_ablation.json.
+#include "eval/paper_sweeps.h"
+
+int main() {
+  return groupform::eval::RunPaperSuiteMain("constrained_ablation");
+}

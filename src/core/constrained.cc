@@ -1,7 +1,10 @@
 #include "core/constrained.h"
 
 #include <algorithm>
+#include <cstddef>
 #include <limits>
+#include <map>
+#include <utility>
 #include <vector>
 
 #include "common/strings.h"
@@ -16,10 +19,12 @@ using common::StrFormat;
 Status SizeConstraints::Validate(const FormationProblem& problem) const {
   GF_RETURN_IF_ERROR(problem.Validate());
   if (min_group_size < 1) {
-    return Status::InvalidArgument("min_group_size must be >= 1");
+    return Status::InvalidArgument(StrFormat(
+        "min_group_size must be >= 1, got %d", min_group_size));
   }
   if (max_group_size < 0) {
-    return Status::InvalidArgument("max_group_size must be >= 0");
+    return Status::InvalidArgument(StrFormat(
+        "max_group_size must be >= 0, got %d", max_group_size));
   }
   if (max_group_size > 0 && max_group_size < min_group_size) {
     return Status::InvalidArgument(
@@ -44,7 +49,8 @@ Status SizeConstraints::Validate(const FormationProblem& problem) const {
 namespace {
 
 /// Mean own-rating of `members` for the items of `list` under the
-/// problem's missing policy — the affinity used to choose merge targets.
+/// problem's missing policy — the affinity used to choose merge and
+/// relocation targets.
 double MeanAffinity(const FormationProblem& problem,
                     const std::vector<UserId>& members,
                     const grouprec::GroupTopK& list) {
@@ -63,7 +69,471 @@ double MeanAffinity(const FormationProblem& problem,
   return total / static_cast<double>(members.size() * list.size());
 }
 
+/// Slack under which a satisfaction exactly at the floor still counts as
+/// satisfying it (floating-point guard, not a semantic tolerance).
+constexpr double kFloorSlack = 1e-9;
+
+void SortedInsert(std::vector<UserId>& group, UserId user) {
+  group.insert(std::lower_bound(group.begin(), group.end(), user), user);
+}
+
+void SortedErase(std::vector<UserId>& group, UserId user) {
+  const auto it = std::lower_bound(group.begin(), group.end(), user);
+  if (it != group.end() && *it == user) group.erase(it);
+}
+
+/// The link structure of a spec over an n-user population: must-link
+/// atoms (transitive closure, each user mapped to the smallest user id
+/// of its atom) and per-user cannot-link adversaries.
+struct LinkContext {
+  /// user -> atom representative (== the user itself for singletons).
+  std::vector<UserId> atom_of;
+  /// representative -> ascending atom members (singletons included).
+  std::map<UserId, std::vector<UserId>> atoms;
+  /// user -> users it must not share a group with.
+  std::vector<std::vector<UserId>> enemies;
+
+  const std::vector<UserId>& AtomMembers(UserId user) const {
+    return atoms.at(atom_of[static_cast<std::size_t>(user)]);
+  }
+};
+
+StatusOr<LinkContext> BuildLinkContext(const ConstraintSpec& spec,
+                                       std::int64_t num_users,
+                                       int max_group_size) {
+  LinkContext context;
+  const std::size_t n = static_cast<std::size_t>(num_users);
+  std::vector<UserId> parent(n);
+  for (std::size_t u = 0; u < n; ++u) {
+    parent[u] = static_cast<UserId>(u);
+  }
+  const auto find = [&parent](UserId user) {
+    while (parent[static_cast<std::size_t>(user)] != user) {
+      parent[static_cast<std::size_t>(user)] =
+          parent[static_cast<std::size_t>(
+              parent[static_cast<std::size_t>(user)])];
+      user = parent[static_cast<std::size_t>(user)];
+    }
+    return user;
+  };
+  for (const auto& pair : spec.must_link) {
+    const UserId a = find(pair.first);
+    const UserId b = find(pair.second);
+    if (a == b) continue;
+    // The smaller representative wins, so representatives are stable
+    // (the smallest user id of the atom) regardless of pair order.
+    if (a < b) {
+      parent[static_cast<std::size_t>(b)] = a;
+    } else {
+      parent[static_cast<std::size_t>(a)] = b;
+    }
+  }
+  context.atom_of.resize(n);
+  for (std::size_t u = 0; u < n; ++u) {
+    const UserId rep = find(static_cast<UserId>(u));
+    context.atom_of[u] = rep;
+    context.atoms[rep].push_back(static_cast<UserId>(u));
+  }
+  context.enemies.resize(n);
+  for (const auto& pair : spec.cannot_link) {
+    if (context.atom_of[static_cast<std::size_t>(pair.first)] ==
+        context.atom_of[static_cast<std::size_t>(pair.second)]) {
+      return Status::InvalidArgument(StrFormat(
+          "must_link makes users %d and %d inseparable but cannot_link "
+          "forbids them sharing a group",
+          pair.first, pair.second));
+    }
+    context.enemies[static_cast<std::size_t>(pair.first)].push_back(
+        pair.second);
+    context.enemies[static_cast<std::size_t>(pair.second)].push_back(
+        pair.first);
+  }
+  for (auto& list : context.enemies) {
+    std::sort(list.begin(), list.end());
+    list.erase(std::unique(list.begin(), list.end()), list.end());
+  }
+  if (max_group_size > 0) {
+    for (const auto& [rep, members] : context.atoms) {
+      if (static_cast<int>(members.size()) > max_group_size) {
+        return Status::InvalidArgument(StrFormat(
+            "must_link fuses %zu users around user %d, above "
+            "max_group_size=%d",
+            members.size(), rep, max_group_size));
+      }
+    }
+  }
+  return context;
+}
+
+/// The mutable partition state of the link-aware pipeline: member lists
+/// (possibly with empty tombstone slots) plus the user -> group index.
+struct Partition {
+  std::vector<std::vector<UserId>> groups;
+  std::vector<int> group_of;
+
+  int NonEmptyCount() const {
+    int count = 0;
+    for (const auto& g : groups) count += g.empty() ? 0 : 1;
+    return count;
+  }
+
+  void MoveAtom(const std::vector<UserId>& atom, int to) {
+    for (const UserId user : atom) {
+      const int from = group_of[static_cast<std::size_t>(user)];
+      if (from == to) continue;
+      if (from >= 0) SortedErase(groups[static_cast<std::size_t>(from)],
+                                 user);
+      SortedInsert(groups[static_cast<std::size_t>(to)], user);
+      group_of[static_cast<std::size_t>(user)] = to;
+    }
+  }
+};
+
+Partition FromSeed(FormationResult seed, std::int64_t num_users) {
+  Partition partition;
+  partition.groups.reserve(seed.groups.size());
+  for (auto& g : seed.groups) partition.groups.push_back(std::move(g.members));
+  partition.group_of.assign(static_cast<std::size_t>(num_users), -1);
+  for (std::size_t g = 0; g < partition.groups.size(); ++g) {
+    for (const UserId user : partition.groups[g]) {
+      partition.group_of[static_cast<std::size_t>(user)] =
+          static_cast<int>(g);
+    }
+  }
+  return partition;
+}
+
+/// True when every member of `atom` may join group `target` without
+/// co-residing with one of its cannot-link adversaries.
+bool ConflictFree(const Partition& partition, const LinkContext& links,
+                  const std::vector<UserId>& atom, int target) {
+  for (const UserId member : atom) {
+    for (const UserId enemy :
+         links.enemies[static_cast<std::size_t>(member)]) {
+      if (partition.group_of[static_cast<std::size_t>(enemy)] == target) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+/// Finds (or opens) the group `atom` should move into: the conflict-free
+/// group with spare capacity whose current recommended list the atom
+/// likes most (ties to the lowest index); a fresh slot when no existing
+/// group is feasible and the group budget allows. -1 when nothing is
+/// feasible.
+int BestRelocationTarget(const FormationProblem& problem,
+                         const grouprec::GroupScorer& scorer,
+                         Partition& partition, const LinkContext& links,
+                         const std::vector<UserId>& atom, int exclude,
+                         int max_group_size) {
+  double best_affinity = -std::numeric_limits<double>::infinity();
+  int best = -1;
+  for (std::size_t h = 0; h < partition.groups.size(); ++h) {
+    if (static_cast<int>(h) == exclude) continue;
+    const auto& group = partition.groups[h];
+    if (group.empty()) continue;
+    if (max_group_size > 0 &&
+        static_cast<int>(group.size() + atom.size()) > max_group_size) {
+      continue;
+    }
+    if (!ConflictFree(partition, links, atom, static_cast<int>(h))) {
+      continue;
+    }
+    const auto list = ComputeGroupList(problem, scorer, group);
+    const double affinity = MeanAffinity(problem, atom, list);
+    if (affinity > best_affinity) {
+      best_affinity = affinity;
+      best = static_cast<int>(h);
+    }
+  }
+  if (best >= 0) return best;
+  if (partition.NonEmptyCount() < problem.max_groups) {
+    // Reuse the lowest empty tombstone slot before growing the vector.
+    for (std::size_t h = 0; h < partition.groups.size(); ++h) {
+      if (partition.groups[h].empty()) return static_cast<int>(h);
+    }
+    partition.groups.emplace_back();
+    return static_cast<int>(partition.groups.size()) - 1;
+  }
+  return -1;
+}
+
+/// Steps 2-4 of the link-aware pipeline (consolidate atoms, separate
+/// cannot-link pairs, repair sizes) applied to a greedy-seeded partition.
+Status RepairLinkedPartition(const FormationProblem& problem,
+                             const grouprec::GroupScorer& scorer,
+                             const ConstraintSpec& spec,
+                             const LinkContext& links,
+                             Partition& partition) {
+  // ---- Consolidate every multi-member atom into one group: the group
+  // holding most of its members, ties to the lowest group index. ----
+  for (const auto& [rep, members] : links.atoms) {
+    if (members.size() < 2) continue;
+    std::map<int, int> counts;
+    for (const UserId user : members) {
+      counts[partition.group_of[static_cast<std::size_t>(user)]]++;
+    }
+    int target = -1;
+    int best_count = 0;
+    for (const auto& [group, count] : counts) {
+      if (count > best_count) {
+        best_count = count;
+        target = group;
+      }
+    }
+    partition.MoveAtom(members, target);
+  }
+
+  // ---- Separate co-resident cannot-link pairs. One sweep suffices:
+  // every placement below is conflict-checked, so no move re-violates a
+  // pair handled earlier. Pairs are visited in normalized sorted order
+  // for determinism. ----
+  std::vector<std::pair<UserId, UserId>> pairs;
+  pairs.reserve(spec.cannot_link.size());
+  for (auto pair : spec.cannot_link) {
+    if (pair.second < pair.first) std::swap(pair.first, pair.second);
+    pairs.push_back(pair);
+  }
+  std::sort(pairs.begin(), pairs.end());
+  pairs.erase(std::unique(pairs.begin(), pairs.end()), pairs.end());
+  for (const auto& [a, b] : pairs) {
+    const int group_a = partition.group_of[static_cast<std::size_t>(a)];
+    const int group_b = partition.group_of[static_cast<std::size_t>(b)];
+    if (group_a != group_b) continue;
+    // Move the smaller atom (ties: the atom of the higher user id), so
+    // the disruption to the seed partition is minimal.
+    const auto& atom_a = links.AtomMembers(a);
+    const auto& atom_b = links.AtomMembers(b);
+    const auto& atom = atom_a.size() < atom_b.size() ? atom_a : atom_b;
+    const int target = BestRelocationTarget(
+        problem, scorer, partition, links, atom, group_a,
+        spec.max_group_size);
+    if (target < 0) {
+      return Status::InvalidArgument(StrFormat(
+          "cannot separate cannot_link pair (%d, %d): no conflict-free "
+          "group with capacity under max_group_size=%d and %d groups",
+          a, b, spec.max_group_size, problem.max_groups));
+    }
+    partition.MoveAtom(atom, target);
+  }
+
+  // ---- Size repair, atom-aware. Oversized groups shed atoms into
+  // feasible groups (capacity + conflicts respected, so neither repair
+  // can re-violate a link); undersized groups then merge whole into
+  // their best feasible target. ----
+  if (spec.max_group_size > 0) {
+    const int cap = spec.max_group_size;
+    for (std::size_t g = 0; g < partition.groups.size(); ++g) {
+      while (static_cast<int>(partition.groups[g].size()) > cap) {
+        // Candidate atoms, highest representative first (the back of the
+        // group moves, keeping the seed's head stable).
+        std::vector<UserId> reps;
+        for (const UserId user : partition.groups[g]) {
+          const UserId rep = links.atom_of[static_cast<std::size_t>(user)];
+          if (reps.empty() || reps.back() != rep) reps.push_back(rep);
+        }
+        std::sort(reps.begin(), reps.end());
+        reps.erase(std::unique(reps.begin(), reps.end()), reps.end());
+        bool moved = false;
+        for (auto it = reps.rbegin(); it != reps.rend(); ++it) {
+          const auto& atom = links.atoms.at(*it);
+          const int target = BestRelocationTarget(
+              problem, scorer, partition, links, atom,
+              static_cast<int>(g), cap);
+          if (target >= 0) {
+            partition.MoveAtom(atom, target);
+            moved = true;
+            break;
+          }
+        }
+        if (!moved) {
+          return Status::InvalidArgument(StrFormat(
+              "cannot satisfy max_group_size=%d within %d groups: a "
+              "group of %zu users has no relocatable atom",
+              cap, problem.max_groups, partition.groups[g].size()));
+        }
+      }
+    }
+  }
+  if (spec.min_group_size > 1) {
+    while (true) {
+      // Smallest undersized non-empty group first.
+      int smallest = -1;
+      for (std::size_t g = 0; g < partition.groups.size(); ++g) {
+        const auto& group = partition.groups[g];
+        if (group.empty()) continue;
+        if (static_cast<int>(group.size()) >= spec.min_group_size) {
+          continue;
+        }
+        if (smallest < 0 ||
+            group.size() <
+                partition.groups[static_cast<std::size_t>(smallest)]
+                    .size()) {
+          smallest = static_cast<int>(g);
+        }
+      }
+      if (smallest < 0) break;
+      const std::vector<UserId> members =
+          partition.groups[static_cast<std::size_t>(smallest)];
+      double best_affinity = -std::numeric_limits<double>::infinity();
+      int best = -1;
+      for (std::size_t h = 0; h < partition.groups.size(); ++h) {
+        if (static_cast<int>(h) == smallest) continue;
+        const auto& group = partition.groups[h];
+        if (group.empty()) continue;
+        if (spec.max_group_size > 0 &&
+            static_cast<int>(group.size() + members.size()) >
+                spec.max_group_size) {
+          continue;
+        }
+        if (!ConflictFree(partition, links, members,
+                          static_cast<int>(h))) {
+          continue;
+        }
+        const auto list = ComputeGroupList(problem, scorer, group);
+        const double affinity = MeanAffinity(problem, members, list);
+        if (affinity > best_affinity) {
+          best_affinity = affinity;
+          best = static_cast<int>(h);
+        }
+      }
+      if (best < 0) {
+        return Status::InvalidArgument(StrFormat(
+            "cannot reach min_group_size=%d under max_group_size=%d: a "
+            "group of %zu users has no feasible merge target",
+            spec.min_group_size, spec.max_group_size, members.size()));
+      }
+      partition.MoveAtom(members, best);
+    }
+  }
+  return Status::Ok();
+}
+
+/// Honest packaging: recompute every group's list and satisfaction from
+/// scratch, drop empty slots.
+FormationResult PackageResult(const FormationProblem& problem,
+                              const grouprec::GroupScorer& scorer,
+                              const Partition& partition,
+                              std::string algorithm) {
+  FormationResult result;
+  result.algorithm = std::move(algorithm);
+  for (const auto& members : partition.groups) {
+    if (members.empty()) continue;
+    FormedGroup group;
+    group.members = members;
+    group.recommendation = ComputeGroupList(problem, scorer, group.members);
+    group.satisfaction = AggregateListSatisfaction(
+        problem, static_cast<int>(group.members.size()),
+        group.recommendation);
+    result.objective += group.satisfaction;
+    result.groups.push_back(std::move(group));
+  }
+  return result;
+}
+
+std::string ConstrainedLabel(const FormationProblem& problem,
+                             const ConstraintSpec& spec) {
+  std::string label = GreedyFormer::AlgorithmName(problem);
+  if (spec.HasSizeBounds()) {
+    label += StrFormat(
+        " [size %d..%s]", spec.min_group_size,
+        spec.max_group_size > 0
+            ? StrFormat("%d", spec.max_group_size).c_str()
+            : "inf");
+  }
+  if (spec.HasLinks()) {
+    label += StrFormat(" [links ml=%zu cl=%zu]", spec.must_link.size(),
+                       spec.cannot_link.size());
+  }
+  if (spec.has_min_user_sat) {
+    label += StrFormat(" [floor %g]", spec.min_user_sat);
+  }
+  return label;
+}
+
+/// The shared front of RunLinkConstrainedGreedy / RunFairConstrainedGreedy:
+/// validate, seed, repair. Outputs the repaired partition and the link
+/// context for callers that keep repairing (the fairness pass).
+StatusOr<std::pair<Partition, LinkContext>> BuildLinkedPartition(
+    const FormationProblem& problem, const grouprec::GroupScorer& scorer,
+    const ConstraintSpec& spec) {
+  GF_RETURN_IF_ERROR(problem.Validate());
+  const std::int64_t num_users = problem.Store().num_users();
+  GF_RETURN_IF_ERROR(spec.Validate(num_users, problem.max_groups));
+  GF_ASSIGN_OR_RETURN(
+      LinkContext links,
+      BuildLinkContext(spec, num_users, spec.max_group_size));
+  GF_ASSIGN_OR_RETURN(FormationResult seed, RunGreedy(problem));
+  Partition partition = FromSeed(std::move(seed), num_users);
+  GF_RETURN_IF_ERROR(
+      RepairLinkedPartition(problem, scorer, spec, links, partition));
+  return std::make_pair(std::move(partition), std::move(links));
+}
+
 }  // namespace
+
+double UserSatisfaction(const FormationProblem& problem, UserId user,
+                        const grouprec::GroupTopK& list) {
+  return MeanAffinity(problem, {user}, list);
+}
+
+Status CheckPartition(const FormationProblem& problem,
+                      const ConstraintSpec& spec,
+                      const FormationResult& result,
+                      int* floor_violations) {
+  if (floor_violations != nullptr) *floor_violations = 0;
+  GF_RETURN_IF_ERROR(ValidatePartition(problem, result));
+  GF_RETURN_IF_ERROR(
+      spec.ValidateForPopulation(problem.Store().num_users()));
+  for (const auto& group : result.groups) {
+    const int size = static_cast<int>(group.members.size());
+    if (size < spec.min_group_size) {
+      return Status::FailedPrecondition(StrFormat(
+          "group of %d members is below min_group_size=%d", size,
+          spec.min_group_size));
+    }
+    if (spec.max_group_size > 0 && size > spec.max_group_size) {
+      return Status::FailedPrecondition(StrFormat(
+          "group of %d members is above max_group_size=%d", size,
+          spec.max_group_size));
+    }
+  }
+  std::map<UserId, int> group_of;
+  for (std::size_t g = 0; g < result.groups.size(); ++g) {
+    for (const UserId user : result.groups[g].members) {
+      group_of[user] = static_cast<int>(g);
+    }
+  }
+  for (const auto& [a, b] : spec.must_link) {
+    if (group_of.at(a) != group_of.at(b)) {
+      return Status::FailedPrecondition(StrFormat(
+          "must_link pair (%d, %d) is split across groups %d and %d", a,
+          b, group_of.at(a), group_of.at(b)));
+    }
+  }
+  for (const auto& [a, b] : spec.cannot_link) {
+    if (group_of.at(a) == group_of.at(b)) {
+      return Status::FailedPrecondition(StrFormat(
+          "cannot_link pair (%d, %d) shares group %d", a, b,
+          group_of.at(a)));
+    }
+  }
+  if (spec.has_min_user_sat && floor_violations != nullptr) {
+    int below = 0;
+    for (const auto& group : result.groups) {
+      for (const UserId user : group.members) {
+        if (UserSatisfaction(problem, user, group.recommendation) <
+            spec.min_user_sat - kFloorSlack) {
+          ++below;
+        }
+      }
+    }
+    *floor_violations = below;
+  }
+  return Status::Ok();
+}
 
 StatusOr<FormationResult> RunSizeConstrainedGreedy(
     const FormationProblem& problem, const SizeConstraints& constraints) {
@@ -112,9 +582,11 @@ StatusOr<FormationResult> RunSizeConstrainedGreedy(
             groups.push_back({});
             target = groups.size() - 1;
           } else {
-            return Status::FailedPrecondition(StrFormat(
-                "cannot satisfy max_group_size=%d within %d groups",
-                constraints.max_group_size, problem.max_groups));
+            return Status::InvalidArgument(StrFormat(
+                "cannot satisfy max_group_size=%d within %d groups: a "
+                "group of %zu users has nowhere to shed overflow",
+                constraints.max_group_size, problem.max_groups,
+                groups[g].size()));
           }
         }
         auto& overflow = groups[g];
@@ -164,9 +636,11 @@ StatusOr<FormationResult> RunSizeConstrainedGreedy(
         }
       }
       if (best_target == groups.size()) {
-        return Status::FailedPrecondition(StrFormat(
-            "cannot reach min_group_size=%d under max_group_size=%d",
-            constraints.min_group_size, constraints.max_group_size));
+        return Status::InvalidArgument(StrFormat(
+            "cannot reach min_group_size=%d under max_group_size=%d: a "
+            "group of %zu users has no merge target with capacity",
+            constraints.min_group_size, constraints.max_group_size,
+            groups[smallest].size()));
       }
       auto& target = groups[best_target];
       target.insert(target.end(), groups[smallest].begin(),
@@ -200,6 +674,146 @@ StatusOr<FormationResult> RunSizeConstrainedGreedy(
     result.groups.push_back(std::move(group));
   }
   return result;
+}
+
+StatusOr<FormationResult> RunLinkConstrainedGreedy(
+    const FormationProblem& problem) {
+  const ConstraintSpec& spec = problem.constraints;
+  if (spec.has_min_user_sat) {
+    return Status::InvalidArgument(
+        "pairgreedy does not support min_user_sat; use fairgreedy for a "
+        "fairness floor");
+  }
+  const grouprec::GroupScorer scorer = problem.MakeScorer();
+  GF_ASSIGN_OR_RETURN(auto built,
+                      BuildLinkedPartition(problem, scorer, spec));
+  return PackageResult(problem, scorer, built.first,
+                       ConstrainedLabel(problem, spec));
+}
+
+StatusOr<FormationResult> RunFairConstrainedGreedy(
+    const FormationProblem& problem) {
+  const ConstraintSpec& spec = problem.constraints;
+  const grouprec::GroupScorer scorer = problem.MakeScorer();
+  GF_ASSIGN_OR_RETURN(auto built,
+                      BuildLinkedPartition(problem, scorer, spec));
+  Partition& partition = built.first;
+  const LinkContext& links = built.second;
+
+  int floor_violations = 0;
+  if (spec.has_min_user_sat) {
+    // One deterministic fairness pass (DESIGN.md §17.3): visit atoms in
+    // ascending representative order, relocate each whose members sit
+    // below the floor into the feasible group its members like most —
+    // strictly better than where they are — and report whatever remains
+    // below the floor afterwards. Lists are cached per group and
+    // invalidated on every move.
+    std::vector<grouprec::GroupTopK> lists(partition.groups.size());
+    std::vector<bool> fresh(partition.groups.size(), false);
+    const auto list_of = [&](int g) -> const grouprec::GroupTopK& {
+      const auto index = static_cast<std::size_t>(g);
+      if (!fresh[index]) {
+        lists[index] =
+            ComputeGroupList(problem, scorer, partition.groups[index]);
+        fresh[index] = true;
+      }
+      return lists[index];
+    };
+    const auto invalidate = [&](int g) {
+      const auto index = static_cast<std::size_t>(g);
+      if (index >= fresh.size()) {
+        fresh.resize(index + 1, false);
+        lists.resize(index + 1);
+      }
+      fresh[index] = false;
+    };
+    const auto atom_mean_sat = [&](const std::vector<UserId>& atom,
+                                   const grouprec::GroupTopK& list) {
+      return MeanAffinity(problem, atom, list);
+    };
+    for (const auto& [rep, atom] : links.atoms) {
+      const int current =
+          partition.group_of[static_cast<std::size_t>(rep)];
+      const double here = atom_mean_sat(atom, list_of(current));
+      // Relocation is for atoms below the floor; an atom whose mean
+      // already clears it stays put.
+      if (here >= spec.min_user_sat - kFloorSlack) continue;
+      const auto& source = partition.groups[static_cast<std::size_t>(
+          current)];
+      // The source must stay a legal group (or empty entirely).
+      const bool source_ok =
+          source.size() == atom.size() ||
+          static_cast<int>(source.size() - atom.size()) >=
+              spec.min_group_size;
+      if (!source_ok) continue;
+      double best_value = here;
+      int best = -1;
+      for (std::size_t h = 0; h < partition.groups.size(); ++h) {
+        if (static_cast<int>(h) == current) continue;
+        const auto& group = partition.groups[h];
+        if (group.empty()) continue;
+        if (spec.max_group_size > 0 &&
+            static_cast<int>(group.size() + atom.size()) >
+                spec.max_group_size) {
+          continue;
+        }
+        if (!ConflictFree(partition, links, atom,
+                          static_cast<int>(h))) {
+          continue;
+        }
+        const double value =
+            atom_mean_sat(atom, list_of(static_cast<int>(h)));
+        if (value > best_value + kFloorSlack) {
+          best_value = value;
+          best = static_cast<int>(h);
+        }
+      }
+      if (best >= 0) {
+        partition.MoveAtom(atom, best);
+        invalidate(current);
+        invalidate(best);
+      }
+    }
+    // Count what remains below the floor — infeasibility is reported,
+    // never silent.
+    for (std::size_t g = 0; g < partition.groups.size(); ++g) {
+      const auto& group = partition.groups[g];
+      if (group.empty()) continue;
+      const auto& list = list_of(static_cast<int>(g));
+      for (const UserId user : group) {
+        if (UserSatisfaction(problem, user, list) <
+            spec.min_user_sat - kFloorSlack) {
+          ++floor_violations;
+        }
+      }
+    }
+  }
+
+  FormationResult result = PackageResult(
+      problem, scorer, partition, ConstrainedLabel(problem, spec));
+  result.floor_violations = floor_violations;
+  return result;
+}
+
+StatusOr<FormationResult> CapGreedySolver::Solve(std::uint64_t) const {
+  const ConstraintSpec& spec = problem_.constraints;
+  if (spec.HasLinks() || spec.has_min_user_sat) {
+    return Status::InvalidArgument(
+        "capgreedy supports size bounds only; use pairgreedy for link "
+        "pairs and fairgreedy for a fairness floor");
+  }
+  SizeConstraints sizes;
+  sizes.min_group_size = spec.min_group_size;
+  sizes.max_group_size = spec.max_group_size;
+  return RunSizeConstrainedGreedy(problem_, sizes);
+}
+
+StatusOr<FormationResult> PairGreedySolver::Solve(std::uint64_t) const {
+  return RunLinkConstrainedGreedy(problem_);
+}
+
+StatusOr<FormationResult> FairGreedySolver::Solve(std::uint64_t) const {
+  return RunFairConstrainedGreedy(problem_);
 }
 
 }  // namespace groupform::core

@@ -1,14 +1,34 @@
 #ifndef GROUPFORM_CORE_CONSTRAINED_H_
 #define GROUPFORM_CORE_CONSTRAINED_H_
 
+// The constrained formation family (DESIGN.md §17): greedy seeds repaired
+// into deployment shapes — capacity bounds, must-link / cannot-link user
+// pairs, per-user fairness floors — plus the checker that keeps every
+// constrained solver honest. Three registry solvers wrap the runners:
+//
+//   capgreedy   size bounds only         RunSizeConstrainedGreedy
+//   pairgreedy  sizes + link pairs       RunLinkConstrainedGreedy
+//   fairgreedy  sizes + links + floor    RunFairConstrainedGreedy
+//
+// Each solver reads FormationProblem::constraints and rejects the parts
+// of the spec it does not support with INVALID_ARGUMENT — never a
+// silently-violating OK. The fairness floor is soft: fairgreedy repairs
+// toward it and reports the residual count in
+// FormationResult::floor_violations.
+
+#include <memory>
+#include <string>
+
 #include "common/status.h"
 #include "core/formation.h"
+#include "core/solver.h"
 
 namespace groupform::core {
 
 /// Group-size constraints for deployments where group capacity is
 /// physical (a tour bus, a listening room): every formed group must have
-/// between min_group_size and max_group_size members.
+/// between min_group_size and max_group_size members. The size-only
+/// ancestor of ConstraintSpec, kept as capgreedy's native input.
 struct SizeConstraints {
   int min_group_size = 1;
   /// 0 = unbounded.
@@ -17,14 +37,34 @@ struct SizeConstraints {
   common::Status Validate(const FormationProblem& problem) const;
 };
 
+/// A user's own satisfaction with a recommended list: mean own-rating
+/// over the list's items under the problem's missing policy (kZero
+/// scores a missing rating 0, everything else the scale minimum). The
+/// fairness floor `ConstraintSpec::min_user_sat` is measured in this
+/// unit, and merge/relocation targets are chosen by its group mean.
+double UserSatisfaction(const FormationProblem& problem, UserId user,
+                        const grouprec::GroupTopK& list);
+
+/// Checks `result` against `spec`: ValidatePartition plus size bounds on
+/// every formed group, must-link pairs co-resident, cannot-link pairs
+/// separated. Returns FAILED_PRECONDITION naming the first violated
+/// constraint. The fairness floor is *not* a failure here — when
+/// `floor_violations` is non-null it receives the number of users below
+/// `spec.min_user_sat` (0 when no floor is set), which callers compare
+/// against FormationResult::floor_violations.
+common::Status CheckPartition(const FormationProblem& problem,
+                              const ConstraintSpec& spec,
+                              const FormationResult& result,
+                              int* floor_violations = nullptr);
+
 /// Forms groups with the greedy algorithm and then repairs size
 /// violations:
 ///
 ///   * oversized groups are split into capacity-sized parts — free under
 ///     LM (every subset of a greedy bucket keeps its score) and
 ///     score-redistributing under AV — as long as spare group slots exist;
-///     when slots run out the split stops and the group stays oversized
-///     only if max_group_size cannot be met at all (reported as an error);
+///     when slots run out the overflow rebalances into groups with free
+///     capacity;
 ///   * undersized groups are merged into the nearest larger group (the
 ///     one whose recommended list the undersized members like most, by
 ///     mean own-rating), and the merged group is re-scored.
@@ -32,10 +72,100 @@ struct SizeConstraints {
 /// The repaired partition is re-scored honestly: the returned objective is
 /// the true objective of the constrained partition, which can be below
 /// the unconstrained greedy's. Fails with INVALID_ARGUMENT when the
-/// constraints are unsatisfiable (n < min_group_size, or
-/// min_group_size * 1 > n, or max_group_size * max_groups < n).
+/// constraints are unsatisfiable (n < min_group_size, max_group_size *
+/// max_groups < n, or a repair dead-ends), always naming the bound and
+/// the offending numbers.
 common::StatusOr<FormationResult> RunSizeConstrainedGreedy(
     const FormationProblem& problem, const SizeConstraints& constraints);
+
+/// Link-aware bucket assembly over problem.constraints (sizes + links;
+/// INVALID_ARGUMENT if the spec carries a fairness floor — that is
+/// fairgreedy's job). Must-link users move as atoms (transitive closure
+/// of the pairs), cannot-link pairs repel at assignment time:
+///
+///   1. greedy seed;
+///   2. each multi-member atom consolidates into the group holding most
+///      of its members (ties to the lowest group index);
+///   3. every co-resident cannot-link pair is separated by moving the
+///      offending atom to its best conflict-free group (highest mean
+///      own-rating for the target's current list, capacity respected) —
+///      one sweep suffices because every placement is conflict-checked;
+///   4. atom-aware size repair (split/rebalance/merge as above, atoms
+///      never split).
+///
+/// INVALID_ARGUMENT when the links are contradictory (a must-link
+/// closure containing a cannot-link pair, an atom larger than the
+/// capacity) or a repair dead-ends; the message names the users/bounds.
+common::StatusOr<FormationResult> RunLinkConstrainedGreedy(
+    const FormationProblem& problem);
+
+/// The full family (sizes + links + fairness floor): the pairgreedy
+/// pipeline, then a deterministic fairness pass relocating every user
+/// whose UserSatisfaction sits below constraints.min_user_sat into their
+/// best feasible group (capacity + links respected, the source group
+/// either stays >= min_group_size or empties; users in multi-member
+/// atoms move with their atom). Users still below the floor afterwards
+/// are counted in FormationResult::floor_violations — the floor is soft,
+/// infeasibility is reported, never silent.
+common::StatusOr<FormationResult> RunFairConstrainedGreedy(
+    const FormationProblem& problem);
+
+/// The registry faces. Each binds the problem at construction and runs
+/// its runner per Solve; all three are deterministic (the seed is
+/// ignored) and byte-identical at every thread count.
+class CapGreedySolver : public FormationSolver {
+ public:
+  static constexpr char kRegistryName[] = "capgreedy";
+  static constexpr char kSolverDescription[] =
+      "size-constrained greedy: GRD seed + split/rebalance/merge repair "
+      "(constraints: size bounds)";
+
+  explicit CapGreedySolver(const FormationProblem& problem)
+      : problem_(problem) {}
+
+  common::StatusOr<FormationResult> Solve(std::uint64_t seed) const override;
+  std::string name() const override { return kRegistryName; }
+  std::string description() const override { return kSolverDescription; }
+
+ private:
+  const FormationProblem& problem_;
+};
+
+class PairGreedySolver : public FormationSolver {
+ public:
+  static constexpr char kRegistryName[] = "pairgreedy";
+  static constexpr char kSolverDescription[] =
+      "link-aware greedy: must-link atoms, cannot-link repulsion, "
+      "atom-aware size repair (constraints: sizes + link pairs)";
+
+  explicit PairGreedySolver(const FormationProblem& problem)
+      : problem_(problem) {}
+
+  common::StatusOr<FormationResult> Solve(std::uint64_t seed) const override;
+  std::string name() const override { return kRegistryName; }
+  std::string description() const override { return kSolverDescription; }
+
+ private:
+  const FormationProblem& problem_;
+};
+
+class FairGreedySolver : public FormationSolver {
+ public:
+  static constexpr char kRegistryName[] = "fairgreedy";
+  static constexpr char kSolverDescription[] =
+      "fairness-floor greedy: link-aware pipeline + per-user floor "
+      "relocation, residual violations reported (full ConstraintSpec)";
+
+  explicit FairGreedySolver(const FormationProblem& problem)
+      : problem_(problem) {}
+
+  common::StatusOr<FormationResult> Solve(std::uint64_t seed) const override;
+  std::string name() const override { return kRegistryName; }
+  std::string description() const override { return kSolverDescription; }
+
+ private:
+  const FormationProblem& problem_;
+};
 
 }  // namespace groupform::core
 

@@ -1,0 +1,130 @@
+#include "core/constraint_spec.h"
+
+#include <algorithm>
+#include <set>
+#include <utility>
+
+#include "common/strings.h"
+
+namespace groupform::core {
+
+using common::Status;
+using common::StrFormat;
+
+namespace {
+
+std::pair<UserId, UserId> Normalized(std::pair<UserId, UserId> pair) {
+  if (pair.second < pair.first) std::swap(pair.first, pair.second);
+  return pair;
+}
+
+}  // namespace
+
+Status ConstraintSpec::ValidateStructure() const {
+  if (min_group_size < 1) {
+    return Status::InvalidArgument(
+        StrFormat("min_group_size must be >= 1, got %d", min_group_size));
+  }
+  if (max_group_size < 0) {
+    return Status::InvalidArgument(
+        StrFormat("max_group_size must be >= 0, got %d", max_group_size));
+  }
+  if (max_group_size > 0 && max_group_size < min_group_size) {
+    return Status::InvalidArgument(
+        StrFormat("max_group_size=%d is below min_group_size=%d",
+                  max_group_size, min_group_size));
+  }
+  std::set<std::pair<UserId, UserId>> must;
+  for (const auto& pair : must_link) {
+    if (pair.first == pair.second) {
+      return Status::InvalidArgument(StrFormat(
+          "must_link pair (%d, %d) links a user to itself", pair.first,
+          pair.second));
+    }
+    must.insert(Normalized(pair));
+  }
+  for (const auto& pair : cannot_link) {
+    if (pair.first == pair.second) {
+      return Status::InvalidArgument(StrFormat(
+          "cannot_link pair (%d, %d) separates a user from itself",
+          pair.first, pair.second));
+    }
+    if (must.count(Normalized(pair)) > 0) {
+      return Status::InvalidArgument(StrFormat(
+          "pair (%d, %d) appears in both must_link and cannot_link",
+          pair.first, pair.second));
+    }
+  }
+  return Status::Ok();
+}
+
+Status ConstraintSpec::ValidateForPopulation(std::int64_t num_users) const {
+  GF_RETURN_IF_ERROR(ValidateStructure());
+  const auto check_ids = [num_users](
+                             const std::vector<std::pair<UserId, UserId>>&
+                                 pairs,
+                             const char* field) -> Status {
+    for (const auto& pair : pairs) {
+      for (const UserId user : {pair.first, pair.second}) {
+        if (user < 0 || static_cast<std::int64_t>(user) >= num_users) {
+          return Status::InvalidArgument(
+              StrFormat("%s user %d is outside the population [0, %lld)",
+                        field, user,
+                        static_cast<long long>(num_users)));
+        }
+      }
+    }
+    return Status::Ok();
+  };
+  GF_RETURN_IF_ERROR(check_ids(must_link, "must_link"));
+  GF_RETURN_IF_ERROR(check_ids(cannot_link, "cannot_link"));
+  return Status::Ok();
+}
+
+Status ConstraintSpec::Validate(std::int64_t num_users,
+                                int max_groups) const {
+  GF_RETURN_IF_ERROR(ValidateForPopulation(num_users));
+  if (num_users < min_group_size) {
+    return Status::InvalidArgument(StrFormat(
+        "min_group_size=%d exceeds the population of %lld users",
+        min_group_size, static_cast<long long>(num_users)));
+  }
+  if (max_group_size > 0 &&
+      static_cast<std::int64_t>(max_group_size) * max_groups < num_users) {
+    return Status::InvalidArgument(StrFormat(
+        "max_group_size=%d cannot hold %lld users within %d groups "
+        "(capacity %lld)",
+        max_group_size, static_cast<long long>(num_users), max_groups,
+        static_cast<long long>(max_group_size) *
+            static_cast<long long>(max_groups)));
+  }
+  return Status::Ok();
+}
+
+std::string ConstraintSpec::ToString() const {
+  if (Empty()) return "";
+  std::string out;
+  const auto append = [&out](const std::string& part) {
+    if (!out.empty()) out += ';';
+    out += part;
+  };
+  if (min_group_size > 1) append(StrFormat("min%d", min_group_size));
+  if (max_group_size > 0) append(StrFormat("max%d", max_group_size));
+  const auto append_pairs =
+      [&append](const char* tag,
+                const std::vector<std::pair<UserId, UserId>>& pairs) {
+        if (pairs.empty()) return;
+        std::string part = tag;
+        for (std::size_t i = 0; i < pairs.size(); ++i) {
+          if (i > 0) part += ',';
+          part += StrFormat("%d-%d", pairs[i].first, pairs[i].second);
+        }
+        append(part);
+      };
+  append_pairs("ml", must_link);
+  append_pairs("cl", cannot_link);
+  if (has_min_user_sat) append(StrFormat("floor%g", min_user_sat));
+  return out;
+}
+
+}  // namespace groupform::core

@@ -33,6 +33,11 @@ Status FormationProblem::Validate() const {
     return Status::InvalidArgument(StrFormat(
         "candidate_depth must be >= 0, got %d", candidate_depth));
   }
+  // Structural + id-range constraint checks only: whether the bounds are
+  // *satisfiable* is the constrained family's question (ConstraintSpec::
+  // Validate), so unconstrained solvers keep running on constraint-
+  // bearing problems.
+  GF_RETURN_IF_ERROR(constraints.ValidateForPopulation(store.num_users()));
   return Status::Ok();
 }
 

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "core/constraint_spec.h"
 #include "data/compact_matrix.h"
 #include "data/rating_matrix.h"
 #include "data/rating_store.h"
@@ -46,6 +47,13 @@ struct FormationProblem {
   /// member's top-d personal items (§4.1's "sifts through the top-k items
   /// per user", with d = k being the paper's literal policy).
   int candidate_depth = 0;
+  /// Deployment-shape constraints (DESIGN.md §17). Empty by default;
+  /// unconstrained solvers ignore it, the constrained family
+  /// (capgreedy / pairgreedy / fairgreedy) enforces it. Validate() only
+  /// checks structure and id ranges — per-solver feasibility lives with
+  /// the solvers, so greedy on a constraint-bearing problem still runs
+  /// (it is the unconstrained bound in the constrained_ablation sweep).
+  ConstraintSpec constraints;
 
   /// The rating backend as a read-side view. Requires one of
   /// `matrix`/`compact` to be set (Validate() enforces this for solvers).
@@ -88,6 +96,15 @@ struct FormationResult {
   /// reports it so warm-started re-solves can show their convergence
   /// advantage (`warm_start_passes` on the wire, DESIGN.md §13).
   int refine_passes = 0;
+  /// True when an anytime solver's deadline_ms expired and this is the
+  /// best-so-far snapshot rather than a converged solution (DESIGN.md
+  /// §17.4). Serving reports it as `partial` instead of answering DNF.
+  bool partial = false;
+  /// Residual fairness-floor violations (DESIGN.md §17.3): how many users
+  /// sit below constraints.min_user_sat after fairgreedy's repair pass.
+  /// 0 when no floor was requested or the repair met it everywhere —
+  /// the floor is soft, but a violating result always says so.
+  int floor_violations = 0;
 
   int num_groups() const { return static_cast<int>(groups.size()); }
 

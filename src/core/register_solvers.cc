@@ -3,10 +3,29 @@
 // solvers umbrella library calls all of them exactly once.
 #include <memory>
 
+#include "core/constrained.h"
 #include "core/greedy.h"
 #include "core/solver_registry.h"
 
 namespace groupform::core {
+
+namespace {
+
+/// The constrained family shares one factory shape: bind the problem,
+/// read FormationProblem::constraints at Solve time (so empty specs run
+/// like plain greedy and the registry-wide determinism matrix pins the
+/// solvers with no extra plumbing).
+template <typename Solver>
+void RegisterConstrained() {
+  (void)SolverRegistry::Global().Register(
+      Solver::kRegistryName, Solver::kSolverDescription,
+      [](const FormationProblem& problem, const SolverOptions&) {
+        return common::StatusOr<std::unique_ptr<FormationSolver>>(
+            std::make_unique<Solver>(problem));
+      });
+}
+
+}  // namespace
 
 void RegisterCoreSolvers() {
   // Duplicate registration (e.g. a test calling this directly after the
@@ -17,6 +36,9 @@ void RegisterCoreSolvers() {
         return common::StatusOr<std::unique_ptr<FormationSolver>>(
             std::make_unique<GreedyFormer>(problem));
       });
+  RegisterConstrained<CapGreedySolver>();
+  RegisterConstrained<PairGreedySolver>();
+  RegisterConstrained<FairGreedySolver>();
 }
 
 }  // namespace groupform::core

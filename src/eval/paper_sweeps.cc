@@ -13,6 +13,7 @@
 #include <span>
 
 #include "common/strings.h"
+#include "core/constrained.h"
 #include "core/delta.h"
 #include "core/solver_registry.h"
 #include "data/synthetic.h"
@@ -689,6 +690,126 @@ common::StatusOr<SweepSuite> MakeDeltaVsResolve(double scale) {
   return suite;
 }
 
+/// Fairness-floor shortfall, recomputed from the partition itself so the
+/// column is honest for unconstrained series too (FormationResult::
+/// floor_violations is only filled by fairgreedy).
+SweepMetric FloorViolationsMetric() {
+  return {"floor violations", 0,
+          [](const core::FormationProblem& problem,
+             const RunOutcome& outcome) {
+            if (!problem.constraints.has_min_user_sat) return 0.0;
+            int violations = 0;
+            for (const auto& group : outcome.result.groups) {
+              for (const UserId user : group.members) {
+                if (core::UserSatisfaction(problem, user,
+                                           group.recommendation) <
+                    problem.constraints.min_user_sat - 1e-9) {
+                  ++violations;
+                }
+              }
+            }
+            return static_cast<double>(violations);
+          }};
+}
+
+/// The constrained family vs the unconstrained GRD bound (DESIGN.md §17):
+/// three panels sweeping capacity, link-pair load, and the fairness
+/// floor. Every panel carries the plain greedy series on the *same*
+/// constrained instance — greedy ignores problem.constraints, so its
+/// objective is the unconstrained upper reference the snapshot validator
+/// gates the constrained series against (tools/validate_bench_json.py).
+SweepSuite MakeConstrainedAblation(double scale) {
+  SweepSuite suite;
+  suite.name = "constrained_ablation";
+  suite.title =
+      "Constrained formation: capacity, link pairs, and fairness floors "
+      "vs the unconstrained GRD bound";
+  suite.paper_ref =
+      "constraint extension of the paper's GRD (DESIGN.md §17); "
+      "not a paper figure";
+  suite.notes =
+      "greedy rows ignore the constraints and bound the constrained rows "
+      "from above; floor violations count users below min_user_sat";
+  const std::int32_t users = Scaled(60, scale, /*floor=*/24);
+  const std::int32_t items = 60;
+  const auto series_for = [](std::initializer_list<const char*> solvers) {
+    std::vector<SweepSeries> series;
+    for (const char* solver : solvers) {
+      SweepSeries entry;
+      entry.solver = solver;
+      entry.label = std::string(solver) == "greedy"
+                        ? "GRD (unconstrained bound)"
+                        : std::string(solver);
+      series.push_back(std::move(entry));
+    }
+    return series;
+  };
+
+  {
+    SweepSpec cap;
+    cap.name = "constrained_cap";
+    cap.title = "objective vs per-group capacity (min size 2)";
+    cap.axis = "max_size";
+    cap.xs = {8, 10, 15};
+    cap.series = series_for({"greedy", "capgreedy", "pairgreedy",
+                             "fairgreedy"});
+    cap.make_instance = [users, items](int x, int) {
+      SweepInstance instance(SharedQualityMatrix(users, items, /*seed=*/271));
+      instance.problem = QualityProblem(Semantics::kLeastMisery,
+                                        Aggregation::kMin, 5, 8);
+      instance.problem.constraints.min_group_size = 2;
+      instance.problem.constraints.max_group_size = x;
+      return instance;
+    };
+    suite.specs.push_back(std::move(cap));
+  }
+
+  {
+    SweepSpec links;
+    links.name = "constrained_links";
+    links.title =
+        "objective vs link-pair load (x must-link + x cannot-link pairs)";
+    links.axis = "pairs";
+    links.xs = {1, 2, 4};
+    links.series = series_for({"greedy", "pairgreedy", "fairgreedy"});
+    links.make_instance = [users, items](int x, int) {
+      SweepInstance instance(SharedQualityMatrix(users, items, /*seed=*/271));
+      instance.problem = QualityProblem(Semantics::kLeastMisery,
+                                        Aggregation::kMin, 5, 8);
+      auto& constraints = instance.problem.constraints;
+      constraints.max_group_size = 15;
+      for (int i = 0; i < x; ++i) {
+        // Disjoint id blocks keep the pair sets contradiction-free at
+        // every x (24-user floor: ids stay below 20).
+        constraints.must_link.emplace_back(2 * i, 2 * i + 1);
+        constraints.cannot_link.emplace_back(10 + 2 * i, 11 + 2 * i);
+      }
+      return instance;
+    };
+    suite.specs.push_back(std::move(links));
+  }
+
+  {
+    SweepSpec floor;
+    floor.name = "constrained_floor";
+    floor.title = "objective and residual violations vs fairness floor";
+    floor.axis = "floor_x10";
+    floor.xs = {20, 25, 30};  // min_user_sat = x / 10
+    floor.series = series_for({"greedy", "fairgreedy"});
+    floor.make_instance = [users, items](int x, int) {
+      SweepInstance instance(SharedQualityMatrix(users, items, /*seed=*/271));
+      instance.problem = QualityProblem(Semantics::kLeastMisery,
+                                        Aggregation::kMin, 5, 8);
+      instance.problem.constraints.has_min_user_sat = true;
+      instance.problem.constraints.min_user_sat = x / 10.0;
+      return instance;
+    };
+    floor.metrics = {ObjectiveMetric(), FloorViolationsMetric()};
+    suite.specs.push_back(std::move(floor));
+  }
+  return suite;
+}
+
 }  // namespace
 
 data::RatingMatrix QualityMatrix(std::int32_t num_users,
@@ -720,7 +841,7 @@ void PrintBenchHeader(const std::string& experiment,
 std::vector<std::string> PaperSuiteNames() {
   return {"fig1",   "fig2",     "fig3",     "fig4",
           "fig5",   "fig6",     "table4",   "ablation",
-          "baseline", "delta_vs_resolve"};
+          "baseline", "delta_vs_resolve", "constrained_ablation"};
 }
 
 common::StatusOr<SweepSuite> MakePaperSuite(const std::string& name) {
@@ -739,6 +860,7 @@ common::StatusOr<SweepSuite> MakePaperSuite(const std::string& name) {
   if (name == "ablation") return MakeAblation(scale);
   if (name == "baseline") return MakeBaselinePanorama();
   if (name == "delta_vs_resolve") return MakeDeltaVsResolve(scale);
+  if (name == "constrained_ablation") return MakeConstrainedAblation(scale);
   return common::Status::NotFound(
       "unknown sweep suite '" + name + "'; available: " +
       common::Join(PaperSuiteNames(), ", "));

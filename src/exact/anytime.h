@@ -1,0 +1,51 @@
+#ifndef GROUPFORM_EXACT_ANYTIME_H_
+#define GROUPFORM_EXACT_ANYTIME_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+
+#include "common/status.h"
+#include "core/formation.h"
+#include "core/solver.h"
+
+namespace groupform::exact {
+
+/// Anytime wrapper (DESIGN.md §17.4): presents an inner iterative solver
+/// whose Options carry a `deadline_ms` wall-clock budget under the
+/// registry name "anytime:<inner>". The wrapper itself adds no search
+/// logic — the inner solver checks the budget at its pass/proposal
+/// boundaries and, on expiry, returns its best-so-far state with
+/// FormationResult::partial = true instead of a failure. The distinct
+/// registry prefix is load-bearing for the serving layer: serve maps an
+/// expired request deadline to DNF *before* solving for ordinary solvers,
+/// but hands "anytime:" solvers the remaining budget as their deadline_ms
+/// option and forwards the partial result instead (serve/session.cc).
+///
+/// The inner solver arrives fully configured (including deadline_ms), so
+/// the wrapper only delegates and rebrands the name. Descriptions come
+/// from the registry registration, not from here.
+class AnytimeSolver : public core::FormationSolver {
+ public:
+  explicit AnytimeSolver(std::unique_ptr<core::FormationSolver> inner)
+      : inner_(std::move(inner)) {}
+
+  common::StatusOr<core::FormationResult> Solve(
+      std::uint64_t seed) const override {
+    return inner_->Solve(seed);
+  }
+  std::string name() const override { return "anytime:" + inner_->name(); }
+  std::string description() const override {
+    return "anytime wrapper over " + inner_->name() +
+           " (deadline_ms budget, partial results)";
+  }
+  using core::FormationSolver::Solve;
+
+ private:
+  std::unique_ptr<core::FormationSolver> inner_;
+};
+
+}  // namespace groupform::exact
+
+#endif  // GROUPFORM_EXACT_ANYTIME_H_

@@ -1,6 +1,7 @@
 #include "exact/local_search.h"
 
 #include <algorithm>
+#include <chrono>
 #include <vector>
 
 #include "common/logging.h"
@@ -167,6 +168,7 @@ std::vector<PlannedMove> PlanPassMoves(
 }
 
 common::StatusOr<FormationResult> LocalSearchSolver::Run() const {
+  const auto started = std::chrono::steady_clock::now();
   GF_RETURN_IF_ERROR(problem_.Validate());
   const int n = problem_.Store().num_users();
   const int ell = problem_.max_groups;
@@ -271,8 +273,19 @@ common::StatusOr<FormationResult> LocalSearchSolver::Run() const {
   }
   std::vector<char> dirty(state.groups.size(), 0);
   int refine_passes = 0;
+  bool partial = false;
 
   for (int pass = 0; pass < options_.max_passes; ++pass) {
+    // Anytime contract (DESIGN.md §17.4): the pass-boundary state is the
+    // best partition seen so far (hill climbing never regresses), so an
+    // expired budget returns it as a partial snapshot instead of failing.
+    if (options_.deadline_ms >= 0 &&
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            std::chrono::steady_clock::now() - started)
+                .count() >= options_.deadline_ms) {
+      partial = true;
+      break;
+    }
     rng.Shuffle(visit_order);
     const std::uint64_t pass_seed = rng.NextUint64();
     // Plan phase: every user's best move against the pass-start
@@ -330,6 +343,7 @@ common::StatusOr<FormationResult> LocalSearchSolver::Run() const {
   FormationResult result;
   result.algorithm = "OPT*-LS";
   result.refine_passes = refine_passes;
+  result.partial = partial;
   for (std::size_t g = 0; g < state.groups.size(); ++g) {
     if (state.groups[g].empty()) continue;
     FormedGroup group;

@@ -66,6 +66,16 @@ class LocalSearchSolver : public core::FormationSolver {
     /// Forwarded to core::ScoreGroupsOptions for the solver's batch
     /// rescoring calls (<= 0 disables within-group sharding).
     std::int64_t shard_min_items = core::ScoreGroupsOptions().shard_min_items;
+    /// Anytime budget (DESIGN.md §17.4): >= 0 arms a wall-clock deadline
+    /// in milliseconds, checked at each pass boundary. On expiry the run
+    /// returns its best-so-far partition with FormationResult::partial =
+    /// true instead of climbing further — the pass-boundary state is
+    /// monotone in the objective, so every snapshot dominates the ones
+    /// before it. -1 (the default) never expires; a 0 budget
+    /// deterministically returns the seed partition (partial) before the
+    /// first pass. The budget is the `anytime:localsearch` registry
+    /// wrapper's deadline_ms option.
+    long long deadline_ms = -1;
     std::uint64_t seed = 17;
   };
 

@@ -3,6 +3,7 @@
 #include <memory>
 
 #include "core/solver_registry.h"
+#include "exact/anytime.h"
 #include "exact/branch_and_bound.h"
 #include "exact/local_search.h"
 #include "exact/simulated_annealing.h"
@@ -20,6 +21,70 @@ namespace {
 
 int AsInt(const SolverOptions& options, const char* key, int fallback) {
   return static_cast<int>(options.GetInt(key, fallback));
+}
+
+// Option builders shared by the plain registrations and their "anytime:"
+// variants, so both spellings of a solver read the same knobs.
+
+common::StatusOr<LocalSearchSolver::Options> MakeLocalSearchOptions(
+    const SolverOptions& options) {
+  LocalSearchSolver::Options opt;
+  opt.max_passes = AsInt(options, "max_passes", opt.max_passes);
+  opt.use_swaps = options.GetBool("use_swaps", opt.use_swaps);
+  opt.swap_samples = AsInt(options, "swap_samples", opt.swap_samples);
+  opt.init_with_greedy =
+      options.GetBool("init_with_greedy", opt.init_with_greedy);
+  // Parallelism knobs are validated at registry-lookup time: a bad
+  // override must fail Create, not silently fall back.
+  GF_ASSIGN_OR_RETURN(
+      opt.parallel_moves,
+      options.GetCheckedBool("parallel_moves", opt.parallel_moves));
+  GF_ASSIGN_OR_RETURN(
+      opt.shard_min_items,
+      options.GetCheckedInt("shard_min_items", opt.shard_min_items,
+                            /*min_value=*/0));
+  // Warm starts are validated the same way: a malformed
+  // start_assignment encoding fails the lookup, and the solver
+  // itself rejects partitions that do not cover the instance.
+  GF_ASSIGN_OR_RETURN(opt.start_assignment, options.GetStartAssignment());
+  return opt;
+}
+
+common::StatusOr<SimulatedAnnealingSolver::Options> MakeSaOptions(
+    const SolverOptions& options) {
+  SimulatedAnnealingSolver::Options opt;
+  opt.iterations = AsInt(options, "iterations", opt.iterations);
+  opt.cooling = options.GetDouble("cooling", opt.cooling);
+  opt.cooling_interval =
+      AsInt(options, "cooling_interval", opt.cooling_interval);
+  opt.swap_fraction = options.GetDouble("swap_fraction", opt.swap_fraction);
+  opt.init_with_greedy =
+      options.GetBool("init_with_greedy", opt.init_with_greedy);
+  return opt;
+}
+
+// Registers "anytime:<inner>" (DESIGN.md §17.4): the same solver with a
+// deadline_ms wall-clock budget armed, wrapped so the registry name
+// carries the prefix the serving layer keys its partial-result policy on.
+// deadline_ms is strict-parsed: a malformed or negative budget must fail
+// Create, never silently run unbounded.
+template <typename Solver, typename MakeOptions>
+void RegisterAnytime(SolverRegistry& registry, const char* description,
+                     MakeOptions make_options) {
+  const std::string name = std::string("anytime:") + Solver::kRegistryName;
+  (void)registry.Register(
+      name, description,
+      [make_options](const FormationProblem& problem,
+                     const SolverOptions& options) -> SolverOr {
+        GF_ASSIGN_OR_RETURN(auto opt, make_options(options));
+        GF_ASSIGN_OR_RETURN(
+            long long deadline,
+            options.GetCheckedInt("deadline_ms", /*fallback=*/-1,
+                                  /*min_value=*/-1));
+        opt.deadline_ms = deadline;
+        return SolverOr(std::make_unique<AnytimeSolver>(
+            std::make_unique<Solver>(problem, opt)));
+      });
 }
 
 }  // namespace
@@ -58,45 +123,30 @@ void RegisterExactSolvers() {
       LocalSearchSolver::kRegistryName, LocalSearchSolver::kSolverDescription,
       [](const FormationProblem& problem,
          const SolverOptions& options) -> SolverOr {
-        LocalSearchSolver::Options opt;
-        opt.max_passes = AsInt(options, "max_passes", opt.max_passes);
-        opt.use_swaps = options.GetBool("use_swaps", opt.use_swaps);
-        opt.swap_samples = AsInt(options, "swap_samples", opt.swap_samples);
-        opt.init_with_greedy =
-            options.GetBool("init_with_greedy", opt.init_with_greedy);
-        // Parallelism knobs are validated at registry-lookup time: a bad
-        // override must fail Create, not silently fall back.
-        GF_ASSIGN_OR_RETURN(
-            opt.parallel_moves,
-            options.GetCheckedBool("parallel_moves", opt.parallel_moves));
-        GF_ASSIGN_OR_RETURN(
-            opt.shard_min_items,
-            options.GetCheckedInt("shard_min_items", opt.shard_min_items,
-                                  /*min_value=*/0));
-        // Warm starts are validated the same way: a malformed
-        // start_assignment encoding fails the lookup, and the solver
-        // itself rejects partitions that do not cover the instance.
-        GF_ASSIGN_OR_RETURN(opt.start_assignment,
-                            options.GetStartAssignment());
+        GF_ASSIGN_OR_RETURN(auto opt, MakeLocalSearchOptions(options));
         return SolverOr(std::make_unique<LocalSearchSolver>(problem, opt));
       });
 
   (void)registry.Register(
       SimulatedAnnealingSolver::kRegistryName,
       SimulatedAnnealingSolver::kSolverDescription,
-      [](const FormationProblem& problem, const SolverOptions& options) {
-        SimulatedAnnealingSolver::Options opt;
-        opt.iterations = AsInt(options, "iterations", opt.iterations);
-        opt.cooling = options.GetDouble("cooling", opt.cooling);
-        opt.cooling_interval =
-            AsInt(options, "cooling_interval", opt.cooling_interval);
-        opt.swap_fraction =
-            options.GetDouble("swap_fraction", opt.swap_fraction);
-        opt.init_with_greedy =
-            options.GetBool("init_with_greedy", opt.init_with_greedy);
+      [](const FormationProblem& problem,
+         const SolverOptions& options) -> SolverOr {
+        GF_ASSIGN_OR_RETURN(auto opt, MakeSaOptions(options));
         return SolverOr(
             std::make_unique<SimulatedAnnealingSolver>(problem, opt));
       });
+
+  RegisterAnytime<LocalSearchSolver>(
+      registry,
+      "anytime OPT* — hill climbing under a deadline_ms budget; expiry "
+      "returns the best-so-far partition with partial=true",
+      MakeLocalSearchOptions);
+  RegisterAnytime<SimulatedAnnealingSolver>(
+      registry,
+      "anytime SA — annealing under a deadline_ms budget; expiry returns "
+      "the best state seen with partial=true",
+      MakeSaOptions);
 }
 
 }  // namespace groupform::exact

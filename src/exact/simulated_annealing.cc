@@ -1,6 +1,7 @@
 #include "exact/simulated_annealing.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <vector>
 
@@ -26,6 +27,7 @@ double Evaluate(const core::FormationProblem& problem,
 }  // namespace
 
 common::StatusOr<FormationResult> SimulatedAnnealingSolver::Run() const {
+  const auto started = std::chrono::steady_clock::now();
   GF_RETURN_IF_ERROR(problem_.Validate());
   const int n = problem_.Store().num_users();
   const int ell = problem_.max_groups;
@@ -78,7 +80,17 @@ common::StatusOr<FormationResult> SimulatedAnnealingSolver::Run() const {
         std::lower_bound(members.begin(), members.end(), u), u);
   };
 
+  bool partial = false;
   for (int step = 0; step < options_.iterations; ++step) {
+    // Anytime contract (DESIGN.md §17.4): an expired budget returns the
+    // best-ever snapshot as a partial result instead of failing.
+    if (options_.deadline_ms >= 0 &&
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            std::chrono::steady_clock::now() - started)
+                .count() >= options_.deadline_ms) {
+      partial = true;
+      break;
+    }
     if (step > 0 && step % options_.cooling_interval == 0) {
       temperature *= options_.cooling;
     }
@@ -150,6 +162,7 @@ common::StatusOr<FormationResult> SimulatedAnnealingSolver::Run() const {
   // ---- Package the best state ----
   FormationResult result;
   result.algorithm = "SA";
+  result.partial = partial;
   for (const auto& members : best_groups) {
     if (members.empty()) continue;
     FormedGroup group;

@@ -39,6 +39,14 @@ class SimulatedAnnealingSolver : public core::FormationSolver {
     double swap_fraction = 0.35;
     /// Seed the start state from the greedy solution (else random split).
     bool init_with_greedy = true;
+    /// Anytime budget (DESIGN.md §17.4): >= 0 arms a wall-clock deadline
+    /// in milliseconds, checked at every proposal. On expiry the run
+    /// returns the best state ever seen with FormationResult::partial =
+    /// true — the best-ever snapshot is monotone by construction. -1
+    /// (the default) never expires; a 0 budget deterministically returns
+    /// the seed state (partial) before the first proposal. This is the
+    /// `anytime:sa` registry wrapper's deadline_ms option.
+    long long deadline_ms = -1;
     std::uint64_t seed = 23;
   };
 

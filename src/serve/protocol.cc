@@ -626,6 +626,70 @@ StatusOr<std::vector<core::PopulationDelta>> ParseDeltas(
   return deltas;
 }
 
+/// Parses a "constraints" pair-list field ("must_link"/"cannot_link"):
+/// an array of two-element [a, b] user-id arrays.
+Status ParsePairList(const JsonValue& value, const char* key,
+                     std::vector<std::pair<UserId, UserId>>* out) {
+  if (value.type != JsonValue::Type::kArray) {
+    return WrongType(("constraints." + std::string(key)).c_str(), value,
+                     "array");
+  }
+  out->reserve(value.array.size());
+  for (std::size_t i = 0; i < value.array.size(); ++i) {
+    const JsonValue& entry = value.array[i];
+    const std::string where =
+        common::StrFormat("field \"constraints.%s[%zu]\"", key, i);
+    if (entry.type != JsonValue::Type::kArray || entry.array.size() != 2) {
+      return Status::InvalidArgument(where +
+                                     ": expected a two-element [a, b] pair");
+    }
+    GF_ASSIGN_OR_RETURN(const UserId a,
+                        IdFromNumber(entry.array[0], where.c_str()));
+    GF_ASSIGN_OR_RETURN(const UserId b,
+                        IdFromNumber(entry.array[1], where.c_str()));
+    out->emplace_back(a, b);
+  }
+  return Status::Ok();
+}
+
+/// Parses the optional "problem.constraints" object (DESIGN.md §17).
+/// Structural validity (ordered bounds, distinct pair users, disjoint
+/// pair lists) is checked here so malformed specs fail the parse;
+/// population-range and feasibility checks wait for the loaded instance.
+StatusOr<core::ConstraintSpec> ParseConstraints(const JsonValue& value) {
+  if (value.type != JsonValue::Type::kObject) {
+    return WrongType("constraints", value, "object");
+  }
+  core::ConstraintSpec spec;
+  GF_ASSIGN_OR_RETURN(const long long min_size,
+                      FieldInt(value, "min_group_size", spec.min_group_size,
+                               /*min_value=*/1, kMaxInt32Field));
+  spec.min_group_size = static_cast<int>(min_size);
+  GF_ASSIGN_OR_RETURN(const long long max_size,
+                      FieldInt(value, "max_group_size", spec.max_group_size,
+                               /*min_value=*/0, kMaxInt32Field));
+  spec.max_group_size = static_cast<int>(max_size);
+  if (const JsonValue* pairs = value.Find("must_link"); pairs != nullptr) {
+    GF_RETURN_IF_ERROR(ParsePairList(*pairs, "must_link", &spec.must_link));
+  }
+  if (const JsonValue* pairs = value.Find("cannot_link"); pairs != nullptr) {
+    GF_RETURN_IF_ERROR(
+        ParsePairList(*pairs, "cannot_link", &spec.cannot_link));
+  }
+  if (const JsonValue* floor = value.Find("min_user_sat"); floor != nullptr) {
+    if (floor->type != JsonValue::Type::kNumber) {
+      return WrongType("constraints.min_user_sat", *floor, "number");
+    }
+    spec.has_min_user_sat = true;
+    spec.min_user_sat = floor->number;
+  }
+  if (const Status status = spec.ValidateStructure(); !status.ok()) {
+    return Status::InvalidArgument("field \"constraints\": " +
+                                   std::string(status.message()));
+  }
+  return spec;
+}
+
 StatusOr<ProblemSpec> ParseProblem(const JsonValue* value) {
   ProblemSpec spec;
   if (value == nullptr) return spec;
@@ -660,7 +724,54 @@ StatusOr<ProblemSpec> ParseProblem(const JsonValue* value) {
                                spec.candidate_depth, /*min_value=*/0,
                                kMaxInt32Field));
   spec.candidate_depth = static_cast<int>(depth);
+  if (const JsonValue* constraints = value->Find("constraints");
+      constraints != nullptr) {
+    GF_ASSIGN_OR_RETURN(spec.constraints, ParseConstraints(*constraints));
+  }
   return spec;
+}
+
+/// The canonical "problem" object, shared by RenderRequest and
+/// RenderShardRequest so both wires agree byte-for-byte. The constraints
+/// object renders only when non-empty — and then only its non-default
+/// fields — so every unconstrained request line (and golden) is unchanged.
+void RenderProblem(eval::JsonWriter& writer, const ProblemSpec& spec) {
+  writer.BeginObject();
+  writer.Key("semantics").String(spec.semantics);
+  writer.Key("aggregation").String(spec.aggregation);
+  writer.Key("missing").String(spec.missing);
+  writer.Key("k").Int(spec.k);
+  writer.Key("groups").Int(spec.groups);
+  writer.Key("candidate_depth").Int(spec.candidate_depth);
+  if (!spec.constraints.Empty()) {
+    const core::ConstraintSpec& c = spec.constraints;
+    writer.Key("constraints").BeginObject();
+    if (c.min_group_size > 1) {
+      writer.Key("min_group_size").Int(c.min_group_size);
+    }
+    if (c.max_group_size > 0) {
+      writer.Key("max_group_size").Int(c.max_group_size);
+    }
+    const auto pair_list =
+        [&writer](const char* key,
+                  const std::vector<std::pair<UserId, UserId>>& pairs) {
+          if (pairs.empty()) return;
+          writer.Key(key).BeginArray();
+          for (const auto& [a, b] : pairs) {
+            writer.BeginArray();
+            writer.Int(a).Int(b);
+            writer.EndArray();
+          }
+          writer.EndArray();
+        };
+    pair_list("must_link", c.must_link);
+    pair_list("cannot_link", c.cannot_link);
+    if (c.has_min_user_sat) {
+      writer.Key("min_user_sat").Number(c.min_user_sat);
+    }
+    writer.EndObject();
+  }
+  writer.EndObject();
 }
 
 void RenderInstance(eval::JsonWriter& writer, const InstanceSpec& spec) {
@@ -890,14 +1001,8 @@ std::string RenderRequest(const Request& request) {
     }
     writer.EndArray();
   }
-  writer.Key("problem").BeginObject();
-  writer.Key("semantics").String(request.problem.semantics);
-  writer.Key("aggregation").String(request.problem.aggregation);
-  writer.Key("missing").String(request.problem.missing);
-  writer.Key("k").Int(request.problem.k);
-  writer.Key("groups").Int(request.problem.groups);
-  writer.Key("candidate_depth").Int(request.problem.candidate_depth);
-  writer.EndObject();
+  writer.Key("problem");
+  RenderProblem(writer, request.problem);
   writer.Key("seed").Int(static_cast<long long>(request.seed));
   writer.Key("deadline_ms").Int(request.deadline_ms);
   writer.Key("user_cap").Int(request.user_cap);
@@ -942,6 +1047,12 @@ std::string RenderResponse(const Response& response) {
       writer.Key("objective_delta_vs_previous")
           .Number(response.objective_delta_vs_previous);
       writer.Key("warm_start_passes").Int(response.warm_start_passes);
+    }
+    // Anytime extras (DESIGN.md §17.4), set-only so every pre-existing
+    // response renders unchanged.
+    if (response.partial) writer.Key("partial").Bool(true);
+    if (response.floor_violations > 0) {
+      writer.Key("floor_violations").Int(response.floor_violations);
     }
     if (response.seconds >= 0.0) {
       writer.Key("seconds").Number(response.seconds);
@@ -1040,6 +1151,11 @@ common::StatusOr<Response> ParseResponseDoc(const JsonValue& root) {
                                  /*min_value=*/0, kMaxInt32Field));
     response.warm_start_passes = static_cast<int>(passes);
   }
+  GF_ASSIGN_OR_RETURN(response.partial, FieldBool(root, "partial", false));
+  GF_ASSIGN_OR_RETURN(const long long floor_violations,
+                      FieldInt(root, "floor_violations", 0,
+                               /*min_value=*/0, kMaxInt32Field));
+  response.floor_violations = static_cast<int>(floor_violations);
   GF_ASSIGN_OR_RETURN(response.seconds,
                       FieldDouble(root, "seconds", -1.0));
   return response;
@@ -1414,14 +1530,8 @@ std::string RenderShardRequest(const ShardRequest& request) {
   writer.Key("phase").String(request.phase);
   writer.Key("instance");
   RenderInstance(writer, request.instance);
-  writer.Key("problem").BeginObject();
-  writer.Key("semantics").String(request.problem.semantics);
-  writer.Key("aggregation").String(request.problem.aggregation);
-  writer.Key("missing").String(request.problem.missing);
-  writer.Key("k").Int(request.problem.k);
-  writer.Key("groups").Int(request.problem.groups);
-  writer.Key("candidate_depth").Int(request.problem.candidate_depth);
-  writer.EndObject();
+  writer.Key("problem");
+  RenderProblem(writer, request.problem);
   if (request.phase == "topk_items") {
     writer.Key("members").BeginArray();
     for (const UserId user : request.members) writer.Int(user);

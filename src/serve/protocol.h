@@ -51,6 +51,7 @@
 
 #include "common/status.h"
 #include "common/types.h"
+#include "core/constraint_spec.h"
 #include "core/delta.h"
 #include "core/solver.h"
 #include "eval/sweep.h"
@@ -128,6 +129,13 @@ struct ProblemSpec {
   int k = 5;
   int groups = 10;
   int candidate_depth = 0;
+  /// Formation constraints (DESIGN.md §17): size bounds, must/cannot-link
+  /// pairs, per-user fairness floor. Empty (the default) renders nothing,
+  /// so unconstrained request lines stay byte-identical to PR-9 goldens.
+  /// Structure is validated at parse time (ValidateStructure); population
+  /// checks wait for the loaded instance. Only the constrained solver
+  /// family honours the spec — unconstrained solvers ignore it.
+  core::ConstraintSpec constraints;
 };
 
 /// One parsed `groupform.request/1`.
@@ -213,6 +221,14 @@ struct Response {
   /// FormationResult::refine_passes of the solve that answered this
   /// epoch (0 for single-shot solvers such as the greedy family).
   int warm_start_passes = 0;
+  /// Anytime extras (DESIGN.md §17.4), rendered after the delta extras
+  /// and before seconds, and only when set — so every pre-existing
+  /// response stays byte-identical. `partial` marks a best-so-far result
+  /// whose deadline_ms budget expired mid-search (OK, not DNF);
+  /// `floor_violations` counts users still below the fairness floor
+  /// after fairgreedy's relocation pass (0 is omitted).
+  bool partial = false;
+  int floor_violations = 0;
 };
 
 /// The canonical one-line rendering (no trailing newline).

@@ -47,6 +47,7 @@ common::Status FillProblem(const ProblemSpec& spec,
   problem.k = spec.k;
   problem.max_groups = spec.groups;
   problem.candidate_depth = spec.candidate_depth;
+  problem.constraints = spec.constraints;
   return problem.Validate();
 }
 
@@ -97,6 +98,14 @@ void FillOkResponse(Response& response, const Request& request,
     }
   }
   if (request.record_seconds) response.seconds = seconds;
+  response.partial = result.partial;
+  response.floor_violations = result.floor_violations;
+}
+
+/// "anytime:"-prefixed solvers own their deadline (DESIGN.md §17.4):
+/// serve hands them the remaining budget instead of answering DNF.
+bool IsAnytimeSolver(const std::string& solver) {
+  return solver.rfind("anytime:", 0) == 0;
 }
 
 /// Memo key of one per-epoch solve: everything that determines the
@@ -124,6 +133,12 @@ std::string SolutionMemoKey(const std::string& epoch_key,
       request.problem.candidate_depth,
       static_cast<unsigned long long>(request.seed),
       warm_fold ? "warm" : "cold");
+  // Constraints change the solution; unconstrained keys keep their
+  // historical suffix-free form.
+  if (!request.problem.constraints.Empty()) {
+    key += "#C";
+    key += request.problem.constraints.ToString();
+  }
   return key;
 }
 
@@ -246,7 +261,30 @@ Response Session::ExecuteLoaded(
   }
   const core::FormationProblem& problem = *problem_or;
 
-  if (deadline && std::chrono::steady_clock::now() > *deadline) {
+  // Anytime solvers (DESIGN.md §17.4) own the budget: instead of the
+  // expired-before-start DNF, serve hands them the remaining wall-clock
+  // as their deadline_ms option (an expired budget becomes 0 — a
+  // deterministic partial seed solve). A client-set option wins.
+  const bool anytime = IsAnytimeSolver(request.solver);
+  core::SolverOptions options = request.options;
+  if (anytime && deadline) {
+    bool client_set = false;
+    for (const auto& [name, value] : options.entries()) {
+      if (name == "deadline_ms") client_set = true;
+    }
+    if (!client_set) {
+      const auto remaining =
+          std::chrono::duration_cast<std::chrono::milliseconds>(
+              *deadline - std::chrono::steady_clock::now())
+              .count();
+      options.Set("deadline_ms",
+                  common::StrFormat("%lld", remaining > 0
+                                                ? static_cast<long long>(
+                                                      remaining)
+                                                : 0LL));
+    }
+  }
+  if (!anytime && deadline && std::chrono::steady_clock::now() > *deadline) {
     return FailWith(std::move(response), eval::SweepCellState::kDnf,
                     Status::ResourceExhausted(
                         "deadline_ms expired before execution started"));
@@ -256,7 +294,7 @@ Response Session::ExecuteLoaded(
   // validation — a bad override fails here, exactly as the CLI's
   // --solver-opt does.
   auto solver_or = core::SolverRegistry::Global().Create(
-      request.solver, problem, request.options);
+      request.solver, problem, options);
   if (!solver_or.ok()) {
     return FailWith(std::move(response), eval::SweepCellState::kErr,
                     solver_or.status());
@@ -281,10 +319,12 @@ Response Session::ExecuteLoaded(
   }
   const core::FormationResult& result = *result_or;
 
-  if (deadline && std::chrono::steady_clock::now() > *deadline) {
+  if (!result.partial && deadline &&
+      std::chrono::steady_clock::now() > *deadline) {
     // Finished, but after the client's budget: the result is discarded
     // and the request reports DNF (wall-clock dependent — see the
-    // determinism caveat in DESIGN.md §12.4).
+    // determinism caveat in DESIGN.md §12.4). A partial result is the
+    // anytime contract working as intended, never a DNF.
     return FailWith(std::move(response), eval::SweepCellState::kDnf,
                     Status::ResourceExhausted(common::StrFormat(
                         "completed after the %lld ms deadline",
@@ -499,7 +539,8 @@ Response Session::ExecuteDelta(
         solved.status());
   }
 
-  if (deadline && std::chrono::steady_clock::now() > *deadline) {
+  if (!solved->current.partial && deadline &&
+      std::chrono::steady_clock::now() > *deadline) {
     return FailWith(std::move(response), eval::SweepCellState::kDnf,
                     Status::ResourceExhausted(common::StrFormat(
                         "completed after the %lld ms deadline",

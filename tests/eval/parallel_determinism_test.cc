@@ -82,6 +82,46 @@ TEST_F(ParallelDeterminismTest,
   }
 }
 
+// The same registry-wide matrix on a constraint-bearing problem
+// (DESIGN.md §17): solvers that accept the spec must stay byte-identical
+// across thread counts, and solvers that reject it (capgreedy sees link
+// pairs it does not support) must reject identically — the error path is
+// part of the determinism contract too.
+TEST_F(ParallelDeterminismTest,
+       EveryRegisteredSolverDeterministicUnderConstraints) {
+  solvers::EnsureBuiltinSolversRegistered();
+  const auto matrix = data::GenerateLatentFactor(
+      data::MovieLensLikeConfig(9, 8, /*seed=*/33));
+  auto problem = Problem(matrix);
+  problem.max_groups = 3;
+  problem.k = 2;
+  problem.constraints.min_group_size = 2;
+  problem.constraints.max_group_size = 4;
+  problem.constraints.must_link.push_back({0, 1});
+  problem.constraints.cannot_link.push_back({2, 3});
+
+  for (const std::string& name : core::SolverRegistry::Global().Names()) {
+    common::ThreadPool::SetDefaultThreadCount(1);
+    const auto serial = eval::RunAlgorithmByName(name, problem, /*seed=*/77);
+    for (const int threads : {2, 8}) {
+      common::ThreadPool::SetDefaultThreadCount(threads);
+      const auto parallel =
+          eval::RunAlgorithmByName(name, problem, /*seed=*/77);
+      SCOPED_TRACE(name + " at threads=" + std::to_string(threads));
+      ASSERT_EQ(parallel.ok(), serial.ok());
+      if (!serial.ok()) {
+        EXPECT_EQ(parallel.status().code(), serial.status().code());
+        EXPECT_EQ(parallel.status().message(), serial.status().message());
+        continue;
+      }
+      ExpectIdenticalResults(parallel->result, serial->result);
+      EXPECT_EQ(parallel->result.floor_violations,
+                serial->result.floor_violations);
+      EXPECT_EQ(parallel->result.partial, serial->result.partial);
+    }
+  }
+}
+
 TEST_F(ParallelDeterminismTest, BatchScoringIdenticalAcrossThreadCounts) {
   const auto matrix = data::GenerateLatentFactor(
       data::MovieLensLikeConfig(60, 40, /*seed=*/5));

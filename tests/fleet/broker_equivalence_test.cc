@@ -69,6 +69,20 @@ std::vector<serve::Request> MixedRequests() {
   delta2.is_delta = true;
   delta2.deltas.push_back({core::PopulationDelta::Kind::kRerate, 1, 2, 3.0});
   requests.push_back(delta2);
+  // Constraint-bearing (DESIGN.md §17): the constraints object must ride
+  // the broker→worker wire and the partition must come back verbatim.
+  serve::Request constrained = BaseRequest("constrained", 4);
+  constrained.solver = "capgreedy";
+  constrained.problem.constraints.min_group_size = 2;
+  constrained.problem.constraints.max_group_size = 4;
+  constrained.include_groups = true;
+  requests.push_back(constrained);
+  // Anytime partial (§17.4): a zero budget answers the greedy-seed
+  // snapshot with partial=true — wall-clock free, so byte-stable here.
+  serve::Request partial = BaseRequest("partial", 4);
+  partial.solver = "anytime:localsearch";
+  partial.options.Set("deadline_ms", "0");
+  requests.push_back(partial);
   return requests;
 }
 

@@ -67,6 +67,11 @@
 //   --k N               list length (default 5)
 //   --groups N          max groups, the paper's ell (default 10)
 //   --missing rmin|zero|skip        missing-rating policy (default rmin)
+//   --min-group-size N  formation constraint: smallest allowed group
+//   --max-group-size N  formation constraint: largest allowed group (0 = off)
+//   --must-link A:B,... pairs that must share a group (constrained solvers)
+//   --cannot-link A:B,...  pairs that must not share a group
+//   --min-user-sat X    fairness floor on per-user satisfaction (fairgreedy)
 //   --algorithm NAME    any registered solver; see --help for the list
 //                       (the choices come from core::SolverRegistry)
 //   --algo-seed S       seed for randomized solvers (default 99);
@@ -137,6 +142,49 @@ common::StatusOr<data::RatingMatrix> LoadData(
   return common::Status::InvalidArgument("unknown --synthetic: " + kind);
 }
 
+/// Parses a "--must-link/--cannot-link A:B,C:D" pair list.
+common::StatusOr<std::vector<std::pair<UserId, UserId>>> ParsePairFlag(
+    const common::FlagParser& flags, const char* flag) {
+  std::vector<std::pair<UserId, UserId>> pairs;
+  for (const std::string& token :
+       common::Split(flags.GetString(flag, ""), ',')) {
+    const std::string trimmed{common::Trim(token)};
+    if (trimmed.empty()) continue;
+    const std::vector<std::string> fields = common::Split(trimmed, ':');
+    long long a = 0;
+    long long b = 0;
+    if (fields.size() != 2 || !common::ParseInt64(fields[0], &a) ||
+        !common::ParseInt64(fields[1], &b) || a < 0 || b < 0 ||
+        a > 2147483647ll || b > 2147483647ll) {
+      return common::Status::InvalidArgument(common::StrFormat(
+          "--%s token \"%s\": expected A:B with nonnegative user ids",
+          flag, trimmed.c_str()));
+    }
+    pairs.emplace_back(static_cast<UserId>(a), static_cast<UserId>(b));
+  }
+  return pairs;
+}
+
+/// The formation-constraint flags (DESIGN.md §17), shared by the local
+/// run path and the request/delta subcommands. An untouched flag set
+/// yields the empty spec, so unconstrained invocations are unchanged.
+common::StatusOr<core::ConstraintSpec> BuildConstraints(
+    const common::FlagParser& flags) {
+  core::ConstraintSpec spec;
+  spec.min_group_size =
+      static_cast<int>(flags.GetInt("min-group-size", spec.min_group_size));
+  spec.max_group_size =
+      static_cast<int>(flags.GetInt("max-group-size", spec.max_group_size));
+  GF_ASSIGN_OR_RETURN(spec.must_link, ParsePairFlag(flags, "must-link"));
+  GF_ASSIGN_OR_RETURN(spec.cannot_link, ParsePairFlag(flags, "cannot-link"));
+  if (flags.Has("min-user-sat")) {
+    spec.has_min_user_sat = true;
+    spec.min_user_sat = flags.GetDouble("min-user-sat", 0.0);
+  }
+  GF_RETURN_IF_ERROR(spec.ValidateStructure());
+  return spec;
+}
+
 common::StatusOr<core::FormationProblem> BuildProblem(
     const common::FlagParser& flags, const data::RatingMatrix& matrix) {
   core::FormationProblem problem;
@@ -157,6 +205,7 @@ common::StatusOr<core::FormationProblem> BuildProblem(
   problem.max_groups = static_cast<int>(flags.GetInt("groups", 10));
   problem.candidate_depth =
       static_cast<int>(flags.GetInt("candidate-depth", 0));
+  GF_ASSIGN_OR_RETURN(problem.constraints, BuildConstraints(flags));
   GF_RETURN_IF_ERROR(problem.Validate());
   return problem;
 }
@@ -276,6 +325,7 @@ common::StatusOr<serve::Request> BuildRequest(
   request.problem.groups = static_cast<int>(flags.GetInt("groups", 10));
   request.problem.candidate_depth =
       static_cast<int>(flags.GetInt("candidate-depth", 0));
+  GF_ASSIGN_OR_RETURN(request.problem.constraints, BuildConstraints(flags));
   request.seed = static_cast<std::uint64_t>(
       flags.GetInt("algo-seed", core::FormationSolver::kDefaultSeed));
   request.deadline_ms = flags.GetInt("deadline-ms", 0);
@@ -560,6 +610,10 @@ void PrintHelp() {
       "(request/delta)\n"
       "problem:   --semantics lm|av --aggregation max|min|sum --k N\n"
       "           --groups N --missing rmin|zero|skip --candidate-depth D\n"
+      "constraints: --min-group-size N --max-group-size N\n"
+      "           --must-link A:B,C:D --cannot-link A:B --min-user-sat X\n"
+      "           (honoured by capgreedy/pairgreedy/fairgreedy and the\n"
+      "           wire's problem.constraints object, docs/PROTOCOL.md)\n"
       "execution: --threads N (default GF_THREADS env, else hardware)\n"
       "           --algo-seed S               solver seed (default 99)\n"
       "           --solver-opt k=v[,k=v...]   solver-specific overrides\n"

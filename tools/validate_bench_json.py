@@ -31,7 +31,12 @@ Default (bench) mode checks, for every BENCH_*.json in DIR
     report (DESIGN.md §16): a "fleet" object whose rows each report
     workers/wire/mode/requests/batch_size plus numeric rps and p50/p99
     latencies, with fleet (2+ worker) rps >= single-worker rps for every
-    wire x mode.
+    wire x mode;
+  * BENCH_constrained_*.json additionally pins the constraint-ablation
+    invariant (DESIGN.md §17): every sweep carries plain greedy as the
+    unconstrained bound series plus at least one constrained solver, and
+    at every x each constrained solver's OK objective is at most the
+    greedy objective at the same x.
 
 --protocol mode validates newline-delimited groupform.response/1 streams
 captured from groupform_serverd (docs/PROTOCOL.md): every line must parse,
@@ -290,6 +295,68 @@ def validate_fleet(path, doc):
     return ok
 
 
+CONSTRAINED_BOUND_SOLVER = "greedy"
+
+CONSTRAINED_EPSILON = 1e-6
+
+
+def validate_constrained(path, doc):
+    """BENCH_constrained_*.json: the constraint-ablation report (DESIGN.md §17).
+
+    Every sweep must carry the unconstrained bound series (plain greedy,
+    which ignores problem.constraints) and at least one constrained
+    solver, and — the invariant the ablation exists to pin — at every x,
+    each constrained solver's OK objective is at most the greedy
+    objective at the same x: adding capacity, link, or fairness
+    constraints can only shrink the feasible region.
+    """
+    sweeps = doc.get("sweeps", [])
+    if not sweeps:
+        return fail(path, "constrained bench without sweeps")
+    ok = True
+    for sweep in sweeps:
+        name = sweep.get("sweep", "<unnamed>")
+        bound = {}  # x -> greedy objective
+        constrained = []  # (x, solver, objective)
+        for cell in sweep.get("cells", []):
+            if cell.get("state") != "OK":
+                continue
+            x = cell.get("x")
+            solver = cell.get("solver")
+            objective = cell.get("objective")
+            if not isinstance(objective, (int, float)):
+                continue  # validate_sweep already flagged it
+            if solver == CONSTRAINED_BOUND_SOLVER:
+                bound[x] = objective
+            else:
+                constrained.append((x, solver, objective))
+        if not bound:
+            ok = fail(
+                path,
+                f"sweep {name}: no OK {CONSTRAINED_BOUND_SOLVER!r} cells "
+                f"to serve as the unconstrained bound",
+            )
+            continue
+        if not constrained:
+            ok = fail(path, f"sweep {name}: no OK constrained-solver cells")
+            continue
+        for x, solver, objective in constrained:
+            if x not in bound:
+                ok = fail(
+                    path,
+                    f"sweep {name}: x={x} has a {solver} cell but no "
+                    f"{CONSTRAINED_BOUND_SOLVER} bound cell",
+                )
+            elif objective > bound[x] + CONSTRAINED_EPSILON:
+                ok = fail(
+                    path,
+                    f"sweep {name}: x={x} {solver} objective "
+                    f"{objective:.4f} exceeds the unconstrained "
+                    f"{CONSTRAINED_BOUND_SOLVER} bound {bound[x]:.4f}",
+                )
+    return ok
+
+
 def validate_file(path, required_solvers):
     try:
         doc = json.loads(path.read_text())
@@ -311,6 +378,8 @@ def validate_file(path, required_solvers):
         ok = validate_serve(path, doc) and ok
     if path.name.startswith("BENCH_fleet_"):
         ok = validate_fleet(path, doc) and ok
+    if path.name.startswith("BENCH_constrained_"):
+        ok = validate_constrained(path, doc) and ok
     if sweeps and doc.get("all_ok") and any(
         cell.get("state") == "ERR"
         for sweep in sweeps
